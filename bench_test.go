@@ -1,0 +1,386 @@
+// Package revisionist's root benchmark harness: one benchmark family per
+// experiment in EXPERIMENTS.md (T1, T2, E3–E8). Run with:
+//
+//	go test -bench=. -benchmem
+package revisionist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/augsnap"
+	"revisionist/internal/bounds"
+	"revisionist/internal/core"
+	"revisionist/internal/nst"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+	"revisionist/internal/shmem"
+	"revisionist/internal/trace"
+)
+
+// BenchmarkBoundsTable (T1) computes the full Corollary 33 grid for n <= 64.
+func BenchmarkBoundsTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for n := 2; n <= 64; n++ {
+			for k := 1; k < n; k++ {
+				for x := 1; x <= k; x++ {
+					if _, err := bounds.SetAgreementLB(n, k, x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkApproxAgreement (T2) runs the 2-process halving protocol across
+// an eps sweep, the workload whose step counts EXPERIMENTS.md compares to
+// the Hoest–Shavit lower bound.
+func BenchmarkApproxAgreement(b *testing.B) {
+	for _, eps := range []float64{1e-2, 1e-4, 1e-6} {
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				procs, m, err := algorithms.NewApproxAgreement2([2]float64{0, 1}, eps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := proto.Run(procs, m, nil, sched.RoundRobin{N: 2}, sched.WithMaxSteps(1_000_000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAugSnapshotOps (E3) measures single augmented snapshot operations
+// without contention: the Lemma 2 constants in wall-clock form.
+func BenchmarkAugSnapshotOps(b *testing.B) {
+	b.Run("BlockUpdate", func(b *testing.B) {
+		// Get-View iterates every triple recorded in H (the paper's object is
+		// unbounded); reset periodically for the steady-state cost.
+		a := augsnap.New(freeStepper{}, 4, 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%1024 == 0 {
+				b.StopTimer()
+				a = augsnap.New(freeStepper{}, 4, 4)
+				b.StartTimer()
+			}
+			a.BlockUpdate(0, []int{i % 4}, []augsnap.Value{i})
+		}
+	})
+	b.Run("Scan", func(b *testing.B) {
+		// The paper's helping registers L(i,j) are unbounded arrays, so each
+		// Scan appends help records and history accumulates; recreate the
+		// object periodically to measure the steady-state operation cost
+		// rather than unbounded-history GC pressure.
+		a := augsnap.New(freeStepper{}, 4, 4)
+		a.BlockUpdate(0, []int{0, 1, 2, 3}, []augsnap.Value{1, 2, 3, 4})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%1024 == 0 {
+				b.StopTimer()
+				a = augsnap.New(freeStepper{}, 4, 4)
+				a.BlockUpdate(0, []int{0, 1, 2, 3}, []augsnap.Value{1, 2, 3, 4})
+				b.StartTimer()
+			}
+			a.Scan(1)
+		}
+	})
+}
+
+// BenchmarkAugSnapshotStress (E4) runs the full mixed workload with offline
+// §3 spec checking, per scheduled seed.
+func BenchmarkAugSnapshotStress(b *testing.B) {
+	for _, f := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				seed := int64(i)
+				runner := sched.NewRunner(f, sched.NewRandom(seed), sched.WithMaxSteps(1<<22))
+				a := augsnap.New(runner, f, 3)
+				_, err := runner.Run(func(pid int) {
+					rng := rand.New(rand.NewSource(seed*1000 + int64(pid)))
+					for j := 0; j < 6; j++ {
+						if rng.Intn(4) == 0 {
+							a.Scan(pid)
+							continue
+						}
+						r := 1 + rng.Intn(3)
+						comps := rng.Perm(3)[:r]
+						vals := make([]augsnap.Value, r)
+						for g := range vals {
+							vals[g] = j
+						}
+						a.BlockUpdate(pid, comps, vals)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := trace.Check(a.Log(), 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulation (E5) runs the revisionist simulation end to end for
+// the three positive configurations of EXPERIMENTS.md.
+func BenchmarkSimulation(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  core.Config
+		mk   func(in []proto.Value) ([]proto.Process, error)
+	}{
+		{
+			name: "firstvalue_n8_f8",
+			cfg:  core.Config{N: 8, M: 1, F: 8, D: 0},
+			mk: func(in []proto.Value) ([]proto.Process, error) {
+				procs := make([]proto.Process, len(in))
+				for i := range procs {
+					procs[i] = algorithms.NewFirstValue(0, in[i])
+				}
+				return procs, nil
+			},
+		},
+		{
+			name: "kset_n4_m2_f2",
+			cfg:  core.Config{N: 4, M: 2, F: 2, D: 0},
+			mk: func(in []proto.Value) ([]proto.Process, error) {
+				procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
+				return procs, err
+			},
+		},
+		{
+			name: "kset_n9_m3_f3",
+			cfg:  core.Config{N: 9, M: 3, F: 3, D: 0},
+			mk: func(in []proto.Value) ([]proto.Process, error) {
+				procs, _, err := algorithms.NewKSetAgreement(9, 7, in)
+				return procs, err
+			},
+		},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			inputs := make([]proto.Value, c.cfg.F)
+			for i := range inputs {
+				inputs[i] = i
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(c.cfg, inputs, c.mk, sched.NewRandom(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReductionFalsification (E6) runs the starved-consensus reduction.
+func BenchmarkReductionFalsification(b *testing.B) {
+	cfg := core.Config{N: 4, M: 1, F: 4, D: 0}
+	inputs := []proto.Value{0, 1, 2, 3}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs := make([]proto.Process, len(in))
+		for i := range procs {
+			procs[i] = algorithms.NewFirstValue(0, in[i])
+		}
+		return procs, nil
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(cfg, inputs, mk, sched.NewRandom(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range res.Done {
+			if !d {
+				b.Fatal("derived protocol must be wait-free")
+			}
+		}
+	}
+}
+
+// BenchmarkNSTConversion (E7) measures the Theorem 35 determinization: solo
+// path search plus a full protocol run of the derived Π′.
+func BenchmarkNSTConversion(b *testing.B) {
+	for _, m := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("multicoin_m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				procs := make([]proto.Process, 3)
+				inputs := make([]proto.Value, 3)
+				for j := range procs {
+					inputs[j] = j
+					procs[j] = nst.NewProcess(nst.NewConverter(nst.MultiCoin{M: m}, m), inputs[j])
+				}
+				if _, _, err := proto.Run(procs, m, nil, sched.NewRandom(int64(i)), sched.WithMaxSteps(200_000)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUpperBoundProtocols (E8) runs the upper-bound protocols under a
+// random scheduler.
+func BenchmarkUpperBoundProtocols(b *testing.B) {
+	b.Run("consensus_n6", func(b *testing.B) {
+		inputs := make([]proto.Value, 6)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		for i := 0; i < b.N; i++ {
+			procs, m, err := algorithms.NewConsensus(6, inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := proto.Run(procs, m, nil, sched.NewRandom(int64(i)), sched.WithMaxSteps(200_000)); err != nil && !errors.Is(err, sched.ErrMaxSteps) {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kset_n8_k4", func(b *testing.B) {
+		inputs := make([]proto.Value, 8)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		for i := 0; i < b.N; i++ {
+			procs, m, err := algorithms.NewKSetAgreement(8, 4, inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := proto.Run(procs, m, nil, sched.NewRandom(int64(i)), sched.WithMaxSteps(200_000)); err != nil && !errors.Is(err, sched.ErrMaxSteps) {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lane_n10_k9_x4", func(b *testing.B) {
+		inputs := make([]proto.Value, 10)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		for i := 0; i < b.N; i++ {
+			procs, m, err := algorithms.NewLaneKSetAgreement(10, 9, 4, inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := proto.Run(procs, m, nil, sched.NewRandom(int64(i)), sched.WithMaxSteps(200_000)); err != nil && !errors.Is(err, sched.ErrMaxSteps) {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotSubstrates compares the atomic snapshot with the
+// register-built constructions (the §2 equivalence both directions).
+func BenchmarkSnapshotSubstrates(b *testing.B) {
+	b.Run("atomic", func(b *testing.B) {
+		benchSnapshotWorkload(b, "atomic")
+	})
+	b.Run("register-built-sw", func(b *testing.B) {
+		benchSnapshotWorkload(b, "regsw")
+	})
+	b.Run("register-built-mw", func(b *testing.B) {
+		benchSnapshotWorkload(b, "regmw")
+	})
+}
+
+type freeStepper struct{}
+
+func (freeStepper) Step(int, sched.Op) {}
+
+// benchSnap is the single-writer snapshot interface the substrate benchmarks
+// exercise.
+type benchSnap interface {
+	Update(pid int, v shmem.Value)
+	Scan(pid int) []shmem.Value
+}
+
+type mwBenchAdapter struct{ s *shmem.RegMWSnapshot }
+
+func (a mwBenchAdapter) Update(pid int, v shmem.Value) { a.s.Update(pid, pid, v) }
+func (a mwBenchAdapter) Scan(pid int) []shmem.Value    { return a.s.Scan(pid) }
+
+func newBenchSnap(kind string, r *sched.Runner, f int) benchSnap {
+	switch kind {
+	case "atomic":
+		return shmem.NewSWSnapshot("S", r, f, nil)
+	case "regsw":
+		return shmem.NewRegSWSnapshot("S", r, f, nil)
+	case "regmw":
+		return mwBenchAdapter{shmem.NewRegMWSnapshot("S", r, f, f, nil)}
+	default:
+		panic("unknown snapshot kind " + kind)
+	}
+}
+
+func benchSnapshotWorkload(b *testing.B, kind string) {
+	const f = 4
+	for i := 0; i < b.N; i++ {
+		runner := sched.NewRunner(f, sched.NewRandom(int64(i)), sched.WithMaxSteps(1<<22))
+		snap := newBenchSnap(kind, runner, f)
+		_, err := runner.Run(func(pid int) {
+			for r := 0; r < 4; r++ {
+				snap.Update(pid, r)
+				snap.Scan(pid)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLemma26Reconstruction measures the cost of reconstructing the
+// simulated execution and replaying it as an execution of Π
+// (core.ValidateExecution), per recorded simulation run.
+func BenchmarkLemma26Reconstruction(b *testing.B) {
+	cfg := core.Config{N: 9, M: 3, F: 3, D: 0}
+	inputs := []proto.Value{1, 2, 3}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs, _, err := algorithms.NewKSetAgreement(9, 7, in)
+		return procs, err
+	}
+	res, err := core.Run(cfg, inputs, mk, sched.NewRandom(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.ValidateExecution(cfg, inputs, mk, res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationSubstrateAblation compares the simulation over the
+// atomic single-writer snapshot H against the register-built H (Afek et
+// al.): the paper's "an m-component snapshot is m registers" equivalence,
+// priced in real-system steps.
+func BenchmarkSimulationSubstrateAblation(b *testing.B) {
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
+		return procs, err
+	}
+	inputs := []proto.Value{1, 2}
+	for _, reg := range []bool{false, true} {
+		name := "atomicH"
+		if reg {
+			name = "registerBuiltH"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{N: 4, M: 2, F: 2, D: 0, RegisterBuiltH: reg}
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg, inputs, mk, sched.NewRandom(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps += res.Steps
+			}
+			b.ReportMetric(float64(steps)/float64(b.N), "H-steps/run")
+		})
+	}
+}

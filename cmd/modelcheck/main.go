@@ -1,0 +1,125 @@
+// Command modelcheck exhaustively explores the schedules of a small protocol
+// instance (bounded depth) and reports safety violations with replayable
+// schedules. It is the tool behind the falsification experiments: protocols
+// below the paper's space bounds must have violating schedules, and correct
+// ones must not.
+//
+// Usage:
+//
+//	modelcheck -protocol consensus -n 2 -depth 22
+//	modelcheck -protocol firstvalue-consensus -n 2 -depth 12
+//	modelcheck -protocol aan -eps 0.25 -depth 26
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+	"revisionist/internal/shmem"
+	"revisionist/internal/spec"
+	"revisionist/internal/trace"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "consensus", "consensus | firstvalue-consensus | kset | aan")
+		n        = flag.Int("n", 2, "processes")
+		k        = flag.Int("k", 1, "k for kset")
+		eps      = flag.Float64("eps", 0.25, "eps for aan")
+		depth    = flag.Int("depth", 20, "max schedule depth")
+		maxRuns  = flag.Int("maxruns", 200_000, "max schedules")
+		maxViol  = flag.Int("maxviol", 3, "stop after this many violations")
+	)
+	flag.Parse()
+
+	factory, nprocs, err := buildFactory(*protocol, *n, *k, *eps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep, err := trace.Explore(nprocs, factory, trace.ExploreOpts{
+		MaxDepth:      *depth,
+		MaxRuns:       *maxRuns,
+		MaxViolations: *maxViol,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s n=%d: %d schedules explored (depth <= %d, %d truncated, exhausted=%v)\n",
+		*protocol, *n, rep.Runs, *depth, rep.Truncated, rep.Exhausted)
+	if len(rep.Violations) == 0 {
+		fmt.Println("no violations found")
+		return
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("VIOLATION on schedule %v:\n  %v\n", v.Schedule, v.Err)
+	}
+	os.Exit(1)
+}
+
+func buildFactory(protocol string, n, k int, eps float64) (func(*sched.Runner) trace.System, int, error) {
+	inputs := make([]spec.Value, n)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	switch protocol {
+	case "consensus":
+		return protocolFactory(inputs, spec.Consensus{}, func(in []proto.Value) ([]proto.Process, int, error) {
+			return algorithms.NewConsensus(n, in)
+		}), n, nil
+	case "firstvalue-consensus":
+		return protocolFactory(inputs, spec.Consensus{}, func(in []proto.Value) ([]proto.Process, int, error) {
+			procs := make([]proto.Process, len(in))
+			for i := range procs {
+				procs[i] = algorithms.NewFirstValue(0, in[i])
+			}
+			return procs, 1, nil
+		}), n, nil
+	case "kset":
+		return protocolFactory(inputs, spec.KSetAgreement{K: k}, func(in []proto.Value) ([]proto.Process, int, error) {
+			return algorithms.NewKSetAgreement(n, k, in)
+		}), n, nil
+	case "aan":
+		fin := make([]spec.Value, n)
+		fs := make([]float64, n)
+		for i := range fs {
+			fs[i] = float64(i) / float64(maxi(n-1, 1))
+			fin[i] = fs[i]
+		}
+		return protocolFactory(fin, spec.ApproxAgreement{Eps: eps}, func([]proto.Value) ([]proto.Process, int, error) {
+			return algorithms.NewApproxAgreementN(fs, eps)
+		}), n, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown protocol %q", protocol)
+	}
+}
+
+func protocolFactory(inputs []spec.Value, task spec.Task,
+	mk func(in []proto.Value) ([]proto.Process, int, error)) func(*sched.Runner) trace.System {
+	return func(runner *sched.Runner) trace.System {
+		procs, m, err := mk(inputs)
+		if err != nil {
+			panic(err)
+		}
+		res := proto.NewRunResult(len(procs))
+		snap := shmem.NewMWSnapshot("M", runner, m, nil)
+		return trace.System{
+			Body: proto.Body(procs, snap, res),
+			Check: func(*sched.Result) error {
+				return task.Validate(inputs, res.DoneOutputs())
+			},
+		}
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

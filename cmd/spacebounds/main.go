@@ -1,0 +1,80 @@
+// Command spacebounds prints the paper's space bounds (Corollaries 33 and
+// 34) over a parameter grid: the lower bound ⌊(n−x)/(k+1−x)⌋+1, the best
+// known upper bound n−k+x, and the approximate-agreement bound.
+//
+// Usage:
+//
+//	spacebounds [-nmax 32] [-aa]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"revisionist/internal/bounds"
+)
+
+func main() {
+	nmax := flag.Int("nmax", 32, "largest n in the k-set agreement table")
+	aa := flag.Bool("aa", false, "print the approximate-agreement table instead")
+	flag.Parse()
+
+	if *aa {
+		printAA()
+		return
+	}
+	printKSet(*nmax)
+}
+
+func printKSet(nmax int) {
+	fmt.Println("x-obstruction-free k-set agreement: registers needed (Corollary 33)")
+	fmt.Printf("%6s %4s %4s %10s %10s %8s\n", "n", "k", "x", "lower", "upper", "tight")
+	for _, n := range []int{4, 8, 16, nmax} {
+		for _, k := range []int{1, 2, n / 2, n - 1} {
+			if k < 1 || k >= n {
+				continue
+			}
+			for _, x := range []int{1, k} {
+				if x < 1 || x > k {
+					continue
+				}
+				lb, err := bounds.SetAgreementLB(n, k, x)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					continue
+				}
+				ub, _ := bounds.SetAgreementUB(n, k, x)
+				tight := ""
+				if lb == ub {
+					tight = "yes"
+				}
+				fmt.Printf("%6d %4d %4d %10d %10d %8s\n", n, k, x, lb, ub, tight)
+			}
+		}
+	}
+}
+
+func printAA() {
+	fmt.Println("obstruction-free eps-approximate agreement (Corollary 34), n = 16")
+	fmt.Printf("%12s %14s %14s\n", "eps", "space LB", "2-proc step LB")
+	for _, eps := range []float64{1e-1, 1e-2, 1e-4, 1e-8, 1e-16, 1e-32, 1e-64, 1e-128, 1e-300} {
+		lb, err := bounds.ApproxAgreementSpaceLB(16, eps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Printf("%12.0e %14d %14.1f\n", eps, lb, bounds.ApproxAgreementStepLB(eps))
+	}
+	fmt.Println("\nsymbolic eps (log3(1/eps) given directly):")
+	fmt.Printf("%12s %14s\n", "log3(1/eps)", "space LB")
+	for _, l3 := range []float64{1e3, 1e9, math.Pow(2, 40), math.Pow(2, 80), math.Pow(2, 120)} {
+		lb, err := bounds.ApproxAgreementSpaceLBFromLog3(16, l3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Printf("%12.2e %14d\n", l3, lb)
+	}
+}

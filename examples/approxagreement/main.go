@@ -1,0 +1,68 @@
+// Approximate agreement traces Corollary 34: it runs the 2-process wait-free
+// halving protocol across a sweep of eps, comparing measured step counts to
+// the Hoest–Shavit lower bound L = ½·log₃(1/eps) that the paper's reduction
+// consumes, and prints the space lower bound min{⌊n/2⌋+1, √(log₂log₃(1/eps))−2}.
+//
+// Run with: go run ./examples/approxagreement
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/bounds"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+	"revisionist/internal/spec"
+)
+
+func main() {
+	fmt.Println("eps-approximate agreement, inputs {0, 1}")
+	fmt.Printf("%10s | %10s %10s | %12s %10s | %12s\n",
+		"eps", "out p0", "out p1", "ops/process", "step LB", "space LB n=16")
+	for _, eps := range []float64{0.5, 0.25, 0.1, 0.01, 1e-4, 1e-6} {
+		procs, m, err := algorithms.NewApproxAgreement2([2]float64{0, 1}, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, _, rerr := proto.Run(procs, m, nil, sched.NewRandom(5), sched.WithMaxSteps(1_000_000))
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		task := spec.ApproxAgreement{Eps: eps}
+		if err := task.Validate([]spec.Value{0.0, 1.0}, res.DoneOutputs()); err != nil {
+			log.Fatal(err)
+		}
+		spaceLB, err := bounds.ApproxAgreementSpaceLB(16, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.0e | %10.6f %10.6f | %12d %10.1f | %12d\n",
+			eps, res.Outputs[0], res.Outputs[1], res.OpsBy[0],
+			bounds.ApproxAgreementStepLB(eps), spaceLB)
+	}
+
+	fmt.Println("\nconvergence of one adversarial run (eps = 1e-4):")
+	procs, m, err := algorithms.NewApproxAgreement2([2]float64{0, 1}, 1e-4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, rerr := proto.Run(procs, m, nil, sched.Alternator{Burst: 3}, sched.WithMaxSteps(1_000_000))
+	if rerr != nil {
+		log.Fatal(rerr)
+	}
+	o0 := res.Outputs[0].(float64)
+	o1 := res.Outputs[1].(float64)
+	fmt.Printf("outputs %.8f and %.8f, spread %.2e <= eps\n", o0, o1, math.Abs(o0-o1))
+
+	fmt.Println("\nthe covering term of Corollary 34 needs symbolic eps:")
+	for _, e := range []float64{40, 60, 80, 120} {
+		lb, err := bounds.ApproxAgreementSpaceLBFromLog3(16, math.Pow(2, e))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  log3(1/eps) = 2^%-3.0f -> space LB %d\n", e, lb)
+	}
+}

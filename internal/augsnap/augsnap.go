@@ -1,0 +1,349 @@
+// Package augsnap implements the paper's m-component augmented snapshot
+// object (§3) shared by f processes, on top of a single-writer snapshot H.
+//
+// An augmented snapshot supports Scan, returning the current view of its m
+// components, and Block-Update, which updates several components (not
+// necessarily atomically) and either returns a view of the object from a
+// constrained earlier point of the execution ("atomic" Block-Update) or
+// yields. The implementation follows Algorithms 1–4 exactly:
+//
+//   - Every Update appends triples (component, value, timestamp) to the
+//     updater's component of H; timestamps are f-component vectors ordered
+//     lexicographically (Algorithm 1).
+//   - The view of a scan result is, per component, the value with the
+//     lexicographically largest timestamp (Algorithm 2, Get-View).
+//   - Scan double-collects H until two results coincide, helping others
+//     between collects (Algorithm 3).
+//   - Block-Update scans H, appends its triples, helps lower-id processes,
+//     scans again and yields if a lower-id process appended triples in the
+//     interval, and otherwise returns the view of the latest scan recorded
+//     for it by the helping mechanism (Algorithm 4).
+//
+// The helping registers L(i,j)[b] are folded into a Help field of H[i], as
+// the paper's §3.2 remark prescribes. Scan-result equality, the counts #h_j,
+// prefix comparisons and the yield test are all defined over update triples
+// only, so help records do not interfere with them (this is what makes Scan
+// non-blocking with respect to other Scans and reproduces Lemma 2's step
+// counts: exactly 6 H-operations per Block-Update and 2k+3 per Scan with k
+// concurrent triple-appending updates).
+package augsnap
+
+import (
+	"fmt"
+
+	"revisionist/internal/shmem"
+)
+
+// Value is a component value of the augmented snapshot.
+type Value = shmem.Value
+
+// Timestamp is an f-component vector timestamp, compared lexicographically
+// (Algorithm 1).
+type Timestamp []int
+
+// Less reports t < u in lexicographic order.
+func (t Timestamp) Less(u Timestamp) bool {
+	for i := range t {
+		if t[i] != u[i] {
+			return t[i] < u[i]
+		}
+	}
+	return false
+}
+
+// Equal reports t == u.
+func (t Timestamp) Equal(u Timestamp) bool {
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Triple is one update triple recorded in H: component, value, timestamp.
+type Triple struct {
+	Comp int
+	Val  Value
+	TS   Timestamp
+}
+
+// HelpRec is one helping record, the folded register L(src,Dst)[Idx]: the
+// writer recorded scan result H for the Idx'th Block-Update of process Dst.
+type HelpRec struct {
+	Dst int
+	Idx int
+	H   HView
+}
+
+// HComp is the value of one component of H: the append-only list of update
+// triples by its owner, the number of Block-Updates the owner performed
+// (= number of distinct timestamps in Triples), and the owner's help records.
+type HComp struct {
+	Triples []Triple
+	NumBU   int
+	Help    []HelpRec
+}
+
+// HView is the result of a scan of H.
+type HView []HComp
+
+// eq reports equality of two scan results over update triples only.
+func (h HView) eq(g HView) bool {
+	for j := range h {
+		if len(h[j].Triples) != len(g[j].Triples) {
+			return false
+		}
+	}
+	return true
+}
+
+// prefix reports that h is a prefix of g (triples only). Within a single
+// execution the triple lists are append-only, so length comparison suffices.
+func (h HView) prefix(g HView) bool {
+	for j := range h {
+		if len(h[j].Triples) > len(g[j].Triples) {
+			return false
+		}
+	}
+	return true
+}
+
+// properPrefix reports that h is a prefix of g and differs somewhere.
+func (h HView) properPrefix(g HView) bool {
+	return h.prefix(g) && !h.eq(g)
+}
+
+// numBU returns #h_j: the number of Block-Updates by q_j visible in h.
+func (h HView) numBU(j int) int { return h[j].NumBU }
+
+// view computes Get-View(h) (Algorithm 2): per component, the value of the
+// triple with the lexicographically largest timestamp, or nil.
+func (h HView) view(m int) []Value {
+	out := make([]Value, m)
+	best := make([]Timestamp, m)
+	for j := range h {
+		for _, tr := range h[j].Triples {
+			if best[tr.Comp] == nil || best[tr.Comp].Less(tr.TS) {
+				best[tr.Comp] = tr.TS
+				out[tr.Comp] = tr.Val
+			}
+		}
+	}
+	return out
+}
+
+// Store is the single-writer snapshot interface the augmented snapshot is
+// built from. *shmem.SWSnapshot (atomic, one scheduler step per operation)
+// and *shmem.RegSWSnapshot (built from registers per Afek et al.) both
+// implement it, so the full stack "registers → snapshot → augmented snapshot
+// → simulation" can be assembled.
+type Store interface {
+	Update(pid int, v shmem.Value)
+	Scan(pid int) []shmem.Value
+	SetRecorder(shmem.Recorder)
+}
+
+// AugSnapshot is the m-component augmented snapshot object. It is shared by
+// f processes with identifiers 0..f-1; the paper's q_1 (smallest identifier,
+// whose Block-Updates are always atomic) is process 0.
+type AugSnapshot struct {
+	f, m int
+	h    Store
+
+	buCount []int // Block-Updates performed, per process (single-writer)
+	own     []HComp
+
+	log *Log
+}
+
+// New returns an m-component augmented snapshot for f processes, gated by st,
+// over an atomic single-writer snapshot H (which accounts for f registers).
+func New(st shmem.Stepper, f, m int) *AugSnapshot {
+	return NewOver(shmem.NewSWSnapshot("H", st, f, HComp{}), f, m)
+}
+
+// NewOver builds the augmented snapshot over a caller-supplied H, e.g. a
+// register-built shmem.RegSWSnapshot initialized with HComp{} components.
+//
+// Offline specification checking (trace.Check) assumes the recorded H history
+// is in linearization order, which holds for the atomic store; for the
+// register-built store the record points of scans may trail their
+// linearization points, so validate such runs at the task level instead.
+func NewOver(h Store, f, m int) *AugSnapshot {
+	a := &AugSnapshot{
+		f:       f,
+		m:       m,
+		h:       h,
+		buCount: make([]int, f),
+		own:     make([]HComp, f),
+		log:     &Log{},
+	}
+	a.h.SetRecorder(a.log)
+	return a
+}
+
+// Components returns m.
+func (a *AugSnapshot) Components() int { return a.m }
+
+// Processes returns f.
+func (a *AugSnapshot) Processes() int { return a.f }
+
+// Log returns the recorded H-level history and operation log for offline
+// linearization and specification checking (package trace).
+func (a *AugSnapshot) Log() *Log { return a.log }
+
+// scanH performs one atomic scan of H and converts the result.
+func (a *AugSnapshot) scanH(pid int) HView {
+	raw := a.h.Scan(pid)
+	h := make(HView, a.f)
+	for j := range raw {
+		h[j] = raw[j].(HComp)
+	}
+	return h
+}
+
+// newTimestamp implements Algorithm 1 for process pid on scan result h.
+func (a *AugSnapshot) newTimestamp(pid int, h HView) Timestamp {
+	t := make(Timestamp, a.f)
+	for j := 0; j < a.f; j++ {
+		t[j] = h.numBU(j)
+	}
+	t[pid]++
+	return t
+}
+
+// Scan implements Algorithm 3: double-collect H until two consecutive results
+// coincide (over triples), helping every other process between collects, and
+// return the view of the last result. It is non-blocking: only an infinite
+// sequence of concurrent Block-Updates can starve it.
+func (a *AugSnapshot) Scan(pid int) []Value {
+	hp := a.scanH(pid)
+	startSeq := a.log.lastSeq()
+	hops := 1
+	for {
+		h := hp
+		recs := make([]HelpRec, 0, a.f-1)
+		for j := 0; j < a.f; j++ {
+			if j != pid {
+				recs = append(recs, HelpRec{Dst: j, Idx: h.numBU(j), H: h})
+			}
+		}
+		a.appendHelp(pid, recs)
+		hp = a.scanH(pid)
+		hops += 2
+		if h.eq(hp) {
+			view := h.view(a.m)
+			a.log.recordScanOp(pid, view, startSeq, hops)
+			return view
+		}
+	}
+}
+
+// BlockUpdate implements Algorithm 4: it applies Updates setting comps[g] to
+// vals[g] for each g and returns (view, true) if the Block-Update is atomic,
+// or (nil, false) if it yields.
+func (a *AugSnapshot) BlockUpdate(pid int, comps []int, vals []Value) ([]Value, bool) {
+	if len(comps) == 0 || len(comps) != len(vals) {
+		panic(fmt.Sprintf("augsnap: BlockUpdate with %d components and %d values", len(comps), len(vals)))
+	}
+	seen := make(map[int]bool, len(comps))
+	for _, c := range comps {
+		if c < 0 || c >= a.m || seen[c] {
+			panic(fmt.Sprintf("augsnap: BlockUpdate components %v invalid for m=%d", comps, a.m))
+		}
+		seen[c] = true
+	}
+	b := a.buCount[pid] // index of this Block-Update; equals #h_i below
+
+	// Line 2: h <- H.scan().
+	h := a.scanH(pid)
+	hSeq := a.log.lastSeq()
+	// Line 3: generate the timestamp.
+	t := a.newTimestamp(pid, h)
+	// Line 4: append the triples.
+	triples := make([]Triple, len(comps))
+	for g := range comps {
+		triples[g] = Triple{Comp: comps[g], Val: vals[g], TS: t}
+	}
+	a.appendTriples(pid, triples)
+	a.buCount[pid]++
+	rec := a.log.openBU(pid, b, comps, vals, t)
+	rec.HSeq, rec.XSeq = hSeq, a.log.lastSeq()
+
+	// Lines 5–7: help lower-id processes with one scan and one update.
+	g := a.scanH(pid)
+	rec.GSeq = a.log.lastSeq()
+	recs := make([]HelpRec, 0, pid)
+	for j := 0; j < pid; j++ {
+		recs = append(recs, HelpRec{Dst: j, Idx: g.numBU(j), H: g})
+	}
+	a.appendHelp(pid, recs)
+	rec.HelpSeq = a.log.lastSeq()
+
+	// Lines 8–10: yield if a lower-id process appended triples since h.
+	hp := a.scanH(pid)
+	rec.CheckSeq = a.log.lastSeq()
+	for j := 0; j < pid; j++ {
+		if hp.numBU(j) > h.numBU(j) {
+			a.log.closeBUYield(rec)
+			return nil, false
+		}
+	}
+
+	// Lines 11–16: determine the latest recorded scan and return its view.
+	r := a.scanH(pid)
+	rec.ReadSeq = a.log.lastSeq()
+	last := h
+	for j := 0; j < a.f; j++ {
+		if j == pid {
+			continue
+		}
+		rj := lookupHelp(r[j].Help, pid, b)
+		if rj != nil && last.properPrefix(rj) {
+			last = rj
+		}
+	}
+	view := last.view(a.m)
+	a.log.closeBUAtomic(rec, last, view)
+	return view, true
+}
+
+// appendTriples publishes new triples with one H.update; it is the only place
+// NumBU advances. H[pid] is single-writer, so the writer keeps a local copy
+// of its own component and appends to it (appends extend the latest slice
+// header, so earlier published headers keep seeing their own prefix).
+func (a *AugSnapshot) appendTriples(pid int, triples []Triple) {
+	cur := a.own[pid]
+	next := HComp{
+		Triples: append(cur.Triples, triples...),
+		NumBU:   cur.NumBU + 1,
+		Help:    cur.Help,
+	}
+	a.own[pid] = next
+	a.h.Update(pid, next)
+}
+
+// appendHelp publishes help records with one H.update. The update is
+// performed even when recs is empty, keeping the step counts of Lemma 2
+// exact (a Block-Update is always 6 H-operations, a Scan iteration always 2).
+func (a *AugSnapshot) appendHelp(pid int, recs []HelpRec) {
+	cur := a.own[pid]
+	next := HComp{
+		Triples: cur.Triples,
+		NumBU:   cur.NumBU,
+		Help:    append(cur.Help, recs...),
+	}
+	a.own[pid] = next
+	a.h.Update(pid, next)
+}
+
+// lookupHelp finds the last help record for (dst, idx) in a Help list.
+func lookupHelp(help []HelpRec, dst, idx int) HView {
+	for i := len(help) - 1; i >= 0; i-- {
+		if help[i].Dst == dst && help[i].Idx == idx {
+			return help[i].H
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package augsnap
+
+import (
+	"revisionist/internal/shmem"
+)
+
+// HEvent is one atomic operation on the underlying single-writer snapshot H,
+// in linearization order (the gated scheduler serializes H operations, so
+// recording order is linearization order).
+type HEvent struct {
+	Seq    int
+	PID    int
+	IsScan bool
+	// Appended holds the update triples this H.update appended (empty for
+	// help-only updates and for scans).
+	Appended []Triple
+}
+
+// BURecord describes one Block-Update operation (Algorithm 4) for offline
+// checking. Seq fields index into Log.Events.
+type BURecord struct {
+	PID   int
+	Index int // 0-based index among this process's Block-Updates
+	Comps []int
+	Vals  []Value
+	TS    Timestamp
+
+	HSeq     int // line 2: scan
+	XSeq     int // line 4: update appending the triples
+	GSeq     int // line 5: helping scan
+	HelpSeq  int // lines 6-7: helping update
+	CheckSeq int // line 8: scan for the yield test
+	ReadSeq  int // lines 12-13: scan reading the helping records (-1 if yielded)
+
+	Yielded bool
+	Last    HView   // the scan result whose view is returned (atomic only)
+	View    []Value // returned view of M (atomic only)
+}
+
+// ScanRecord describes one Scan operation (Algorithm 3).
+type ScanRecord struct {
+	PID      int
+	StartSeq int // first H.scan of the operation
+	LinSeq   int // last H.scan: the Scan's linearization point
+	View     []Value
+	HOps     int // number of H operations the Scan performed
+}
+
+// Log records the H-level history and the augmented snapshot operations for
+// offline linearization and specification checking. It implements
+// shmem.Recorder for H.
+type Log struct {
+	Events []HEvent
+	BUs    []*BURecord
+	Scans  []*ScanRecord
+
+	prevTriples map[int]int
+}
+
+var _ shmem.Recorder = (*Log)(nil)
+
+// RecordUpdate implements shmem.Recorder.
+func (l *Log) RecordUpdate(pid, comp int, v shmem.Value) {
+	hc := v.(HComp)
+	if l.prevTriples == nil {
+		l.prevTriples = make(map[int]int)
+	}
+	prev := l.prevTriples[pid]
+	var appended []Triple
+	if len(hc.Triples) > prev {
+		appended = hc.Triples[prev:]
+	}
+	l.prevTriples[pid] = len(hc.Triples)
+	l.Events = append(l.Events, HEvent{Seq: len(l.Events), PID: pid, Appended: appended})
+}
+
+// RecordScan implements shmem.Recorder.
+func (l *Log) RecordScan(pid int, _ []shmem.Value) {
+	l.Events = append(l.Events, HEvent{Seq: len(l.Events), PID: pid, IsScan: true})
+}
+
+// lastSeq returns the sequence number of the most recent H event.
+func (l *Log) lastSeq() int { return len(l.Events) - 1 }
+
+func (l *Log) recordScanOp(pid int, view []Value, startSeq, hops int) {
+	l.Scans = append(l.Scans, &ScanRecord{
+		PID:      pid,
+		StartSeq: startSeq,
+		LinSeq:   l.lastSeq(),
+		View:     view,
+		HOps:     hops,
+	})
+}
+
+func (l *Log) openBU(pid, index int, comps []int, vals []Value, ts Timestamp) *BURecord {
+	rec := &BURecord{
+		PID:     pid,
+		Index:   index,
+		Comps:   append([]int(nil), comps...),
+		Vals:    append([]Value(nil), vals...),
+		TS:      append(Timestamp(nil), ts...),
+		ReadSeq: -1,
+	}
+	l.BUs = append(l.BUs, rec)
+	return rec
+}
+
+func (l *Log) closeBUYield(rec *BURecord) {
+	rec.Yielded = true
+}
+
+func (l *Log) closeBUAtomic(rec *BURecord, last HView, view []Value) {
+	rec.Last = last
+	rec.View = append([]Value(nil), view...)
+}

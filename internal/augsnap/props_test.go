@@ -1,0 +1,148 @@
+package augsnap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"revisionist/internal/shmem"
+)
+
+// genView builds an HView from compact fuzz data: each byte becomes one
+// triple (component, value, timestamp) appended round-robin to the f
+// components of H.
+func genView(f, m int, data []byte) HView {
+	h := make(HView, f)
+	counts := make([]int, f)
+	for i, b := range data {
+		owner := i % f
+		counts[owner]++
+		ts := make(Timestamp, f)
+		for j := range ts {
+			ts[j] = counts[j]
+		}
+		ts[owner] = counts[owner]
+		h[owner].Triples = append(h[owner].Triples, Triple{
+			Comp: int(b) % m,
+			Val:  int(b),
+			TS:   ts,
+		})
+		h[owner].NumBU = counts[owner]
+	}
+	return h
+}
+
+func TestViewPicksMaxTimestampProperty(t *testing.T) {
+	const f, m = 3, 4
+	prop := func(data []byte) bool {
+		if len(data) > 24 {
+			data = data[:24]
+		}
+		h := genView(f, m, data)
+		got := h.view(m)
+		// Reference: brute force over all triples.
+		want := make([]Value, m)
+		best := make([]Timestamp, m)
+		for j := range h {
+			for _, tr := range h[j].Triples {
+				if best[tr.Comp] == nil || best[tr.Comp].Less(tr.TS) {
+					best[tr.Comp] = tr.TS
+					want[tr.Comp] = tr.Val
+				}
+			}
+		}
+		for c := 0; c < m; c++ {
+			if got[c] != want[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixIsPartialOrderProperty(t *testing.T) {
+	const f, m = 2, 3
+	prop := func(a, b, c []byte) bool {
+		clip := func(d []byte) []byte {
+			if len(d) > 12 {
+				return d[:12]
+			}
+			return d
+		}
+		// Build a chain h1 ⊑ h2 ⊑ h3 by extending the same data.
+		d1 := clip(a)
+		d2 := append(append([]byte(nil), d1...), clip(b)...)
+		d3 := append(append([]byte(nil), d2...), clip(c)...)
+		h1, h2, h3 := genView(f, m, d1), genView(f, m, d2), genView(f, m, d3)
+		// Reflexivity, chain transitivity, antisymmetry-with-eq.
+		if !h1.prefix(h1) || !h1.prefix(h2) || !h2.prefix(h3) || !h1.prefix(h3) {
+			return false
+		}
+		if h1.properPrefix(h1) {
+			return false
+		}
+		if len(d2) > len(d1) && !h1.properPrefix(h2) {
+			return false
+		}
+		if h2.prefix(h1) && !h1.eq(h2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTimestampDominatesContainedProperty(t *testing.T) {
+	// Corollary 8: a timestamp generated from h is lexicographically larger
+	// than every timestamp contained in h.
+	const f, m = 3, 3
+	a := New(shmem.Free{}, f, m)
+	prop := func(data []byte, pidRaw uint8) bool {
+		if len(data) > 18 {
+			data = data[:18]
+		}
+		h := genView(f, m, data)
+		pid := int(pidRaw) % f
+		ts := a.newTimestamp(pid, h)
+		for j := range h {
+			for _, tr := range h[j].Triples {
+				if !tr.TS.Less(ts) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAfterQuiescenceMatchesView(t *testing.T) {
+	// After any sequence of solo Block-Updates, Scan returns exactly
+	// Get-View of the final H contents.
+	a := New(shmem.Free{}, 2, 3)
+	prop := func(ops []byte) bool {
+		if len(ops) > 10 {
+			ops = ops[:10]
+		}
+		for i, b := range ops {
+			a.BlockUpdate(int(b)%2, []int{int(b) % 3}, []Value{i})
+		}
+		v1 := a.Scan(0)
+		v2 := a.Scan(1)
+		for j := range v1 {
+			if v1[j] != v2[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConsensusTight(t *testing.T) {
+	// Corollary 33, k = x = 1: exactly n registers.
+	for n := 2; n <= 64; n++ {
+		lb, err := SetAgreementLB(n, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := SetAgreementUB(n, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb != n || ub != n {
+			t.Fatalf("n=%d: lb=%d ub=%d, want both %d", n, lb, ub, n)
+		}
+		if ConsensusLB(n) != n {
+			t.Fatalf("ConsensusLB(%d) = %d", n, ConsensusLB(n))
+		}
+	}
+}
+
+func TestNMinusOneSetAgreementTight(t *testing.T) {
+	// Corollary 33, k = n-1, x = 1: exactly 2 registers.
+	for n := 3; n <= 64; n++ {
+		lb, err := SetAgreementLB(n, n-1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ub, err := SetAgreementUB(n, n-1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb != 2 || ub != 2 {
+			t.Fatalf("n=%d: lb=%d ub=%d, want both 2", n, lb, ub)
+		}
+	}
+}
+
+func TestLowerAtMostUpperEverywhere(t *testing.T) {
+	for n := 2; n <= 40; n++ {
+		for k := 1; k < n; k++ {
+			for x := 1; x <= k; x++ {
+				lb, err := SetAgreementLB(n, k, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ub, err := SetAgreementUB(n, k, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lb > ub {
+					t.Fatalf("n=%d k=%d x=%d: lb %d > ub %d", n, k, x, lb, ub)
+				}
+				if lb < 2 {
+					t.Fatalf("n=%d k=%d x=%d: lb %d < 2 (paper improves on the DFKR bound of 2)", n, k, x, lb)
+				}
+			}
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	bad := [][3]int{{3, 3, 1}, {3, 0, 1}, {3, 2, 0}, {3, 2, 3}, {2, 2, 2}}
+	for _, c := range bad {
+		if _, err := SetAgreementLB(c[0], c[1], c[2]); err == nil {
+			t.Errorf("SetAgreementLB(%v) accepted", c)
+		}
+		if _, err := SetAgreementUB(c[0], c[1], c[2]); err == nil {
+			t.Errorf("SetAgreementUB(%v) accepted", c)
+		}
+	}
+}
+
+func TestLBMatchesTheorem21(t *testing.T) {
+	// Corollary 33 is Theorem 21's second case with f = k+1, x = x.
+	for n := 4; n <= 30; n++ {
+		for k := 1; k < n; k++ {
+			for x := 1; x <= k; x++ {
+				lb, err := SetAgreementLB(n, k, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				th, err := Theorem21XOF(n, k+1, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lb != th {
+					t.Fatalf("n=%d k=%d x=%d: Cor33 %d != Thm21 %d", n, k, x, lb, th)
+				}
+			}
+		}
+	}
+}
+
+func TestMonotonicityProperties(t *testing.T) {
+	prop := func(n8, k8, x8 uint8) bool {
+		n := int(n8%30) + 3
+		k := int(k8)%(n-1) + 1
+		x := int(x8)%k + 1
+		lb, err := SetAgreementLB(n, k, x)
+		if err != nil {
+			return false
+		}
+		// Larger n cannot lower the bound.
+		lb2, err := SetAgreementLB(n+1, k, x)
+		if err != nil {
+			return false
+		}
+		if lb2 < lb {
+			return false
+		}
+		// Larger k cannot raise the bound (easier task).
+		if k+1 < n {
+			lb3, err := SetAgreementLB(n, k+1, min(x, k+1))
+			if err != nil {
+				return false
+			}
+			if lb3 > lb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxAgreementBounds(t *testing.T) {
+	// For every float64-representable eps the step term dominates: even at
+	// eps = 1e-300, √(log₂ log₃ 10³⁰⁰) − 2 ≈ 1.05.
+	lb, err := ApproxAgreementSpaceLB(10, 1e-300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 1 {
+		t.Fatalf("lb = %d, want 1 (step term dominates at representable eps)", lb)
+	}
+	// The covering term ⌊n/2⌋+1 takes over only for symbolic eps: with
+	// log₃(1/eps) = 2^80, the step term is √80 − 2 ≈ 6.9 > ⌊10/2⌋+1 = 6.
+	lb, err = ApproxAgreementSpaceLBFromLog3(10, math.Pow(2, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 6 {
+		t.Fatalf("lb = %d, want 6 (⌊10/2⌋+1)", lb)
+	}
+	// For moderate eps the step term is tiny, and clamps to >= 1.
+	lb, err = ApproxAgreementSpaceLB(10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb < 1 || lb > 6 {
+		t.Fatalf("lb = %d out of range", lb)
+	}
+	if _, err := ApproxAgreementSpaceLB(4, 2); err == nil {
+		t.Fatal("eps = 2 accepted")
+	}
+	if _, err := ApproxAgreementSpaceLBFromLog3(1, 10); err == nil {
+		t.Fatal("n = 1 accepted")
+	}
+}
+
+func TestApproxAgreementStepLB(t *testing.T) {
+	// ½·log₃(1/eps): spot values.
+	if got := ApproxAgreementStepLB(1.0 / 9); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("L(1/9) = %g, want 1", got)
+	}
+	if got := ApproxAgreementStepLB(1.0 / 81); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("L(1/81) = %g, want 2", got)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 2, 10}, {5, 0, 1}, {5, 5, 1}, {6, 3, 20}, {4, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != float64(c.want) {
+			t.Errorf("C(%d,%d) = %g, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestRecurrenceA(t *testing.T) {
+	// a(1) = 0; a(2) = (C(m,1)+1)*0 + C(m,1) = m.
+	for m := 1; m <= 6; m++ {
+		if A(m, 1) != 0 {
+			t.Fatalf("a(1) = %g", A(m, 1))
+		}
+		if A(m, 2) != float64(m) {
+			t.Fatalf("m=%d: a(2) = %g, want %d", m, A(m, 2), m)
+		}
+	}
+	// a(r) <= 2^(m(r-1)) (§4.5).
+	for m := 2; m <= 5; m++ {
+		for r := 1; r <= m; r++ {
+			if A(m, r) > ACap(m, r) {
+				t.Fatalf("m=%d r=%d: a=%g exceeds cap %g", m, r, A(m, r), ACap(m, r))
+			}
+		}
+	}
+}
+
+func TestRecurrenceB(t *testing.T) {
+	for m := 2; m <= 4; m++ {
+		for i := 1; i <= 4; i++ {
+			b := B(m, i)
+			closed := BClosed(m, i)
+			if math.Abs(b-closed) > 1e-6*math.Max(1, closed) {
+				t.Fatalf("m=%d i=%d: b=%g, closed form %g", m, i, b, closed)
+			}
+			if b > BCap(m, i) {
+				t.Fatalf("m=%d i=%d: b=%g exceeds cap %g", m, i, b, BCap(m, i))
+			}
+		}
+	}
+	// b is nondecreasing in i.
+	for i := 1; i < 5; i++ {
+		if B(3, i+1) < B(3, i) {
+			t.Fatalf("b not monotone at i=%d", i)
+		}
+	}
+}
+
+func TestSimulationCaps(t *testing.T) {
+	if got := SimulationOpsCap(2, 1); got != 2*A(2, 2)+1 {
+		t.Fatalf("ops cap = %g", got)
+	}
+	// (2f+7)b(f)+3 <= 2^(f m^2) for f, m >= 2.
+	for f := 2; f <= 4; f++ {
+		for m := 2; m <= 3; m++ {
+			if SimulationStepCap(f, m) > math.Pow(2, float64(f*m*m)) {
+				t.Fatalf("f=%d m=%d: step cap exceeds 2^(fm²)", f, m)
+			}
+		}
+	}
+}
+
+func TestLemma2Constants(t *testing.T) {
+	if BlockUpdateSteps() != 6 {
+		t.Fatal("Block-Update steps != 6")
+	}
+	if ScanSteps(0) != 3 || ScanSteps(5) != 13 {
+		t.Fatal("Scan step bound wrong")
+	}
+}
+
+func TestAA2Rounds(t *testing.T) {
+	if AA2Rounds(0.5) != 1 || AA2Rounds(0.25) != 2 || AA2Rounds(0.1) != 4 {
+		t.Fatalf("rounds: %d %d %d", AA2Rounds(0.5), AA2Rounds(0.25), AA2Rounds(0.1))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/nst"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+	"revisionist/internal/spec"
+	"revisionist/internal/trace"
+)
+
+// TestSimulateDeterminizedProtocol composes the paper end to end: a
+// nondeterministic solo-terminating protocol (§5.1) is determinized into an
+// obstruction-free protocol Π′ (Theorem 35), and Π′ is then wait-free
+// simulated by covering simulators through the augmented snapshot
+// (Theorem 21). Outputs must satisfy the trivial colorless task, the §3 spec
+// must hold, and the Lemma 26 reconstruction must replay.
+func TestSimulateDeterminizedProtocol(t *testing.T) {
+	cfg := Config{N: 4, M: 1, F: 4, D: 0}
+	inputs := []proto.Value{"a", "b", "c", "d"}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs := make([]proto.Process, len(in))
+		for i := range procs {
+			procs[i] = nst.NewProcess(nst.NewConverter(nst.AdoptOrKeep{Comp: 0}, 1), in[i])
+		}
+		return procs, nil
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		res, err := Run(cfg, inputs, mk, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, d := range res.Done {
+			if !d {
+				t.Fatalf("seed %d: simulator %d not done", seed, i)
+			}
+		}
+		if verr := (spec.Trivial{}).Validate(inputs, res.Outputs); verr != nil {
+			t.Fatalf("seed %d: %v", seed, verr)
+		}
+		if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+			t.Fatalf("seed %d: %v", seed, cerr)
+		}
+		if verr := ValidateExecution(cfg, inputs, mk, res); verr != nil {
+			t.Fatalf("seed %d: reconstruction: %v", seed, verr)
+		}
+	}
+}
+
+// TestSimulateDeterminizedMultiCoin is the same composition with the
+// multi-component machine, exercising Construct(2) over Π′.
+func TestSimulateDeterminizedMultiCoin(t *testing.T) {
+	cfg := Config{N: 4, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{1, 2}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs := make([]proto.Process, len(in))
+		for i := range procs {
+			procs[i] = nst.NewProcess(nst.NewConverter(nst.MultiCoin{M: 2}, 2), in[i])
+		}
+		return procs, nil
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		res, err := Run(cfg, inputs, mk, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Done[0] || !res.Done[1] {
+			t.Fatalf("seed %d: not all done", seed)
+		}
+		if verr := (spec.Trivial{}).Validate(inputs, res.Outputs); verr != nil {
+			t.Fatalf("seed %d: %v", seed, verr)
+		}
+		if verr := ValidateExecution(cfg, inputs, mk, res); verr != nil {
+			t.Fatalf("seed %d: reconstruction: %v", seed, verr)
+		}
+	}
+}
+
+// TestSimulateAAN runs the n-process approximate agreement protocol through
+// the simulation: with f covering simulators and (f)·m <= n... AAN uses
+// m = n components, so only the degenerate f = 1 configuration is allowed —
+// which is exactly what Corollary 34's bound m >= ⌊n/2⌋+1 predicts: a
+// protocol at the upper bound cannot be covering-simulated by f >= 2.
+func TestSimulateAAN(t *testing.T) {
+	mkAAN := func(n int, eps float64) func(in []proto.Value) ([]proto.Process, error) {
+		return func(in []proto.Value) ([]proto.Process, error) {
+			fs := make([]float64, len(in))
+			for i, v := range in {
+				fs[i] = v.(float64)
+			}
+			procs, _, err := algorithms.NewApproxAgreementN(fs, eps)
+			return procs, err
+		}
+	}
+	// f = 2 over m = n is rejected by the configuration check.
+	bad := Config{N: 4, M: 4, F: 2, D: 0}
+	if _, err := Run(bad, []proto.Value{0.0, 1.0}, mkAAN(4, 0.25), sched.Lowest{}); err == nil {
+		t.Fatal("(f-d)m+d > n accepted")
+	}
+	// f = 1 works and the lone simulator outputs its own input.
+	cfg := Config{N: 4, M: 4, F: 1, D: 0}
+	res, err := Run(cfg, []proto.Value{0.5}, mkAAN(4, 0.25), sched.RoundRobin{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done[0] || res.Outputs[0] != 0.5 {
+		t.Fatalf("res = %+v", res.Outputs)
+	}
+}

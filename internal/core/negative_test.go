@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+)
+
+// spinner is a protocol process that never outputs: it violates
+// obstruction-freedom, which the simulation must detect rather than hang.
+type spinner struct {
+	comp   int
+	i      int
+	poised proto.Op
+}
+
+func newSpinner(comp int) *spinner {
+	return &spinner{comp: comp, poised: proto.Op{Kind: proto.OpScan}}
+}
+
+func (s *spinner) NextOp() proto.Op { return s.poised }
+
+func (s *spinner) ApplyScan([]proto.Value) {
+	s.i++
+	s.poised = proto.Op{Kind: proto.OpUpdate, Comp: s.comp, Val: s.i}
+}
+
+func (s *spinner) ApplyUpdate() {
+	s.poised = proto.Op{Kind: proto.OpScan}
+}
+
+func (s *spinner) Clone() proto.Process {
+	c := *s
+	return &c
+}
+
+func TestSimulationDetectsNonObstructionFreeProtocol(t *testing.T) {
+	// A covering simulator revising or solo-running a spinner must hit the
+	// local-ops budget and surface ErrNotObstructionFree (wrapped through the
+	// scheduler as a panic -> run error), never loop forever.
+	cfg := Config{N: 2, M: 1, F: 2, D: 0, MaxLocalOps: 200, MaxBlockUpdates: 64, MaxSteps: 1 << 16}
+	inputs := []proto.Value{1, 2}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs := make([]proto.Process, len(in))
+		for i := range procs {
+			procs[i] = newSpinner(0)
+		}
+		return procs, nil
+	}
+	_, err := Run(cfg, inputs, mk, sched.NewRandom(1))
+	if err == nil {
+		t.Fatal("non-obstruction-free protocol accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "obstruction-free") && !strings.Contains(msg, "budget") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSimulationBudgetOnSpinningDirectSimulator(t *testing.T) {
+	// A direct simulator driving a spinner runs forever by design (the
+	// protocol never outputs); the scheduler budget must stop the run.
+	cfg := Config{N: 2, M: 1, F: 2, D: 1, MaxSteps: 2000}
+	inputs := []proto.Value{1, 2}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		return []proto.Process{newSpinner(0), newSpinner(0)}, nil
+	}
+	_, err := Run(cfg, inputs, mk, sched.Highest{}) // drive the direct simulator
+	if err == nil {
+		t.Fatal("expected a budget error")
+	}
+}
+
+func TestSimulationRejectsWrongProtocolSize(t *testing.T) {
+	cfg := Config{N: 3, M: 1, F: 3, D: 0}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		return []proto.Process{newSpinner(0)}, nil // wrong: 1 != 3
+	}
+	if _, err := Run(cfg, []proto.Value{1, 2, 3}, mk, sched.Lowest{}); err == nil {
+		t.Fatal("wrong process count accepted")
+	}
+}

@@ -1,0 +1,425 @@
+// Package core implements the paper's revisionist simulation (§4): f real
+// processes (simulators) wait-free simulate an x-obstruction-free protocol Π
+// designed for n processes over an m-component multi-writer snapshot, using
+// an m-component augmented snapshot object implemented from a single-writer
+// snapshot.
+//
+// There are d direct simulators and f−d covering simulators; covering
+// simulators have smaller identifiers (so, by Theorem 20, contention from
+// direct simulators never forces a covering simulator's Block-Update to
+// yield spuriously — only lower-id covering simulators can). Each simulator
+// q_i simulates a private set P_i of simulated processes: |P_i| = 1 for a
+// direct simulator, which simulates its process step by step (Algorithm 5),
+// and |P_i| = m for a covering simulator, which recursively constructs block
+// updates to more and more components (Algorithm 6) and, when an atomic
+// Block-Update to the same component set exists, revises the past of its
+// next process by locally simulating it against the view that Block-Update
+// returned. A covering simulator that constructs a block update to all m
+// components locally simulates it followed by a terminating solo execution
+// of its first process and outputs that process's output (Algorithm 7).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"revisionist/internal/augsnap"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+	"revisionist/internal/shmem"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// N is the number of simulated processes Π was designed for.
+	N int
+	// M is the number of components of Π's multi-writer snapshot.
+	M int
+	// F is the number of simulators.
+	F int
+	// D is the number of direct simulators (the paper's d; set D = x when Π
+	// is x-obstruction-free, or 0 for the pure covering simulation of
+	// Theorem 21's first case). Covering simulators get identifiers
+	// 0..F-D-1, direct simulators F-D..F-1.
+	D int
+	// MaxLocalOps bounds each local (hidden) solo simulation; exceeding it
+	// means Π is not obstruction-free. Default 100000.
+	MaxLocalOps int
+	// MaxBlockUpdates bounds the Block-Updates applied by one covering
+	// simulator, guarding against non-x-obstruction-free Π. The theoretical
+	// bound is b(i) (Lemma 30), which is astronomically loose; the default
+	// is 1 << 20.
+	MaxBlockUpdates int
+	// MaxSteps is the scheduler step budget. Default 1 << 22.
+	MaxSteps int
+	// RegisterBuiltH implements the single-writer snapshot H from atomic
+	// registers (Afek et al.) instead of using the atomic snapshot: the full
+	// stack of the paper's model, at a higher step cost per operation.
+	RegisterBuiltH bool
+}
+
+func (c *Config) fill() error {
+	if c.MaxLocalOps <= 0 {
+		c.MaxLocalOps = 100_000
+	}
+	if c.MaxBlockUpdates <= 0 {
+		c.MaxBlockUpdates = 1 << 20
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 1 << 22
+	}
+	if c.N < 1 || c.M < 1 || c.F < 1 || c.D < 0 || c.D > c.F {
+		return fmt.Errorf("core: invalid config N=%d M=%d F=%d D=%d", c.N, c.M, c.F, c.D)
+	}
+	if need := (c.F-c.D)*c.M + c.D; need > c.N {
+		return fmt.Errorf("core: not enough simulated processes: (f-d)*m + d = %d > n = %d", need, c.N)
+	}
+	return nil
+}
+
+// NumCovering returns the number of covering simulators.
+func (c Config) NumCovering() int { return c.F - c.D }
+
+// Partition returns the simulated-process identifiers assigned to simulator
+// i: covering simulators get m consecutive identifiers, direct simulators
+// one each (Figure 1).
+func (c Config) Partition(i int) []int {
+	cov := c.NumCovering()
+	if i < cov {
+		ids := make([]int, c.M)
+		for g := range ids {
+			ids[g] = i*c.M + g
+		}
+		return ids
+	}
+	return []int{cov*c.M + (i - cov)}
+}
+
+// Result reports a simulation run.
+type Result struct {
+	// Outputs[i] is simulator i's output; Done[i] reports termination.
+	Outputs []proto.Value
+	Done    []bool
+	// OutputBy[i] is the simulated process (global id) whose output simulator
+	// i adopted, or -1.
+	OutputBy []int
+	// BlockUpdates, Scans and Operations count augmented snapshot operations
+	// applied by each simulator; Revisions counts revise-the-past events.
+	BlockUpdates []int
+	Scans        []int
+	Revisions    []int
+	// RevisionLog records every revise-the-past event, in the order the
+	// owning simulator performed them; Finals records the Algorithm 7 block
+	// of each covering simulator that terminated by constructing a full
+	// m-component block update. Both feed ValidateExecution.
+	RevisionLog []RevisionRecord
+	Finals      []FinalRecord
+	// Steps is the total number of base-object (H) steps of the real system.
+	Steps int
+	// StepsBy is the per-simulator base-object step count.
+	StepsBy []int
+	// Log is the augmented snapshot history (checkable with trace.Check).
+	Log *augsnap.Log
+}
+
+// Operations returns the number of augmented snapshot operations applied by
+// simulator i (Proposition 24: alternating Scan and Block-Update).
+func (r *Result) Operations(i int) int { return r.BlockUpdates[i] + r.Scans[i] }
+
+// RevisionRecord describes one revise-the-past event: simulator Sim revised
+// simulated process Proc (global id) by locally running it against the view
+// returned by its BUIndex'th Block-Update, hiding Steps (scans and updates to
+// the block's components, possibly ending with an output).
+type RevisionRecord struct {
+	Sim     int
+	Proc    int
+	BUIndex int // index among Sim's Block-Updates of the one whose view was used
+	Steps   []proto.Op
+}
+
+// FinalRecord is the full block update a covering simulator locally applies
+// before its first process's terminating solo execution (Algorithm 7).
+type FinalRecord struct {
+	Sim   int
+	Comps []int
+	Vals  []proto.Value
+}
+
+// ErrNotObstructionFree reports that a local solo simulation failed to
+// terminate within the configured budget.
+var ErrNotObstructionFree = errors.New("core: local solo simulation exceeded budget (protocol not obstruction-free?)")
+
+// ErrBudget reports that a covering simulator exceeded its Block-Update
+// budget (protocol not x-obstruction-free for the chosen d, or budget too
+// small).
+var ErrBudget = errors.New("core: Block-Update budget exceeded")
+
+// SimInputs expands the f simulator inputs to the n simulated-process
+// inputs: input j is the input of the simulator whose partition contains
+// simulated process j; unassigned processes (which take no steps) get
+// inputs[0].
+func SimInputs(cfg Config, inputs []proto.Value) []proto.Value {
+	simInputs := make([]proto.Value, cfg.N)
+	for j := range simInputs {
+		simInputs[j] = inputs[0]
+	}
+	for i := 0; i < cfg.F; i++ {
+		for _, id := range cfg.Partition(i) {
+			simInputs[id] = inputs[i]
+		}
+	}
+	return simInputs
+}
+
+// Run simulates the protocol built by mkProtocol among cfg.F simulators with
+// the given per-simulator inputs, scheduling the real system with strat.
+//
+// mkProtocol must return the n simulated processes of Π given the n inputs;
+// input j is the input of the simulator whose partition contains simulated
+// process j (unassigned processes get inputs[0], they take no steps).
+func Run(cfg Config, inputs []proto.Value, mkProtocol func(inputs []proto.Value) ([]proto.Process, error), strat sched.Strategy) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(inputs) != cfg.F {
+		return nil, fmt.Errorf("core: got %d inputs for f = %d simulators", len(inputs), cfg.F)
+	}
+
+	allProcs, err := mkProtocol(SimInputs(cfg, inputs))
+	if err != nil {
+		return nil, err
+	}
+	if len(allProcs) != cfg.N {
+		return nil, fmt.Errorf("core: protocol has %d processes, want n = %d", len(allProcs), cfg.N)
+	}
+
+	runner := sched.NewRunner(cfg.F, strat, sched.WithMaxSteps(cfg.MaxSteps))
+	var aug *augsnap.AugSnapshot
+	if cfg.RegisterBuiltH {
+		aug = augsnap.NewOver(shmem.NewRegSWSnapshot("H", runner, cfg.F, augsnap.HComp{}), cfg.F, cfg.M)
+	} else {
+		aug = augsnap.New(runner, cfg.F, cfg.M)
+	}
+
+	res := &Result{
+		Outputs:      make([]proto.Value, cfg.F),
+		Done:         make([]bool, cfg.F),
+		OutputBy:     make([]int, cfg.F),
+		BlockUpdates: make([]int, cfg.F),
+		Scans:        make([]int, cfg.F),
+		Revisions:    make([]int, cfg.F),
+		Log:          aug.Log(),
+	}
+	for i := range res.OutputBy {
+		res.OutputBy[i] = -1
+	}
+
+	sims := make([]simulator, cfg.F)
+	for i := 0; i < cfg.F; i++ {
+		ps := make([]proto.Process, 0, cfg.M)
+		for _, id := range cfg.Partition(i) {
+			ps = append(ps, allProcs[id])
+		}
+		ids := cfg.Partition(i)
+		if i < cfg.NumCovering() {
+			sims[i] = &coveringSimulator{cfg: cfg, aug: aug, me: i, ps: ps, ids: ids, res: res}
+		} else {
+			sims[i] = &directSimulator{aug: aug, me: i, p: ps[0], id: ids[0], res: res}
+		}
+	}
+
+	sres, rerr := runner.Run(func(pid int) {
+		sims[pid].simulate()
+	})
+	res.Steps = sres.Steps
+	res.StepsBy = sres.StepsBy
+	if rerr != nil {
+		return res, rerr
+	}
+	return res, nil
+}
+
+type simulator interface {
+	simulate()
+}
+
+// directSimulator implements Algorithm 5.
+type directSimulator struct {
+	aug *augsnap.AugSnapshot
+	me  int
+	p   proto.Process
+	id  int // global id of the simulated process
+	res *Result
+}
+
+func (d *directSimulator) simulate() {
+	for {
+		op := d.p.NextOp()
+		switch op.Kind {
+		case proto.OpOutput:
+			d.res.Outputs[d.me] = op.Val
+			d.res.OutputBy[d.me] = d.id
+			d.res.Done[d.me] = true
+			return
+		case proto.OpScan:
+			view := d.aug.Scan(d.me)
+			d.res.Scans[d.me]++
+			d.p.ApplyScan(view)
+		case proto.OpUpdate:
+			d.aug.BlockUpdate(d.me, []int{op.Comp}, []proto.Value{op.Val})
+			d.res.BlockUpdates[d.me]++
+			d.p.ApplyUpdate()
+		default:
+			panic(fmt.Sprintf("core: direct simulator saw invalid op kind %v", op.Kind))
+		}
+	}
+}
+
+// blockUpdate is a constructed block update: simulated processes p_{i,1..r}
+// poised to update comps[g] with vals[g].
+type blockUpdate struct {
+	comps []int
+	vals  []proto.Value
+}
+
+// coveringSimulator implements Algorithms 6 and 7.
+type coveringSimulator struct {
+	cfg Config
+	aug *augsnap.AugSnapshot
+	me  int
+	ps  []proto.Process // p_{i,1} .. p_{i,m}
+	ids []int           // global ids of ps
+	res *Result
+}
+
+// errTerminated unwinds construct once the simulator has output.
+var errTerminated = errors.New("core: simulator terminated")
+
+func (c *coveringSimulator) simulate() {
+	blk, err := c.construct(c.cfg.M)
+	if err != nil {
+		if errors.Is(err, errTerminated) {
+			return
+		}
+		panic(err)
+	}
+	// Algorithm 7: locally simulate the full block update (it overwrites all
+	// m components), then p_{i,1}'s terminating solo execution.
+	c.res.Finals = append(c.res.Finals, FinalRecord{
+		Sim:   c.me,
+		Comps: append([]int(nil), blk.comps...),
+		Vals:  append([]proto.Value(nil), blk.vals...),
+	})
+	mem := make([]proto.Value, c.cfg.M)
+	for g, comp := range blk.comps {
+		mem[comp] = blk.vals[g]
+	}
+	p1 := c.ps[0].Clone()
+	p1.ApplyUpdate() // past its pending update, the first of the block
+	stop, out, serr := proto.RunSolo(p1, mem, nil, c.cfg.MaxLocalOps)
+	if serr != nil {
+		panic(fmt.Errorf("%w: %v", ErrNotObstructionFree, serr))
+	}
+	if stop != proto.SoloOutput {
+		panic(fmt.Errorf("core: unconstrained solo run stopped without output"))
+	}
+	c.res.Outputs[c.me] = out
+	c.res.OutputBy[c.me] = c.ids[0]
+	c.res.Done[c.me] = true
+}
+
+// output records the simulator's output (produced by p_{i,g}, 1-based g) and
+// unwinds.
+func (c *coveringSimulator) output(v proto.Value, g int) error {
+	c.res.Outputs[c.me] = v
+	c.res.OutputBy[c.me] = c.ids[g-1]
+	c.res.Done[c.me] = true
+	return errTerminated
+}
+
+// construct implements Construct(r) (Algorithm 6). On success it returns a
+// block update to r distinct components by p_{i,1..r}; p_{i,g} is left poised
+// to perform its update. It returns errTerminated after recording an output.
+func (c *coveringSimulator) construct(r int) (blockUpdate, error) {
+	if r == 1 {
+		view := c.aug.Scan(c.me)
+		c.res.Scans[c.me]++
+		c.ps[0].ApplyScan(view)
+		op := c.ps[0].NextOp()
+		if op.Kind == proto.OpOutput {
+			return blockUpdate{}, c.output(op.Val, 1)
+		}
+		if op.Kind != proto.OpUpdate {
+			return blockUpdate{}, fmt.Errorf("core: p(%d,1) poised to %v after scan", c.me, op.Kind)
+		}
+		return blockUpdate{comps: []int{op.Comp}, vals: []proto.Value{op.Val}}, nil
+	}
+
+	type entry struct {
+		view    []proto.Value
+		buIndex int // index among this simulator's Block-Updates
+	}
+	attempts := make(map[string]entry)
+	for {
+		blk, err := c.construct(r - 1)
+		if err != nil {
+			return blockUpdate{}, err
+		}
+		key := compSetKey(blk.comps)
+		if ent, ok := attempts[key]; ok {
+			// Revise the past of p_{i,r} using the view of the earlier
+			// atomic Block-Update to the same component set: locally
+			// simulate it against that view, hiding its steps under the
+			// block update (only updates to the block's components and
+			// scans occur before it stops).
+			c.res.Revisions[c.me]++
+			mem := append([]proto.Value(nil), ent.view...)
+			allowed := make(map[int]bool, len(blk.comps))
+			for _, j := range blk.comps {
+				allowed[j] = true
+			}
+			p := c.ps[r-1]
+			stop, out, hidden, serr := proto.RunSoloTrace(p, mem, func(j int) bool { return allowed[j] }, c.cfg.MaxLocalOps)
+			if serr != nil {
+				return blockUpdate{}, fmt.Errorf("%w: %v", ErrNotObstructionFree, serr)
+			}
+			c.res.RevisionLog = append(c.res.RevisionLog, RevisionRecord{
+				Sim:     c.me,
+				Proc:    c.ids[r-1],
+				BUIndex: ent.buIndex,
+				Steps:   hidden,
+			})
+			if stop == proto.SoloOutput {
+				return blockUpdate{}, c.output(out, r)
+			}
+			op := p.NextOp()
+			return blockUpdate{
+				comps: append(blk.comps, op.Comp),
+				vals:  append(blk.vals, op.Val),
+			}, nil
+		}
+
+		// Simulate the constructed (r-1)-block with a Block-Update and
+		// advance the states of p_{i,1..r-1} past their updates.
+		if c.res.BlockUpdates[c.me] >= c.cfg.MaxBlockUpdates {
+			return blockUpdate{}, fmt.Errorf("%w: simulator %d", ErrBudget, c.me)
+		}
+		myIndex := c.res.BlockUpdates[c.me]
+		view, atomic := c.aug.BlockUpdate(c.me, blk.comps, blk.vals)
+		c.res.BlockUpdates[c.me]++
+		for g := 0; g < len(blk.comps); g++ {
+			c.ps[g].ApplyUpdate()
+		}
+		if atomic {
+			attempts[key] = entry{view: view, buIndex: myIndex}
+		}
+	}
+}
+
+// compSetKey canonically encodes a component set.
+func compSetKey(comps []int) string {
+	s := append([]int(nil), comps...)
+	sort.Ints(s)
+	return fmt.Sprint(s)
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+	"revisionist/internal/spec"
+	"revisionist/internal/trace"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{N: 4, M: 2, F: 2, D: 0}, true},
+		{Config{N: 4, M: 2, F: 3, D: 0}, false}, // 3*2 > 4
+		{Config{N: 4, M: 2, F: 3, D: 2}, true},  // 1*2+2 = 4
+		{Config{N: 4, M: 0, F: 1, D: 0}, false},
+		{Config{N: 4, M: 2, F: 2, D: 3}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.fill()
+		if (err == nil) != c.ok {
+			t.Errorf("cfg %+v: err = %v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestPartitionDisjointAndSized(t *testing.T) {
+	cfg := Config{N: 10, M: 3, F: 4, D: 2}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < cfg.F; i++ {
+		ids := cfg.Partition(i)
+		wantLen := cfg.M
+		if i >= cfg.NumCovering() {
+			wantLen = 1
+		}
+		if len(ids) != wantLen {
+			t.Fatalf("partition %d has %d ids, want %d", i, len(ids), wantLen)
+		}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("id %d in two partitions", id)
+			}
+			if id < 0 || id >= cfg.N {
+				t.Fatalf("id %d out of range", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// firstValueProtocol builds n FirstValue processes over one component.
+func firstValueProtocol(inputs []proto.Value) ([]proto.Process, error) {
+	procs := make([]proto.Process, len(inputs))
+	for i := range procs {
+		procs[i] = algorithms.NewFirstValue(0, inputs[i])
+	}
+	return procs, nil
+}
+
+func TestSimulationFirstValueAllCovering(t *testing.T) {
+	// m = 1: every simulator is covering, Construct(1) only.
+	for _, f := range []int{1, 2, 4, 8} {
+		cfg := Config{N: f, M: 1, F: f, D: 0}
+		inputs := make([]proto.Value, f)
+		for i := range inputs {
+			inputs[i] = 100 + i
+		}
+		for seed := int64(0); seed < 10; seed++ {
+			res, err := Run(cfg, inputs, firstValueProtocol, sched.NewRandom(seed))
+			if err != nil {
+				t.Fatalf("f=%d seed=%d: %v", f, seed, err)
+			}
+			for i := 0; i < f; i++ {
+				if !res.Done[i] {
+					t.Fatalf("simulator %d did not terminate (simulation must be wait-free)", i)
+				}
+			}
+			if verr := (spec.Trivial{}).Validate(inputs, res.Outputs); verr != nil {
+				t.Fatalf("f=%d seed=%d: %v", f, seed, verr)
+			}
+			if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+				t.Fatalf("f=%d seed=%d: augmented snapshot spec: %v", f, seed, cerr)
+			}
+		}
+	}
+}
+
+func TestSimulationKSetTwoComponents(t *testing.T) {
+	// Π = (n-1)-set agreement for n = 4 with m = 2 components (2 singletons
+	// + a Paxos pair). f = 2 covering simulators; the simulation must be
+	// wait-free and produce at most n-1 = 3 distinct valid outputs.
+	const n, k = 4, 3
+	cfg := Config{N: n, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{10, 20}
+	mk := func(simInputs []proto.Value) ([]proto.Process, error) {
+		procs, m, err := algorithms.NewKSetAgreement(n, k, simInputs)
+		if err != nil {
+			return nil, err
+		}
+		if m != cfg.M {
+			return nil, fmt.Errorf("protocol m=%d, cfg m=%d", m, cfg.M)
+		}
+		return procs, nil
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		res, err := Run(cfg, inputs, mk, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, d := range res.Done {
+			if !d {
+				t.Fatalf("seed %d: simulator %d did not terminate", seed, i)
+			}
+		}
+		if verr := (spec.KSetAgreement{K: k}).Validate(inputs, res.Outputs); verr != nil {
+			t.Fatalf("seed %d: %v", seed, verr)
+		}
+		if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+			t.Fatalf("seed %d: %v", seed, cerr)
+		}
+	}
+}
+
+// sharedPaxosProtocol builds, for n = 4: a two-member Paxos consensus group
+// over components {0, 1} with members 0 and 2 (which land in different
+// covering simulators' partitions when m = 2 and f = 2), plus singletons 1
+// and 3. The two simulators' first processes race on the *same* consensus
+// instance. A simulator may adopt an output either from its Paxos member or
+// from its singleton (Algorithm 6 outputs whichever of its processes
+// terminates first); whenever both adopted outputs come from the Paxos
+// members, they are decisions of one consensus instance within a single
+// simulated execution of Π (Lemma 27) and must agree — a sharp end-to-end
+// test of the revisionist machinery including revise-the-past.
+func sharedPaxosProtocol(inputs []proto.Value) ([]proto.Process, error) {
+	if len(inputs) != 4 {
+		return nil, fmt.Errorf("want 4 inputs, got %d", len(inputs))
+	}
+	group := []int{0, 1}
+	return []proto.Process{
+		algorithms.NewPaxos(0, group, inputs[0]),
+		algorithms.NewSingleton(inputs[1]),
+		algorithms.NewPaxos(1, group, inputs[2]),
+		algorithms.NewSingleton(inputs[3]),
+	}, nil
+}
+
+func TestSimulationSharedPaxosAgreement(t *testing.T) {
+	cfg := Config{N: 4, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{111, 222}
+	revised, bothPaxos := 0, 0
+	for seed := int64(0); seed < 400; seed++ {
+		res, err := Run(cfg, inputs, sharedPaxosProtocol, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Done[0] || !res.Done[1] {
+			t.Fatalf("seed %d: simulators not done: %v", seed, res.Done)
+		}
+		for i := 0; i < 2; i++ {
+			switch res.OutputBy[i] {
+			case 1, 3: // singletons output their own input = simulator input
+				if res.Outputs[i] != inputs[i] {
+					t.Fatalf("seed %d: singleton output %v, want %v", seed, res.Outputs[i], inputs[i])
+				}
+			case 0, 2: // Paxos members decide a group input
+				if res.Outputs[i] != inputs[0] && res.Outputs[i] != inputs[1] {
+					t.Fatalf("seed %d: paxos output %v is not a group input", seed, res.Outputs[i])
+				}
+			default:
+				t.Fatalf("seed %d: unexpected OutputBy %v", seed, res.OutputBy)
+			}
+		}
+		if (res.OutputBy[0] == 0 || res.OutputBy[0] == 2) && (res.OutputBy[1] == 0 || res.OutputBy[1] == 2) {
+			bothPaxos++
+			if res.Outputs[0] != res.Outputs[1] {
+				t.Fatalf("seed %d: simulated Paxos agreement violated: %v vs %v (the revisionist simulation produced an impossible execution of Π)",
+					seed, res.Outputs[0], res.Outputs[1])
+			}
+		}
+		if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+			t.Fatalf("seed %d: %v", seed, cerr)
+		}
+		revised += res.Revisions[0] + res.Revisions[1]
+	}
+	if revised == 0 {
+		t.Fatal("no revise-the-past events across seeds; the test is not exercising the mechanism")
+	}
+	t.Logf("total revisions: %d; runs with both outputs from Paxos members: %d", revised, bothPaxos)
+}
+
+func TestSimulationConstructDepth3(t *testing.T) {
+	// Π = (n-2)-set agreement for n = 9 with m = 3 (6 singletons + a Paxos
+	// trio over components 0..2); f = 3 covering simulators, the third of
+	// which owns the whole trio and exercises Construct(3) with nested
+	// revisions.
+	const n, k = 9, 7
+	cfg := Config{N: n, M: 3, F: 3, D: 0}
+	inputs := []proto.Value{1, 2, 3}
+	mk := func(simInputs []proto.Value) ([]proto.Process, error) {
+		procs, _, err := algorithms.NewKSetAgreement(n, k, simInputs)
+		return procs, err
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		res, err := Run(cfg, inputs, mk, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, d := range res.Done {
+			if !d {
+				t.Fatalf("seed %d: simulator %d not done", seed, i)
+			}
+		}
+		if verr := (spec.KSetAgreement{K: k}).Validate(inputs, res.Outputs); verr != nil {
+			t.Fatalf("seed %d: %v", seed, verr)
+		}
+		if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+			t.Fatalf("seed %d: %v", seed, cerr)
+		}
+	}
+}
+
+// twoGroupsProtocol builds, for n = 8 and m = 4: Paxos pair A over components
+// {0,1} with members {0, 4}, Paxos pair B over components {2,3} with members
+// {1, 5}, singletons elsewhere. With f = 2 covering simulators both
+// simulators continually Block-Update, so the higher-id simulator's
+// Block-Updates yield under lower-id contention, exercising the non-atomic
+// paths and repeated reconstruction.
+func twoGroupsProtocol(inputs []proto.Value) ([]proto.Process, error) {
+	if len(inputs) != 8 {
+		return nil, fmt.Errorf("want 8 inputs, got %d", len(inputs))
+	}
+	ga, gb := []int{0, 1}, []int{2, 3}
+	procs := make([]proto.Process, 8)
+	procs[0] = algorithms.NewPaxos(0, ga, inputs[0])
+	procs[4] = algorithms.NewPaxos(1, ga, inputs[4])
+	procs[1] = algorithms.NewPaxos(0, gb, inputs[1])
+	procs[5] = algorithms.NewPaxos(1, gb, inputs[5])
+	for _, i := range []int{2, 3, 6, 7} {
+		procs[i] = algorithms.NewSingleton(inputs[i])
+	}
+	return procs, nil
+}
+
+func TestSimulationTwoGroupsWithYields(t *testing.T) {
+	cfg := Config{N: 8, M: 4, F: 2, D: 0}
+	inputs := []proto.Value{5, 6}
+	yields := 0
+	for seed := int64(0); seed < 60; seed++ {
+		res, err := Run(cfg, inputs, twoGroupsProtocol, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Done[0] || !res.Done[1] {
+			t.Fatalf("seed %d: not all done", seed)
+		}
+		// Simulator outputs are Paxos decisions of groups whose members share
+		// one simulator each... both groups' members span both simulators:
+		// group A members have inputs (in[0], in[1]); validity only.
+		for i, out := range res.Outputs {
+			if out != inputs[0] && out != inputs[1] {
+				t.Fatalf("seed %d: simulator %d output %v not an input", seed, i, out)
+			}
+		}
+		if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+			t.Fatalf("seed %d: %v", seed, cerr)
+		}
+		for _, bu := range res.Log.BUs {
+			if bu.Yielded {
+				yields++
+			}
+		}
+	}
+	t.Logf("yields observed: %d", yields)
+}
+
+func TestSimulationWithDirectSimulators(t *testing.T) {
+	// Π = 3-set agreement among n = 4 with m = 2; f = 3 with d = 2 direct
+	// simulators driving the Paxos pair step by step, plus one covering
+	// simulator owning the two singletons.
+	const n, k = 4, 3
+	cfg := Config{N: n, M: 2, F: 3, D: 2}
+	inputs := []proto.Value{7, 8, 9}
+	mk := func(simInputs []proto.Value) ([]proto.Process, error) {
+		procs, _, err := algorithms.NewKSetAgreement(n, k, simInputs)
+		return procs, err
+	}
+	done := 0
+	for seed := int64(0); seed < 40; seed++ {
+		res, err := Run(cfg, inputs, mk, sched.NewRandom(seed))
+		if err != nil && !errors.Is(err, sched.ErrMaxSteps) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var outs []proto.Value
+		for i, d := range res.Done {
+			if d {
+				outs = append(outs, res.Outputs[i])
+			}
+		}
+		if verr := (spec.KSetAgreement{K: k}).Validate(inputs, outs); verr != nil {
+			t.Fatalf("seed %d: %v", seed, verr)
+		}
+		if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+			t.Fatalf("seed %d: %v", seed, cerr)
+		}
+		all := true
+		for _, d := range res.Done {
+			all = all && d
+		}
+		if all {
+			done++
+		}
+	}
+	if done == 0 {
+		t.Fatal("no run terminated fully under random schedules")
+	}
+}
+
+func TestSimulationOperationAlternation(t *testing.T) {
+	// Proposition 24: each simulator applies at most 2b+1 operations where b
+	// is its number of Block-Updates (alternating Scan / Block-Update,
+	// starting and ending with a Scan).
+	cfg := Config{N: 4, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{1, 2}
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := Run(cfg, inputs, sharedPaxosProtocol, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < cfg.F; i++ {
+			if res.Scans[i] > res.BlockUpdates[i]+1 {
+				t.Fatalf("seed %d: simulator %d has %d scans for %d block-updates (want alternation)",
+					seed, i, res.Scans[i], res.BlockUpdates[i])
+			}
+		}
+	}
+}
+
+func TestSimulationReductionFalsification(t *testing.T) {
+	// The contrapositive that drives Corollary 33: a "consensus" protocol
+	// with m = 1 < n registers fed to the simulation yields a wait-free
+	// f-process protocol. Wait-free consensus among f >= 2 processes is
+	// impossible, so the derived protocol must exhibit disagreement on some
+	// schedule — and it does.
+	cfg := Config{N: 2, M: 1, F: 2, D: 0}
+	inputs := []proto.Value{0, 1}
+	violated := false
+	for seed := int64(0); seed < 100 && !violated; seed++ {
+		res, err := Run(cfg, inputs, firstValueProtocol, sched.NewRandom(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Done[0] || !res.Done[1] {
+			t.Fatalf("seed %d: derived protocol must be wait-free", seed)
+		}
+		if res.Outputs[0] != res.Outputs[1] {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("no disagreement found: the reduction should expose the 1-register consensus violation")
+	}
+}
+
+func TestSimulationInputMismatchRejected(t *testing.T) {
+	cfg := Config{N: 2, M: 1, F: 2, D: 0}
+	if _, err := Run(cfg, []proto.Value{1}, firstValueProtocol, sched.Lowest{}); err == nil {
+		t.Fatal("wrong input count accepted")
+	}
+}

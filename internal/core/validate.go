@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"revisionist/internal/augsnap"
+	"revisionist/internal/proto"
+	"revisionist/internal/trace"
+)
+
+// ValidateExecution mechanically verifies the paper's central invariant
+// (Lemmas 26–27): for the real execution recorded in res there exists a
+// corresponding execution of Π in the simulated system.
+//
+// It reconstructs that execution explicitly — the linearized M-level
+// operations of the real run, with each covering simulator's hidden
+// (locally simulated, revise-the-past) steps inserted immediately after a
+// point T where the contents of M equal the view their Block-Update
+// returned, with no Scan between T and the block — appends each Algorithm 7
+// final block and terminating solo execution (Lemma 27), and then *replays
+// the whole thing* against a fresh instance of Π: every step must be exactly
+// the operation the corresponding simulated process is poised to perform,
+// every scan must return the recorded view, and every simulator's output
+// must be reproduced. Any divergence between the revisionist construction
+// and a legal execution of Π is reported as an error.
+func ValidateExecution(cfg Config, inputs []proto.Value,
+	mkProtocol func(inputs []proto.Value) ([]proto.Process, error), res *Result) error {
+
+	if err := cfg.fill(); err != nil {
+		return err
+	}
+	ops, err := trace.Linearize(res.Log, cfg.M)
+	if err != nil {
+		return err
+	}
+	states := trace.Replay(ops, cfg.M)
+
+	// Fresh instance of Π.
+	procs, err := mkProtocol(SimInputs(cfg, inputs))
+	if err != nil {
+		return err
+	}
+	if len(procs) != cfg.N {
+		return fmt.Errorf("core: protocol has %d processes, want %d", len(procs), cfg.N)
+	}
+
+	// Owner of each simulated step: the simulated process's global id.
+	gidOfScan := func(sr *augsnap.ScanRecord) int {
+		return cfg.Partition(sr.PID)[0] // p_{i,1} for covering, the process for direct
+	}
+	gidOfUpdate := func(op trace.MOp) (int, error) {
+		bu := op.BU
+		for g, c := range bu.Comps {
+			if c == op.Comp {
+				ids := cfg.Partition(bu.PID)
+				if g >= len(ids) {
+					return 0, fmt.Errorf("core: block position %d exceeds partition of simulator %d", g, bu.PID)
+				}
+				return ids[g], nil
+			}
+		}
+		return 0, fmt.Errorf("core: component %d not in Block-Update %v", op.Comp, bu.Comps)
+	}
+
+	// Place every revision's hidden steps: find its Block-Update's first
+	// linearized index and the insertion point T (Lemma 19 / Lemma 26).
+	firstIdx := make(map[*augsnap.BURecord]int)
+	for k, op := range ops {
+		if !op.IsScan {
+			if _, ok := firstIdx[op.BU]; !ok {
+				firstIdx[op.BU] = k
+			}
+		}
+	}
+	buByKey := make(map[[2]int]*augsnap.BURecord)
+	for _, bu := range res.Log.BUs {
+		buByKey[[2]int{bu.PID, bu.Index}] = bu
+	}
+	// insertions[k] = hidden step sequences to run after the first k ops.
+	insertions := make(map[int][][]proto.Op)
+	insertGid := make(map[int][]int)
+	for _, rev := range res.RevisionLog {
+		bu := buByKey[[2]int{rev.Sim, rev.BUIndex}]
+		if bu == nil {
+			return fmt.Errorf("core: revision references unknown Block-Update (%d, %d)", rev.Sim, rev.BUIndex)
+		}
+		if bu.Yielded {
+			return fmt.Errorf("core: revision used a yielded Block-Update (%d, %d)", rev.Sim, rev.BUIndex)
+		}
+		first, ok := firstIdx[bu]
+		if !ok {
+			return fmt.Errorf("core: Block-Update (%d, %d) not linearized", rev.Sim, rev.BUIndex)
+		}
+		T, err := insertionPoint(ops, states, bu, first)
+		if err != nil {
+			return err
+		}
+		insertions[T] = append(insertions[T], rev.Steps)
+		insertGid[T] = append(insertGid[T], rev.Proc)
+	}
+
+	// Replay.
+	mem := make([]proto.Value, cfg.M)
+	outputs := make(map[int]proto.Value) // gid -> output observed during replay
+	runHidden := func(k int) error {
+		for hi, steps := range insertions[k] {
+			gid := insertGid[k][hi]
+			p := procs[gid]
+			for _, hop := range steps {
+				switch hop.Kind {
+				case proto.OpScan:
+					want := p.NextOp()
+					if want.Kind != proto.OpScan {
+						return fmt.Errorf("core: hidden step of p%d is scan but process poised to %v", gid, want.Kind)
+					}
+					view := append([]proto.Value(nil), mem...)
+					p.ApplyScan(view)
+				case proto.OpUpdate:
+					want := p.NextOp()
+					if want.Kind != proto.OpUpdate || want.Comp != hop.Comp || !reflect.DeepEqual(want.Val, hop.Val) {
+						return fmt.Errorf("core: hidden step of p%d is update(%d,%v) but process poised to %+v",
+							gid, hop.Comp, hop.Val, want)
+					}
+					mem[hop.Comp] = hop.Val
+					p.ApplyUpdate()
+				case proto.OpOutput:
+					want := p.NextOp()
+					if want.Kind != proto.OpOutput || !reflect.DeepEqual(want.Val, hop.Val) {
+						return fmt.Errorf("core: hidden output of p%d is %v but process poised to %+v", gid, hop.Val, want)
+					}
+					outputs[gid] = hop.Val
+				default:
+					return fmt.Errorf("core: invalid hidden op kind %v", hop.Kind)
+				}
+			}
+		}
+		return nil
+	}
+	for k := 0; k <= len(ops); k++ {
+		if err := runHidden(k); err != nil {
+			return err
+		}
+		if k == len(ops) {
+			break
+		}
+		op := ops[k]
+		if op.IsScan {
+			gid := gidOfScan(op.SR)
+			p := procs[gid]
+			want := p.NextOp()
+			if want.Kind == proto.OpOutput {
+				// A process that already output takes no more steps; a scan
+				// by its simulator here would be a construction bug.
+				return fmt.Errorf("core: scan simulated for p%d after it output", gid)
+			}
+			if want.Kind != proto.OpScan {
+				return fmt.Errorf("core: op %d: p%d poised to %v, execution has scan", k, gid, want.Kind)
+			}
+			if !reflect.DeepEqual(mem, op.SR.View) {
+				return fmt.Errorf("core: op %d: scan by p%d sees %v, recorded view %v", k, gid, mem, op.SR.View)
+			}
+			view := append([]proto.Value(nil), mem...)
+			p.ApplyScan(view)
+			if out := p.NextOp(); out.Kind == proto.OpOutput {
+				outputs[gid] = out.Val
+			}
+			continue
+		}
+		gid, err := gidOfUpdate(op)
+		if err != nil {
+			return err
+		}
+		p := procs[gid]
+		want := p.NextOp()
+		if want.Kind != proto.OpUpdate || want.Comp != op.Comp || !reflect.DeepEqual(want.Val, op.Val) {
+			return fmt.Errorf("core: op %d: p%d poised to %+v, execution has update(%d,%v)",
+				k, gid, want, op.Comp, op.Val)
+		}
+		mem[op.Comp] = op.Val
+		p.ApplyUpdate()
+	}
+
+	// Lemma 27: append each Algorithm 7 block and terminating solo run.
+	for _, fin := range res.Finals {
+		ids := cfg.Partition(fin.Sim)
+		for g, comp := range fin.Comps {
+			p := procs[ids[g]]
+			want := p.NextOp()
+			if want.Kind != proto.OpUpdate || want.Comp != comp || !reflect.DeepEqual(want.Val, fin.Vals[g]) {
+				return fmt.Errorf("core: final block of simulator %d: p%d poised to %+v, block has update(%d,%v)",
+					fin.Sim, ids[g], want, comp, fin.Vals[g])
+			}
+			mem[comp] = fin.Vals[g]
+			p.ApplyUpdate()
+		}
+		p1 := procs[ids[0]]
+		stop, out, serr := proto.RunSolo(p1, mem, nil, cfg.MaxLocalOps)
+		if serr != nil || stop != proto.SoloOutput {
+			return fmt.Errorf("core: final solo run of p%d did not output (stop=%v err=%v)", ids[0], stop, serr)
+		}
+		outputs[ids[0]] = out
+	}
+
+	// Every simulator's adopted output must have been produced by its
+	// process in the reconstructed execution.
+	for i := 0; i < cfg.F; i++ {
+		if !res.Done[i] {
+			continue
+		}
+		gid := res.OutputBy[i]
+		got, ok := outputs[gid]
+		if !ok {
+			return fmt.Errorf("core: simulator %d adopted output of p%d, which produced none in the reconstruction", i, gid)
+		}
+		if !reflect.DeepEqual(got, res.Outputs[i]) {
+			return fmt.Errorf("core: simulator %d output %v but p%d produced %v in the reconstruction",
+				i, res.Outputs[i], gid, got)
+		}
+	}
+	return nil
+}
+
+// insertionPoint finds the latest index T in [zp, first] with the contents of
+// M equal to the Block-Update's returned view and no Scan linearized in
+// ops[T:first], where zp is just after the last atomic Update before first.
+// Lemma 19 guarantees such a T exists (the point of the scan L).
+func insertionPoint(ops []trace.MOp, states [][]augsnap.Value, bu *augsnap.BURecord, first int) (int, error) {
+	zp := 0
+	for k := first - 1; k >= 0; k-- {
+		if !ops[k].IsScan && !ops[k].BU.Yielded {
+			zp = k + 1
+			break
+		}
+	}
+	for T := first; T >= zp; T-- {
+		if !reflect.DeepEqual(bu.View, states[T]) {
+			continue
+		}
+		scanBetween := false
+		for k := T; k < first; k++ {
+			if ops[k].IsScan {
+				scanBetween = true
+				break
+			}
+		}
+		if !scanBetween {
+			return T, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no legal insertion point for Block-Update (%d, %d): Lemma 19 violated", bu.PID, bu.Index)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+)
+
+// TestValidateExecutionAcrossConfigs is the mechanical Lemma 26/27 check:
+// for every recorded real execution there must exist a corresponding legal
+// execution of Π, reconstructed with hidden revised steps inserted and
+// replayed step by step against a fresh protocol instance.
+func TestValidateExecutionAcrossConfigs(t *testing.T) {
+	type tc struct {
+		name   string
+		cfg    Config
+		inputs []proto.Value
+		mk     func(in []proto.Value) ([]proto.Process, error)
+		seeds  int
+	}
+	mkKSet := func(n, k int) func(in []proto.Value) ([]proto.Process, error) {
+		return func(in []proto.Value) ([]proto.Process, error) {
+			procs, _, err := algorithms.NewKSetAgreement(n, k, in)
+			return procs, err
+		}
+	}
+	cases := []tc{
+		{
+			name:   "firstvalue_n4_f4",
+			cfg:    Config{N: 4, M: 1, F: 4, D: 0},
+			inputs: []proto.Value{1, 2, 3, 4},
+			mk: func(in []proto.Value) ([]proto.Process, error) {
+				procs := make([]proto.Process, len(in))
+				for i := range procs {
+					procs[i] = algorithms.NewFirstValue(0, in[i])
+				}
+				return procs, nil
+			},
+			seeds: 50,
+		},
+		{
+			name:   "kset_n4_m2_f2",
+			cfg:    Config{N: 4, M: 2, F: 2, D: 0},
+			inputs: []proto.Value{10, 20},
+			mk:     mkKSet(4, 3),
+			seeds:  100,
+		},
+		{
+			name:   "sharedpaxos_n4_m2_f2",
+			cfg:    Config{N: 4, M: 2, F: 2, D: 0},
+			inputs: []proto.Value{111, 222},
+			mk:     sharedPaxosProtocol,
+			seeds:  200,
+		},
+		{
+			name:   "kset_n9_m3_f3",
+			cfg:    Config{N: 9, M: 3, F: 3, D: 0},
+			inputs: []proto.Value{1, 2, 3},
+			mk:     mkKSet(9, 7),
+			seeds:  60,
+		},
+		{
+			name:   "twogroups_n8_m4_f2",
+			cfg:    Config{N: 8, M: 4, F: 2, D: 0},
+			inputs: []proto.Value{5, 6},
+			mk:     twoGroupsProtocol,
+			seeds:  60,
+		},
+		{
+			name:   "direct_n4_m2_f3_d2",
+			cfg:    Config{N: 4, M: 2, F: 3, D: 2},
+			inputs: []proto.Value{7, 8, 9},
+			mk:     mkKSet(4, 3),
+			seeds:  60,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			validated := 0
+			for seed := int64(0); seed < int64(c.seeds); seed++ {
+				res, err := Run(c.cfg, c.inputs, c.mk, sched.NewRandom(seed))
+				if err != nil {
+					if errors.Is(err, sched.ErrMaxSteps) {
+						continue // livelocked d>0 runs: nothing to validate fully
+					}
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if verr := ValidateExecution(c.cfg, c.inputs, c.mk, res); verr != nil {
+					t.Fatalf("seed %d: Lemma 26/27 reconstruction failed: %v", seed, verr)
+				}
+				validated++
+			}
+			if validated == 0 {
+				t.Fatal("no run validated")
+			}
+			t.Logf("validated %d reconstructions", validated)
+		})
+	}
+}
+
+func TestValidateExecutionUnderAdversarialStrategies(t *testing.T) {
+	cfg := Config{N: 8, M: 4, F: 2, D: 0}
+	inputs := []proto.Value{5, 6}
+	strategies := map[string]sched.Strategy{
+		"lowest":      sched.Lowest{},
+		"highest":     sched.Highest{},
+		"alternate1":  sched.Alternator{Burst: 1},
+		"alternate5":  sched.Alternator{Burst: 5},
+		"alternate23": sched.Alternator{Burst: 23},
+	}
+	for name, strat := range strategies {
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(cfg, inputs, twoGroupsProtocol, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if verr := ValidateExecution(cfg, inputs, twoGroupsProtocol, res); verr != nil {
+				t.Fatalf("reconstruction failed: %v", verr)
+			}
+		})
+	}
+}
+
+func TestValidateExecutionDetectsTampering(t *testing.T) {
+	// Sanity check that the validator has teeth: corrupt the recorded result
+	// and it must complain.
+	cfg := Config{N: 4, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{10, 20}
+	res, err := Run(cfg, inputs, sharedPaxosProtocol, sched.NewRandom(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := ValidateExecution(cfg, inputs, sharedPaxosProtocol, res); verr != nil {
+		t.Fatalf("baseline: %v", verr)
+	}
+	// Tamper with the adopted output.
+	res.Outputs[0] = "bogus"
+	if verr := ValidateExecution(cfg, inputs, sharedPaxosProtocol, res); verr == nil {
+		t.Fatal("tampered output accepted")
+	}
+}
+
+func TestValidateExecutionDetectsForeignProtocol(t *testing.T) {
+	// Replaying against a different protocol must fail.
+	cfg := Config{N: 4, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{10, 20}
+	res, err := Run(cfg, inputs, sharedPaxosProtocol, sched.NewRandom(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := func(in []proto.Value) ([]proto.Process, error) {
+		procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
+		return procs, err
+	}
+	if verr := ValidateExecution(cfg, inputs, other, res); verr == nil {
+		t.Fatal("execution of one protocol accepted as execution of another")
+	}
+}
+
+func ExampleValidateExecution() {
+	cfg := Config{N: 4, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{1, 2}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
+		return procs, err
+	}
+	res, _ := Run(cfg, inputs, mk, sched.NewRandom(1))
+	fmt.Println(ValidateExecution(cfg, inputs, mk, res))
+	// Output: <nil>
+}

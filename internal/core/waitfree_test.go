@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+	"revisionist/internal/spec"
+	"revisionist/internal/trace"
+)
+
+// TestSimulationWaitFreeUnderSoloAdversary is Lemma 32 operationally: a
+// simulator that runs entirely alone must terminate — wait-freedom does not
+// depend on anyone else taking steps. (With d = 0 the protocol only needs to
+// be obstruction-free.)
+func TestSimulationWaitFreeUnderSoloAdversary(t *testing.T) {
+	cfg := Config{N: 8, M: 4, F: 2, D: 0}
+	inputs := []proto.Value{5, 6}
+	for solo := 0; solo < cfg.F; solo++ {
+		res, err := Run(cfg, inputs, twoGroupsProtocol, sched.Solo{PID: solo, Fallback: sched.RoundRobin{N: cfg.F}})
+		if err != nil {
+			t.Fatalf("solo=%d: %v", solo, err)
+		}
+		if !res.Done[solo] {
+			t.Fatalf("solo simulator %d did not terminate: the simulation is not wait-free", solo)
+		}
+		if verr := ValidateExecution(cfg, inputs, twoGroupsProtocol, res); verr != nil {
+			t.Fatalf("solo=%d: %v", solo, verr)
+		}
+	}
+}
+
+// TestSimulationWaitFreeUnderStarvationAdversaries runs the simulation under
+// adversaries that starve all but one simulator for long stretches; every
+// simulator that is eventually allowed to run must still finish.
+func TestSimulationWaitFreeUnderStarvationAdversaries(t *testing.T) {
+	cfg := Config{N: 4, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{1, 2}
+	strategies := map[string]sched.Strategy{
+		"lowest-first":  sched.Lowest{},
+		"highest-first": sched.Highest{},
+		"bursty":        sched.Alternator{Burst: 50},
+	}
+	for name, strat := range strategies {
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(cfg, inputs, sharedPaxosProtocol, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, d := range res.Done {
+				if !d {
+					t.Fatalf("simulator %d did not terminate under %s", i, name)
+				}
+			}
+		})
+	}
+}
+
+// TestSimulationWithCrashes crashes simulators mid-run; the survivors must
+// still terminate (wait-freedom) and the partial outputs must satisfy the
+// colorless task (subset closure).
+func TestSimulationWithCrashes(t *testing.T) {
+	cfg := Config{N: 9, M: 3, F: 3, D: 0}
+	inputs := []proto.Value{1, 2, 3}
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs, _, err := algorithms.NewKSetAgreement(9, 7, in)
+		return procs, err
+	}
+	for crash := 0; crash < cfg.F; crash++ {
+		for _, at := range []int{0, 3, 10, 25} {
+			res, err := Run(cfg, inputs, mk,
+				sched.Crash{Crashed: map[int]int{crash: at}, Inner: sched.RoundRobin{N: cfg.F}})
+			if err != nil {
+				t.Fatalf("crash=%d at=%d: %v", crash, at, err)
+			}
+			for i, d := range res.Done {
+				if i != crash && !d {
+					t.Fatalf("crash=%d at=%d: survivor %d did not terminate", crash, at, i)
+				}
+			}
+			var outs []proto.Value
+			for i, d := range res.Done {
+				if d {
+					outs = append(outs, res.Outputs[i])
+				}
+			}
+			if verr := (spec.KSetAgreement{K: 7}).Validate(inputs, outs); verr != nil {
+				t.Fatalf("crash=%d at=%d: %v", crash, at, verr)
+			}
+			if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+				t.Fatalf("crash=%d at=%d: %v", crash, at, cerr)
+			}
+		}
+	}
+}
+
+// TestSimulationSingleSimulator covers the degenerate f = 1 corner across m.
+func TestSimulationSingleSimulator(t *testing.T) {
+	for _, m := range []int{1, 2, 3} {
+		n := m
+		cfg := Config{N: n, M: m, F: 1, D: 0}
+		mk := func(in []proto.Value) ([]proto.Process, error) {
+			procs := make([]proto.Process, len(in))
+			for i := range procs {
+				procs[i] = algorithms.NewFirstValue(i%m, in[i])
+			}
+			return procs, nil
+		}
+		res, err := Run(cfg, []proto.Value{"only"}, mk, sched.RoundRobin{N: 1})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if !res.Done[0] || res.Outputs[0] != "only" {
+			t.Fatalf("m=%d: res=%+v", m, res.Outputs)
+		}
+		if verr := ValidateExecution(cfg, []proto.Value{"only"}, mk, res); verr != nil {
+			t.Fatalf("m=%d: %v", m, verr)
+		}
+	}
+}
+
+// TestSimulationExhaustiveTiny exhaustively explores every schedule of the
+// smallest interesting simulation (two covering simulators, shared Paxos,
+// m = 2) up to a step bound, validating outputs, the §3 history and the
+// Lemma 26/27 reconstruction on every completed run.
+func TestSimulationExhaustiveTiny(t *testing.T) {
+	cfg := Config{N: 4, M: 2, F: 2, D: 0}
+	inputs := []proto.Value{10, 20}
+	checked := 0
+	// Enumerate schedules indirectly through replay prefixes: use the
+	// explorer over the real system by re-running core.Run with Replay
+	// strategies constructed from recorded prefixes. Simpler and equally
+	// exhaustive for small depth: enumerate all binary choice strings up to
+	// length L and replay them with round-robin fallback.
+	const L = 12
+	for mask := 0; mask < 1<<L; mask++ {
+		choices := make([]int, L)
+		for b := 0; b < L; b++ {
+			choices[b] = (mask >> b) & 1
+		}
+		res, err := Run(cfg, inputs, sharedPaxosProtocol,
+			sched.Replay{Choices: choices, Fallback: sched.RoundRobin{N: 2}})
+		if err != nil {
+			t.Fatalf("mask=%d: %v", mask, err)
+		}
+		if !res.Done[0] || !res.Done[1] {
+			t.Fatalf("mask=%d: not wait-free", mask)
+		}
+		if cerr := trace.Check(res.Log, cfg.M); cerr != nil {
+			t.Fatalf("mask=%d: %v", mask, cerr)
+		}
+		if verr := ValidateExecution(cfg, inputs, sharedPaxosProtocol, res); verr != nil {
+			t.Fatalf("mask=%d: %v", mask, verr)
+		}
+		checked++
+	}
+	t.Logf("checked %d schedule prefixes exhaustively", checked)
+}
+
+func ExampleConfig_Partition() {
+	cfg := Config{N: 10, M: 3, F: 4, D: 1}
+	fmt.Println(cfg.Partition(0), cfg.Partition(3))
+	// Output: [0 1 2] [9]
+}

@@ -1,0 +1,243 @@
+package nst
+
+import (
+	"fmt"
+	"sort"
+
+	"revisionist/internal/proto"
+)
+
+// AdoptOrKeep is a nondeterministic solo-terminating "conciliator" machine:
+// the process repeatedly scans a shared component; if the component holds its
+// current estimate it decides it, and otherwise it nondeterministically
+// either keeps its estimate or adopts any value it saw (the coin flip of a
+// randomized consensus protocol, modelled as nondeterminism per §5.1), then
+// writes its estimate and retries.
+//
+// It is nondeterministic solo-terminating: from any configuration, the solo
+// path "write my estimate, scan (sees it), decide" reaches a final state in
+// three steps. It is not wait-free and, by itself, not a correct consensus
+// protocol — which is irrelevant to Theorem 35, whose conversion preserves
+// the protocol's executions whatever the task.
+type AdoptOrKeep struct {
+	// Comp is the shared component all processes fight over.
+	Comp int
+}
+
+// aokScan is the state "estimate V, poised to scan".
+type aokScan struct{ V Value }
+
+// aokWrite is the state "estimate V, poised to write it".
+type aokWrite struct{ V Value }
+
+// aokFinal is the final state with output V.
+type aokFinal struct{ V Value }
+
+func (s aokScan) Key() string  { return fmt.Sprintf("scan:%v", s.V) }
+func (s aokWrite) Key() string { return fmt.Sprintf("write:%v", s.V) }
+func (s aokFinal) Key() string { return fmt.Sprintf("final:%v", s.V) }
+
+var _ Machine = AdoptOrKeep{}
+
+// Initial implements Machine.
+func (m AdoptOrKeep) Initial(input Value) State { return aokScan{V: input} }
+
+// Final implements Machine.
+func (m AdoptOrKeep) Final(s State) (Value, bool) {
+	if f, ok := s.(aokFinal); ok {
+		return f.V, true
+	}
+	return nil, false
+}
+
+// Nu implements Machine.
+func (m AdoptOrKeep) Nu(s State) proto.Op {
+	switch st := s.(type) {
+	case aokScan:
+		return proto.Op{Kind: proto.OpScan}
+	case aokWrite:
+		return proto.Op{Kind: proto.OpUpdate, Comp: m.Comp, Val: st.V}
+	default:
+		panic(fmt.Sprintf("nst: Nu on unexpected state %T", s))
+	}
+}
+
+// Delta implements Machine.
+func (m AdoptOrKeep) Delta(s State, resp []Value) []State {
+	switch st := s.(type) {
+	case aokScan:
+		seen := resp[m.Comp]
+		if seen == st.V {
+			return []State{aokFinal{V: st.V}}
+		}
+		// Keep the estimate, or adopt the value seen (if any): the
+		// nondeterministic choice. "Keep" is first in the order.
+		out := []State{aokWrite{V: st.V}}
+		if seen != nil {
+			out = append(out, aokWrite{V: seen})
+		}
+		return out
+	case aokWrite:
+		return []State{aokScan{V: st.V}}
+	default:
+		panic(fmt.Sprintf("nst: Delta on unexpected state %T", s))
+	}
+}
+
+// MultiCoin is a richer nondeterministic machine over several components:
+// the process sweeps the components round-robin, alternating scan and
+// update per Assumption 1. After a scan of component Next:
+//
+//   - if the component holds its estimate and that completes a sweep of all
+//     M components, it decides;
+//   - if the component holds its estimate, it advances to the next component
+//     (nondeterministically keeping its estimate or adopting any distinct
+//     value visible in the view, which resets the sweep);
+//   - otherwise it rewrites the current component (again nondeterministically
+//     keeping or adopting).
+//
+// Solo termination: running alone and always choosing "keep", the process
+// writes its estimate into each component in turn and decides after one
+// sweep, so a solo path of length at most 2M+1 exists from every state.
+type MultiCoin struct {
+	M int // number of components
+}
+
+type mcState struct {
+	V       Value
+	Next    int // component the process is servicing
+	Seen    int // consecutive components observed to hold the estimate
+	Writing bool
+}
+
+type mcFinal struct{ V Value }
+
+func (s mcState) Key() string {
+	return fmt.Sprintf("mc:%v:%d:%d:%t", s.V, s.Next, s.Seen, s.Writing)
+}
+func (s mcFinal) Key() string { return fmt.Sprintf("mcfinal:%v", s.V) }
+
+var _ Machine = MultiCoin{}
+
+// Initial implements Machine.
+func (m MultiCoin) Initial(input Value) State { return mcState{V: input} }
+
+// Final implements Machine.
+func (m MultiCoin) Final(s State) (Value, bool) {
+	if f, ok := s.(mcFinal); ok {
+		return f.V, true
+	}
+	return nil, false
+}
+
+// Nu implements Machine.
+func (m MultiCoin) Nu(s State) proto.Op {
+	st := s.(mcState)
+	if st.Writing {
+		return proto.Op{Kind: proto.OpUpdate, Comp: st.Next, Val: st.V}
+	}
+	return proto.Op{Kind: proto.OpScan}
+}
+
+// Delta implements Machine.
+func (m MultiCoin) Delta(s State, resp []Value) []State {
+	st := s.(mcState)
+	if st.Writing {
+		// The update is deterministic: return to scanning the same component.
+		return []State{mcState{V: st.V, Next: st.Next, Seen: st.Seen, Writing: false}}
+	}
+	if resp[st.Next] == st.V {
+		if st.Seen+1 >= m.M {
+			return []State{mcFinal{V: st.V}}
+		}
+		next := (st.Next + 1) % m.M
+		out := []State{mcState{V: st.V, Next: next, Seen: st.Seen + 1, Writing: true}}
+		for _, w := range distinctValues(resp, st.V) {
+			out = append(out, mcState{V: w, Next: next, Writing: true})
+		}
+		return out
+	}
+	out := []State{mcState{V: st.V, Next: st.Next, Writing: true}}
+	for _, w := range distinctValues(resp, st.V) {
+		out = append(out, mcState{V: w, Next: st.Next, Writing: true})
+	}
+	return out
+}
+
+// distinctValues lists the distinct non-nil values in view other than v, in
+// a deterministic order.
+func distinctValues(view []Value, v Value) []Value {
+	seen := map[string]Value{}
+	for _, w := range view {
+		if w == nil || w == v {
+			continue
+		}
+		seen[fmt.Sprint(w)] = w
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Value, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}
+
+// MaxBid is a nondeterministic solo-terminating machine over a 1-component
+// max register (§5.2): the process scans; if the register already holds a
+// value at least its bid, it adopts that value and decides; otherwise it
+// nondeterministically keeps its bid or raises it by one, writemax-es it,
+// and rescans. Solo termination: writemax the current bid, scan (the
+// register is now >= the bid), decide — three steps from every state.
+type MaxBid struct{}
+
+type mbScan struct{ Bid int }
+type mbWrite struct{ Bid int }
+type mbFinal struct{ V Value }
+
+func (s mbScan) Key() string  { return fmt.Sprintf("mbscan:%d", s.Bid) }
+func (s mbWrite) Key() string { return fmt.Sprintf("mbwrite:%d", s.Bid) }
+func (s mbFinal) Key() string { return fmt.Sprintf("mbfinal:%v", s.V) }
+
+var _ Machine = MaxBid{}
+
+// Initial implements Machine; the input must be an int bid.
+func (MaxBid) Initial(input Value) State { return mbScan{Bid: input.(int)} }
+
+// Final implements Machine.
+func (MaxBid) Final(s State) (Value, bool) {
+	if f, ok := s.(mbFinal); ok {
+		return f.V, true
+	}
+	return nil, false
+}
+
+// Nu implements Machine.
+func (MaxBid) Nu(s State) proto.Op {
+	switch st := s.(type) {
+	case mbScan:
+		return proto.Op{Kind: proto.OpScan}
+	case mbWrite:
+		return proto.Op{Kind: proto.OpUpdate, Comp: 0, Val: st.Bid}
+	default:
+		panic(fmt.Sprintf("nst: Nu on unexpected state %T", s))
+	}
+}
+
+// Delta implements Machine.
+func (MaxBid) Delta(s State, resp []Value) []State {
+	switch st := s.(type) {
+	case mbScan:
+		if v, ok := resp[0].(int); ok && v >= st.Bid {
+			return []State{mbFinal{V: v}}
+		}
+		return []State{mbWrite{Bid: st.Bid}, mbWrite{Bid: st.Bid + 1}}
+	case mbWrite:
+		return []State{mbScan{Bid: st.Bid}}
+	default:
+		panic(fmt.Sprintf("nst: Delta on unexpected state %T", s))
+	}
+}

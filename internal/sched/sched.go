@@ -1,0 +1,280 @@
+// Package sched provides a deterministic gated scheduler for asynchronous
+// shared-memory systems.
+//
+// The paper's model (§2) is an interleaving model: a configuration consists of
+// the state of each process and the value of each base object, and a step is
+// one atomic operation on one base object by one process, chosen by an
+// adversarial scheduler. This package realizes that model on top of
+// goroutines: every process runs as a goroutine, and every base-object
+// operation passes through a gate (Runner.Step). The runner admits exactly one
+// operation at a time, picked by a pluggable Strategy, so executions are
+// sequential at the base-object level, reproducible from (Strategy, seed),
+// replayable, and free of data races by construction.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// OpKind classifies a base-object operation for traces and step accounting.
+type OpKind int
+
+// Base-object operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpScan
+	OpUpdate
+)
+
+// String returns the conventional lower-case name of the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpScan:
+		return "scan"
+	case OpUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op describes one base-object operation as seen by the scheduler gate.
+type Op struct {
+	Object string // name of the base object, e.g. "H" or "M"
+	Kind   OpKind
+	Comp   int // component/register index, -1 if not applicable
+}
+
+// String renders the operation as Object.kind[comp].
+func (o Op) String() string {
+	if o.Comp >= 0 {
+		return fmt.Sprintf("%s.%s[%d]", o.Object, o.Kind, o.Comp)
+	}
+	return fmt.Sprintf("%s.%s", o.Object, o.Kind)
+}
+
+// StepRecord is one granted step in an execution trace.
+type StepRecord struct {
+	Seq int // 0-based global sequence number
+	PID int
+	Op  Op
+}
+
+// Strategy picks which enabled process takes the next step. The enabled slice
+// is sorted ascending and non-empty; Pick must either return one of its
+// elements or Halt to stop scheduling (crashing all remaining processes).
+type Strategy interface {
+	Pick(step int, enabled []int) int
+}
+
+// Halt is the sentinel a Strategy returns to stop the run; all processes that
+// have not yet finished are treated as crashed.
+const Halt = -1
+
+// ErrMaxSteps reports that a run exceeded its step budget. For wait-free and
+// obstruction-free protocols under the corresponding adversaries this
+// indicates a liveness bug (or a deliberately starved protocol).
+var ErrMaxSteps = errors.New("sched: step budget exceeded")
+
+// Result describes a finished (or halted) run.
+type Result struct {
+	Trace     []StepRecord
+	Steps     int
+	StepsBy   []int // per-PID granted step counts
+	Finished  []bool
+	Halted    bool // Strategy returned Halt before all processes finished
+	PanicVals []any
+}
+
+// abortSignal unwinds a process goroutine whose run was halted. It is
+// recovered by the runner's wrapper and never escapes the package.
+type abortSignal struct{}
+
+type event struct {
+	pid      int
+	done     bool
+	aborted  bool
+	panicked bool
+	panicVal any
+}
+
+type grant struct {
+	abort bool
+}
+
+// Runner executes n process bodies under a Strategy. A Runner is single-use:
+// create one per run.
+type Runner struct {
+	n        int
+	strat    Strategy
+	maxSteps int
+
+	ready   chan event
+	resume  []chan grant
+	trace   []StepRecord
+	stepsBy []int
+	onStep  func(StepRecord)
+	closed  bool
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithMaxSteps caps the number of granted steps (default 1 << 20).
+func WithMaxSteps(n int) Option {
+	return func(r *Runner) { r.maxSteps = n }
+}
+
+// WithStepHook installs a callback invoked synchronously for every granted
+// step, before the step's operation executes.
+func WithStepHook(fn func(StepRecord)) Option {
+	return func(r *Runner) { r.onStep = fn }
+}
+
+// NewRunner returns a runner for n processes scheduled by strat.
+func NewRunner(n int, strat Strategy, opts ...Option) *Runner {
+	r := &Runner{
+		n:        n,
+		strat:    strat,
+		maxSteps: 1 << 20,
+		ready:    make(chan event),
+		resume:   make([]chan grant, n),
+	}
+	for i := range r.resume {
+		r.resume[i] = make(chan grant)
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Step blocks until the scheduler grants pid its next base-object operation.
+// Shared objects call it immediately before executing an operation. It must
+// only be called from within a body started by Run.
+func (r *Runner) Step(pid int, op Op) {
+	if r.closed {
+		panic(fmt.Sprintf("sched: Step(%d, %s) after the run completed; gated objects cannot be used once Run returns", pid, op))
+	}
+	r.ready <- event{pid: pid}
+	g := <-r.resume[pid]
+	if g.abort {
+		panic(abortSignal{})
+	}
+	rec := StepRecord{Seq: len(r.trace), PID: pid, Op: op}
+	r.trace = append(r.trace, rec)
+	r.stepsBy[pid]++
+	if r.onStep != nil {
+		r.onStep(rec)
+	}
+}
+
+// Run starts body(pid) for pid in [0, n) and schedules their base-object
+// steps until every process returns, the strategy halts the run, or the step
+// budget is exhausted. It returns the execution result; err is non-nil only
+// for a blown step budget or a panicking process body.
+func (r *Runner) Run(body func(pid int)) (*Result, error) {
+	r.trace = r.trace[:0]
+	r.stepsBy = make([]int, r.n)
+	finished := make([]bool, r.n)
+	var panics []any
+
+	for pid := 0; pid < r.n; pid++ {
+		go func(pid int) {
+			defer func() {
+				if v := recover(); v != nil {
+					if _, ok := v.(abortSignal); ok {
+						r.ready <- event{pid: pid, done: true, aborted: true}
+						return
+					}
+					r.ready <- event{pid: pid, done: true, panicked: true, panicVal: v}
+					return
+				}
+				r.ready <- event{pid: pid, done: true}
+			}()
+			body(pid)
+		}(pid)
+	}
+
+	waiting := make(map[int]bool, r.n)
+	outstanding := r.n // processes running (not parked at gate, not finished)
+	numFinished := 0
+	aborting := false
+	halted := false
+	var runErr error
+
+	step := 0
+	for numFinished < r.n {
+		// Drain events until every live process is parked or finished.
+		for outstanding > 0 {
+			e := <-r.ready
+			outstanding--
+			if e.done {
+				numFinished++
+				finished[e.pid] = !e.aborted && !e.panicked
+				if e.panicked {
+					panics = append(panics, e.panicVal)
+					if runErr == nil {
+						runErr = fmt.Errorf("sched: process %d panicked: %v", e.pid, e.panicVal)
+					}
+					aborting = true
+				}
+			} else {
+				waiting[e.pid] = true
+			}
+		}
+		if len(waiting) == 0 {
+			break // all finished
+		}
+		if step >= r.maxSteps && runErr == nil {
+			runErr = fmt.Errorf("%w (budget %d)", ErrMaxSteps, r.maxSteps)
+			aborting = true
+		}
+		if aborting {
+			for pid := range waiting {
+				delete(waiting, pid)
+				outstanding++
+				r.resume[pid] <- grant{abort: true}
+			}
+			continue
+		}
+		enabled := make([]int, 0, len(waiting))
+		for pid := range waiting {
+			enabled = append(enabled, pid)
+		}
+		sort.Ints(enabled)
+		pick := r.strat.Pick(step, enabled)
+		if pick == Halt {
+			halted = true
+			aborting = true
+			continue
+		}
+		if !waiting[pick] {
+			runErr = fmt.Errorf("sched: strategy picked pid %d not in enabled set %v", pick, enabled)
+			aborting = true
+			continue
+		}
+		delete(waiting, pick)
+		outstanding++
+		step++
+		r.resume[pick] <- grant{}
+	}
+
+	r.closed = true
+	res := &Result{
+		Trace:     r.trace,
+		Steps:     len(r.trace),
+		StepsBy:   r.stepsBy,
+		Finished:  finished,
+		Halted:    halted,
+		PanicVals: panics,
+	}
+	return res, runErr
+}

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"math/rand"
+)
+
+// StrategyFunc adapts a function to the Strategy interface.
+type StrategyFunc func(step int, enabled []int) int
+
+// Pick implements Strategy.
+func (f StrategyFunc) Pick(step int, enabled []int) int { return f(step, enabled) }
+
+// RoundRobin cycles through process ids fairly: at step s it grants the
+// enabled process whose id is the smallest one >= (s mod n) if any, wrapping
+// otherwise. With n = 0 (unknown), it degrades to rotating over the enabled
+// set by step index.
+type RoundRobin struct {
+	N int
+}
+
+// Pick implements Strategy.
+func (rr RoundRobin) Pick(step int, enabled []int) int {
+	if rr.N > 0 {
+		want := step % rr.N
+		for _, pid := range enabled {
+			if pid >= want {
+				return pid
+			}
+		}
+		return enabled[0]
+	}
+	return enabled[step%len(enabled)]
+}
+
+// Random picks uniformly among enabled processes using a seeded source, so
+// runs are reproducible from the seed.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a Random strategy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Strategy.
+func (r *Random) Pick(_ int, enabled []int) int {
+	return enabled[r.rng.Intn(len(enabled))]
+}
+
+// Solo schedules with Fallback until step After, then runs only process PID
+// (the obstruction-freedom adversary). If PID finishes or is not enabled, it
+// halts the run: the remaining processes are considered crashed.
+type Solo struct {
+	PID      int
+	After    int
+	Fallback Strategy
+}
+
+// Pick implements Strategy.
+func (s Solo) Pick(step int, enabled []int) int {
+	if step < s.After {
+		return s.Fallback.Pick(step, enabled)
+	}
+	for _, pid := range enabled {
+		if pid == s.PID {
+			return pid
+		}
+	}
+	return Halt
+}
+
+// Subset schedules with Fallback until step After, then schedules only the
+// processes in PIDs round-robin (the x-obstruction-freedom adversary). When
+// none of them remain enabled, it halts.
+type Subset struct {
+	PIDs     []int
+	After    int
+	Fallback Strategy
+}
+
+// Pick implements Strategy.
+func (s Subset) Pick(step int, enabled []int) int {
+	if step < s.After {
+		return s.Fallback.Pick(step, enabled)
+	}
+	allowed := make([]int, 0, len(s.PIDs))
+	inSet := make(map[int]bool, len(s.PIDs))
+	for _, pid := range s.PIDs {
+		inSet[pid] = true
+	}
+	for _, pid := range enabled {
+		if inSet[pid] {
+			allowed = append(allowed, pid)
+		}
+	}
+	if len(allowed) == 0 {
+		return Halt
+	}
+	return allowed[step%len(allowed)]
+}
+
+// Crash removes the processes in Crashed from scheduling once the step
+// counter reaches their crash step, delegating the remaining choice to Inner.
+// If only crashed processes remain enabled, it halts.
+type Crash struct {
+	Crashed map[int]int // pid -> step at which it crashes
+	Inner   Strategy
+}
+
+// Pick implements Strategy.
+func (c Crash) Pick(step int, enabled []int) int {
+	live := make([]int, 0, len(enabled))
+	for _, pid := range enabled {
+		if at, ok := c.Crashed[pid]; ok && step >= at {
+			continue
+		}
+		live = append(live, pid)
+	}
+	if len(live) == 0 {
+		return Halt
+	}
+	return c.Inner.Pick(step, live)
+}
+
+// Replay replays a recorded choice sequence (process ids); once exhausted it
+// delegates to Fallback, or halts if Fallback is nil. Replayed picks that are
+// no longer enabled fall through to the next enabled process, which keeps
+// replays of prefixes robust.
+type Replay struct {
+	Choices  []int
+	Fallback Strategy
+}
+
+// Pick implements Strategy.
+func (r Replay) Pick(step int, enabled []int) int {
+	if step < len(r.Choices) {
+		want := r.Choices[step]
+		for _, pid := range enabled {
+			if pid == want {
+				return pid
+			}
+		}
+		return enabled[0]
+	}
+	if r.Fallback == nil {
+		return Halt
+	}
+	return r.Fallback.Pick(step, enabled)
+}
+
+// Lowest always grants the smallest enabled pid. Against protocols where a
+// low-id process spins, this starves everyone else; it is useful as a
+// worst-case adversary for helping mechanisms.
+type Lowest struct{}
+
+// Pick implements Strategy.
+func (Lowest) Pick(_ int, enabled []int) int { return enabled[0] }
+
+// Highest always grants the largest enabled pid.
+type Highest struct{}
+
+// Pick implements Strategy.
+func (Highest) Pick(_ int, enabled []int) int { return enabled[len(enabled)-1] }
+
+// Alternator interleaves processes in bursts of Burst consecutive steps each,
+// cycling by pid. Burst = 1 is a fine-grained interleaver; large bursts
+// approximate solo runs punctuated by contention.
+type Alternator struct {
+	Burst int
+}
+
+// Pick implements Strategy.
+func (a Alternator) Pick(step int, enabled []int) int {
+	b := a.Burst
+	if b <= 0 {
+		b = 1
+	}
+	return enabled[(step/b)%len(enabled)]
+}

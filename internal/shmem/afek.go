@@ -1,0 +1,223 @@
+package shmem
+
+import "fmt"
+
+// This file implements wait-free snapshot objects from atomic registers in
+// the style of Afek, Attiya, Dolev, Gafni, Merritt and Shavit ("Atomic
+// snapshots of shared memory", JACM 1993), cited as [2] by the paper. The
+// paper's space accounting relies on the equivalence between m registers and
+// an m-component snapshot object (§2); these constructions realize the
+// non-trivial direction. They use unbounded sequence numbers, which is the
+// standard simplification of [2].
+
+// swRec is the contents of one underlying register of a RegSWSnapshot.
+type swRec struct {
+	Val  Value
+	Seq  int     // per-writer sequence number, 0 for the initial value
+	View []Value // embedded scan taken by the writer before writing
+}
+
+// RegSWSnapshot is a single-writer snapshot implemented from f atomic
+// single-writer registers. Update embeds a scan (the "helping" view) so that
+// a scanner that observes the same register move twice can borrow the
+// writer's view; this makes both operations wait-free.
+type RegSWSnapshot struct {
+	regs []*Register
+	f    int
+	seq  []int
+	rec  Recorder
+}
+
+// NewRegSWSnapshot returns an f-component register-built single-writer
+// snapshot with all components initial.
+func NewRegSWSnapshot(name string, st Stepper, f int, initial Value) *RegSWSnapshot {
+	s := &RegSWSnapshot{f: f, seq: make([]int, f)}
+	init := make([]Value, f)
+	for i := range init {
+		init[i] = initial
+	}
+	s.regs = make([]*Register, f)
+	for i := range s.regs {
+		s.regs[i] = NewRegister(fmt.Sprintf("%s[%d]", name, i), st, swRec{Val: initial, View: init})
+	}
+	return s
+}
+
+// SetRecorder installs a history recorder. Recording points are the write for
+// Update and the final collect (or borrow) for Scan, which are valid
+// linearization points of the Afek et al. construction.
+func (s *RegSWSnapshot) SetRecorder(r Recorder) { s.rec = r }
+
+// Components returns the number of components (= underlying registers).
+func (s *RegSWSnapshot) Components() int { return s.f }
+
+// Update sets process pid's own component to v.
+func (s *RegSWSnapshot) Update(pid int, v Value) {
+	view := s.scan(pid)
+	s.seq[pid]++
+	s.regs[pid].Write(pid, swRec{Val: v, Seq: s.seq[pid], View: view})
+	if s.rec != nil {
+		s.rec.RecordUpdate(pid, pid, v)
+	}
+}
+
+// Scan returns an atomic view of all components.
+func (s *RegSWSnapshot) Scan(pid int) []Value {
+	view := s.scan(pid)
+	if s.rec != nil {
+		s.rec.RecordScan(pid, view)
+	}
+	return view
+}
+
+func (s *RegSWSnapshot) collect(pid int) []swRec {
+	out := make([]swRec, s.f)
+	for j := 0; j < s.f; j++ {
+		out[j] = s.regs[j].Read(pid).(swRec)
+	}
+	return out
+}
+
+// scan is the core double-collect-with-borrowing loop.
+func (s *RegSWSnapshot) scan(pid int) []Value {
+	moved := make([]int, s.f)
+	prev := s.collect(pid)
+	for {
+		cur := s.collect(pid)
+		same := true
+		for j := 0; j < s.f; j++ {
+			if cur[j].Seq != prev[j].Seq {
+				same = false
+				moved[j]++
+				if moved[j] >= 2 {
+					// Register j changed twice during this scan: its latest
+					// writer performed a complete embedded scan within our
+					// execution interval, so its view is linearizable here.
+					out := make([]Value, s.f)
+					copy(out, cur[j].View)
+					return out
+				}
+			}
+		}
+		if same {
+			out := make([]Value, s.f)
+			for j := 0; j < s.f; j++ {
+				out[j] = cur[j].Val
+			}
+			return out
+		}
+		prev = cur
+	}
+}
+
+// mwRec is the contents of one underlying register of a RegMWSnapshot. The
+// (Writer, Seq) pair is a unique tag: Seq is the writer's private counter.
+type mwRec struct {
+	Val    Value
+	Writer int
+	Seq    int
+	View   []Value
+}
+
+// RegMWSnapshot is an m-component multi-writer snapshot implemented from m
+// atomic multi-writer registers, the multi-writer analogue of RegSWSnapshot.
+type RegMWSnapshot struct {
+	regs []*Register
+	m    int
+	seq  []int // per-process private counters, indexed by pid
+	rec  Recorder
+}
+
+// NewRegMWSnapshot returns an m-component register-built multi-writer
+// snapshot shared by up to nproc processes, all components initial.
+func NewRegMWSnapshot(name string, st Stepper, m, nproc int, initial Value) *RegMWSnapshot {
+	s := &RegMWSnapshot{m: m, seq: make([]int, nproc)}
+	init := make([]Value, m)
+	for i := range init {
+		init[i] = initial
+	}
+	s.regs = make([]*Register, m)
+	for j := range s.regs {
+		s.regs[j] = NewRegister(fmt.Sprintf("%s[%d]", name, j), st, mwRec{Val: initial, Writer: -1, View: init})
+	}
+	return s
+}
+
+// SetRecorder installs a history recorder.
+func (s *RegMWSnapshot) SetRecorder(r Recorder) { s.rec = r }
+
+// Components returns the number of components (= underlying registers).
+func (s *RegMWSnapshot) Components() int { return s.m }
+
+// Update sets component j to v on behalf of process pid.
+func (s *RegMWSnapshot) Update(pid, j int, v Value) {
+	view := s.scan(pid)
+	s.seq[pid]++
+	s.regs[j].Write(pid, mwRec{Val: v, Writer: pid, Seq: s.seq[pid], View: view})
+	if s.rec != nil {
+		s.rec.RecordUpdate(pid, j, v)
+	}
+}
+
+// Scan returns an atomic view of all components.
+func (s *RegMWSnapshot) Scan(pid int) []Value {
+	view := s.scan(pid)
+	if s.rec != nil {
+		s.rec.RecordScan(pid, view)
+	}
+	return view
+}
+
+func (s *RegMWSnapshot) collect(pid int) []mwRec {
+	out := make([]mwRec, s.m)
+	for j := 0; j < s.m; j++ {
+		out[j] = s.regs[j].Read(pid).(mwRec)
+	}
+	return out
+}
+
+func (s *RegMWSnapshot) scan(pid int) []Value {
+	// In the multi-writer construction a register changing twice is not
+	// enough to borrow (the two changes may come from two writers whose
+	// embedded scans predate ours). Instead we count fresh tags per *writer*:
+	// the second write we observe from the same writer must have embedded a
+	// scan that started after its first observed write, which happened after
+	// one of our own collect reads, so the borrowed view is linearizable
+	// within our interval.
+	// minFresh[w] is the smallest sequence number among writes by w that we
+	// have directly observed to land during this scan. A later fresh write by
+	// w (strictly larger seq) embedded a scan that began after that observed
+	// write completed, hence inside our interval, so its view is safe to
+	// borrow. (Two fresh tags alone are not enough: collects read registers
+	// in index order, so an older write can be observed after a newer one.)
+	minFresh := make(map[int]int)
+	prev := s.collect(pid)
+	for {
+		cur := s.collect(pid)
+		same := true
+		for j := 0; j < s.m; j++ {
+			if cur[j].Writer != prev[j].Writer || cur[j].Seq != prev[j].Seq {
+				same = false
+				w, sq := cur[j].Writer, cur[j].Seq
+				if first, ok := minFresh[w]; ok {
+					if sq > first {
+						out := make([]Value, s.m)
+						copy(out, cur[j].View)
+						return out
+					}
+					minFresh[w] = sq
+				} else {
+					minFresh[w] = sq
+				}
+			}
+		}
+		if same {
+			out := make([]Value, s.m)
+			for j := 0; j < s.m; j++ {
+				out[j] = cur[j].Val
+			}
+			return out
+		}
+		prev = cur
+	}
+}

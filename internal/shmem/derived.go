@@ -1,0 +1,66 @@
+package shmem
+
+import "revisionist/internal/sched"
+
+// This file implements the easy directions of the paper's object
+// equivalences: m registers from an m-component multi-writer snapshot (§2,
+// "replace each write to the j'th register by an update to the j'th
+// component, and a read by a scan that discards all but the j'th value"),
+// and the fetch-and-increment object §5.3 lists among the inherently
+// ABA-free primitives.
+
+// SnapshotRegister is the j'th register of an m-component multi-writer
+// snapshot.
+type SnapshotRegister struct {
+	snap *MWSnapshot
+	j    int
+}
+
+// RegistersFromSnapshot returns m register views over snap, one per
+// component. Writes become updates; reads become scans that keep one value.
+func RegistersFromSnapshot(snap *MWSnapshot) []*SnapshotRegister {
+	out := make([]*SnapshotRegister, snap.Components())
+	for j := range out {
+		out[j] = &SnapshotRegister{snap: snap, j: j}
+	}
+	return out
+}
+
+// Write implements the register write.
+func (r *SnapshotRegister) Write(pid int, v Value) {
+	r.snap.Update(pid, r.j, v)
+}
+
+// Read implements the register read.
+func (r *SnapshotRegister) Read(pid int) Value {
+	return r.snap.Scan(pid)[r.j]
+}
+
+// FetchInc is an atomic fetch-and-increment object. Its value sequence is
+// strictly increasing, so protocols using only FetchInc objects are ABA-free
+// (§5.3) without any tagging.
+type FetchInc struct {
+	name    string
+	stepper Stepper
+	v       int
+}
+
+// NewFetchInc returns a counter starting at 0.
+func NewFetchInc(name string, st Stepper) *FetchInc {
+	return &FetchInc{name: name, stepper: st}
+}
+
+// FetchIncrement atomically increments the counter and returns its previous
+// value.
+func (f *FetchInc) FetchIncrement(pid int) int {
+	f.stepper.Step(pid, sched.Op{Object: f.name, Kind: sched.OpUpdate, Comp: -1})
+	v := f.v
+	f.v++
+	return v
+}
+
+// Read atomically returns the counter.
+func (f *FetchInc) Read(pid int) int {
+	f.stepper.Step(pid, sched.Op{Object: f.name, Kind: sched.OpRead, Comp: -1})
+	return f.v
+}

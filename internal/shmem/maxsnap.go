@@ -1,0 +1,66 @@
+package shmem
+
+import (
+	"fmt"
+
+	"revisionist/internal/sched"
+)
+
+// MaxSnapshot is an atomic m-component max-register object (§5.2 of the
+// paper): scan returns all components, and an update to component j sets it
+// to the maximum of its current value and the written value ("writemax").
+// Max registers are ABA-free by construction (§5.3): a component's value
+// sequence is monotone, so it never returns to an overwritten value.
+type MaxSnapshot struct {
+	name    string
+	stepper Stepper
+	comps   []Value
+	less    func(a, b Value) bool
+	rec     Recorder
+}
+
+// NewMaxSnapshot returns an m-component max-register object with all
+// components nil (nil is below every value) and the given strict order.
+func NewMaxSnapshot(name string, st Stepper, m int, less func(a, b Value) bool) *MaxSnapshot {
+	return &MaxSnapshot{
+		name:    name,
+		stepper: st,
+		comps:   make([]Value, m),
+		less:    less,
+	}
+}
+
+// IntLess orders int values; it is the order most protocols over max
+// registers use.
+func IntLess(a, b Value) bool { return a.(int) < b.(int) }
+
+// SetRecorder installs a history recorder.
+func (s *MaxSnapshot) SetRecorder(r Recorder) { s.rec = r }
+
+// Components returns m.
+func (s *MaxSnapshot) Components() int { return len(s.comps) }
+
+// Update applies writemax(j, v).
+func (s *MaxSnapshot) Update(pid, j int, v Value) {
+	if j < 0 || j >= len(s.comps) {
+		panic(fmt.Sprintf("shmem: MaxSnapshot %q update to out-of-range component %d", s.name, j))
+	}
+	s.stepper.Step(pid, sched.Op{Object: s.name, Kind: sched.OpUpdate, Comp: j})
+	if s.comps[j] == nil || s.less(s.comps[j], v) {
+		s.comps[j] = v
+	}
+	if s.rec != nil {
+		s.rec.RecordUpdate(pid, j, s.comps[j])
+	}
+}
+
+// Scan atomically returns the value of every component.
+func (s *MaxSnapshot) Scan(pid int) []Value {
+	s.stepper.Step(pid, sched.Op{Object: s.name, Kind: sched.OpScan, Comp: -1})
+	out := make([]Value, len(s.comps))
+	copy(out, s.comps)
+	if s.rec != nil {
+		s.rec.RecordScan(pid, out)
+	}
+	return out
+}

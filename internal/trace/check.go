@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"revisionist/internal/augsnap"
+)
+
+// MOp is one linearized operation on the augmented snapshot M, reconstructed
+// offline from the H-level history using the paper's linearization rules
+// (§3.3): a Scan linearizes at its last H.scan; every Update of a non-yielding
+// Block-Update linearizes at the Block-Update's line-4 H.update; an Update of
+// a yielding Block-Update linearizes at the first point at which H contains a
+// triple for its component with an equal-or-larger timestamp. Updates
+// linearized at the same point are ordered by timestamp, then by component.
+type MOp struct {
+	Seq    int // H-event sequence number of the linearization point
+	IsScan bool
+	PID    int
+
+	// Update fields.
+	Comp int
+	Val  augsnap.Value
+	TS   augsnap.Timestamp
+	BU   *augsnap.BURecord
+
+	// Scan fields.
+	SR *augsnap.ScanRecord
+}
+
+// Linearize reconstructs the linearized M-level history of a run from its
+// augmented snapshot log.
+func Linearize(log *augsnap.Log, m int) ([]MOp, error) {
+	var ops []MOp
+	for _, sr := range log.Scans {
+		ops = append(ops, MOp{Seq: sr.LinSeq, IsScan: true, PID: sr.PID, SR: sr})
+	}
+	for _, bu := range log.BUs {
+		for g, comp := range bu.Comps {
+			op := MOp{PID: bu.PID, Comp: comp, Val: bu.Vals[g], TS: bu.TS, BU: bu}
+			if bu.Yielded {
+				seq, err := firstContains(log, comp, bu.TS)
+				if err != nil {
+					return nil, err
+				}
+				op.Seq = seq
+			} else {
+				op.Seq = bu.XSeq
+			}
+			ops = append(ops, op)
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		a, b := ops[i], ops[j]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.IsScan != b.IsScan {
+			// Scans linearize at H.scan events and updates at H.update
+			// events, so a tie would be a logic error; order scans first
+			// deterministically and let Check flag it.
+			return a.IsScan
+		}
+		if a.IsScan {
+			return false
+		}
+		if !a.TS.Equal(b.TS) {
+			return a.TS.Less(b.TS)
+		}
+		return a.Comp < b.Comp
+	})
+	return ops, nil
+}
+
+// firstContains finds the earliest H event after which H contains a triple
+// with the given component and a timestamp lexicographically >= ts.
+func firstContains(log *augsnap.Log, comp int, ts augsnap.Timestamp) (int, error) {
+	for _, e := range log.Events {
+		for _, tr := range e.Appended {
+			if tr.Comp == comp && !tr.TS.Less(ts) {
+				return e.Seq, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("trace: no H event contains a triple for component %d with timestamp >= %v", comp, ts)
+}
+
+// Replay computes the contents of M after each linearized operation.
+// states[k] is the contents after the first k operations (states[0] is the
+// initial, all-nil contents); len(states) == len(ops)+1.
+func Replay(ops []MOp, m int) [][]augsnap.Value {
+	states := make([][]augsnap.Value, len(ops)+1)
+	cur := make([]augsnap.Value, m)
+	states[0] = append([]augsnap.Value(nil), cur...)
+	for k, op := range ops {
+		if !op.IsScan {
+			cur[op.Comp] = op.Val
+		}
+		states[k+1] = append([]augsnap.Value(nil), cur...)
+	}
+	return states
+}
+
+// Check verifies the recorded history of an augmented snapshot against the
+// paper's specification:
+//
+//   - §3.1 Scans: every Scan returns the contents of M at its linearization
+//     point (Corollary 15).
+//   - §3.1 Block-Updates: every atomic Block-Update B returns the contents of
+//     M at some point T between the last atomic Update Z' before B's first
+//     Update Z and Z itself, with no Scan linearized between T and Z
+//     (Lemma 19).
+//   - Atomic Block-Updates linearize all their Updates consecutively at one
+//     point (Lemma 11); yielding ones linearize each Update after the
+//     Block-Update's first scan and no later than its line-4 update
+//     (Lemma 12).
+//   - Theorem 20: a Block-Update by q_i yields only if a lower-id process
+//     appended triples to H strictly inside its execution interval; in
+//     particular process 0 never yields.
+//   - Lemma 2 step counts: 6 H-operations per completed atomic Block-Update
+//     (5 when it yields at line 10), and at most 2k+3 per Scan, where k is
+//     the number of concurrent triple-appending H.updates by other processes.
+func Check(log *augsnap.Log, m int) error {
+	ops, err := Linearize(log, m)
+	if err != nil {
+		return err
+	}
+	states := Replay(ops, m)
+
+	// Index the linearized position of each Block-Update's first update and
+	// detect scan/update linearization-point collisions.
+	firstIdx := make(map[*augsnap.BURecord]int)
+	lastIdx := make(map[*augsnap.BURecord]int)
+	for k, op := range ops {
+		if op.IsScan {
+			continue
+		}
+		if _, ok := firstIdx[op.BU]; !ok {
+			firstIdx[op.BU] = k
+		}
+		lastIdx[op.BU] = k
+	}
+	for k := 1; k < len(ops); k++ {
+		if ops[k].Seq == ops[k-1].Seq && ops[k].IsScan != ops[k-1].IsScan {
+			return fmt.Errorf("trace: scan and update linearized at the same H event %d", ops[k].Seq)
+		}
+	}
+
+	// Scans return the contents at their linearization point.
+	for k, op := range ops {
+		if !op.IsScan {
+			continue
+		}
+		if !reflect.DeepEqual(op.SR.View, states[k+1]) {
+			return fmt.Errorf("trace: scan by %d at seq %d returned %v, contents are %v",
+				op.PID, op.Seq, op.SR.View, states[k+1])
+		}
+	}
+
+	// Lemma 2 for Scans.
+	for _, sr := range log.Scans {
+		k := 0
+		for _, e := range log.Events {
+			if e.Seq > sr.StartSeq && e.Seq < sr.LinSeq && e.PID != sr.PID && len(e.Appended) > 0 {
+				k++
+			}
+		}
+		if sr.HOps > 2*k+3 {
+			return fmt.Errorf("trace: scan by %d took %d H-ops with %d concurrent updates (bound %d)",
+				sr.PID, sr.HOps, k, 2*k+3)
+		}
+	}
+
+	for _, bu := range log.BUs {
+		if err := checkBU(log, bu, ops, states, firstIdx, lastIdx, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkBU(log *augsnap.Log, bu *augsnap.BURecord, ops []MOp, states [][]augsnap.Value,
+	firstIdx, lastIdx map[*augsnap.BURecord]int, m int) error {
+
+	first, last := firstIdx[bu], lastIdx[bu]
+	if bu.Yielded {
+		// Theorem 20 / Lemma 13: a lower-id process appended triples inside
+		// the execution interval [HSeq, CheckSeq].
+		if bu.PID == 0 {
+			return fmt.Errorf("trace: process 0 yielded (Block-Update %d)", bu.Index)
+		}
+		found := false
+		for _, e := range log.Events {
+			if e.Seq > bu.HSeq && e.Seq < bu.CheckSeq && e.PID < bu.PID && len(e.Appended) > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("trace: Block-Update %d by %d yielded without a lower-id update in its interval", bu.Index, bu.PID)
+		}
+		// Lemma 12: updates linearize after HSeq and no later than XSeq.
+		for k := first; k <= last; k++ {
+			if ops[k].BU == bu && (ops[k].Seq <= bu.HSeq || ops[k].Seq > bu.XSeq) {
+				return fmt.Errorf("trace: yielded Block-Update %d by %d has update linearized at %d outside (%d, %d]",
+					bu.Index, bu.PID, ops[k].Seq, bu.HSeq, bu.XSeq)
+			}
+		}
+		// Step count: a yielding Block-Update stops after 5 H-operations.
+		if got := countEventsBy(log, bu.PID, bu.HSeq, bu.CheckSeq); got != 5 {
+			return fmt.Errorf("trace: yielded Block-Update %d by %d took %d H-ops, want 5", bu.Index, bu.PID, got)
+		}
+		return nil
+	}
+
+	// Atomic: all updates consecutive at XSeq (Lemma 11).
+	if last-first+1 != len(bu.Comps) {
+		return fmt.Errorf("trace: atomic Block-Update %d by %d not consecutive in linearization", bu.Index, bu.PID)
+	}
+	for k := first; k <= last; k++ {
+		if ops[k].BU != bu {
+			return fmt.Errorf("trace: foreign op interleaved inside atomic Block-Update %d by %d", bu.Index, bu.PID)
+		}
+		if ops[k].Seq != bu.XSeq {
+			return fmt.Errorf("trace: atomic Block-Update %d by %d linearized at %d, want %d", bu.Index, bu.PID, ops[k].Seq, bu.XSeq)
+		}
+	}
+	if got := countEventsBy(log, bu.PID, bu.HSeq, bu.ReadSeq); got != 6 {
+		return fmt.Errorf("trace: atomic Block-Update %d by %d took %d H-ops, want 6", bu.Index, bu.PID, got)
+	}
+
+	// §3.1 returned-view condition (Lemma 19): find the last atomic Update
+	// linearized before `first`; the view must equal the contents at some
+	// index T in [zp, first] with no Scan linearized in ops[T:first].
+	zp := 0
+	for k := first - 1; k >= 0; k-- {
+		if !ops[k].IsScan && !ops[k].BU.Yielded {
+			zp = k + 1
+			break
+		}
+	}
+	ok := false
+	for T := first; T >= zp; T-- {
+		if reflect.DeepEqual(bu.View, states[T]) {
+			scanBetween := false
+			for k := T; k < first; k++ {
+				if ops[k].IsScan {
+					scanBetween = true
+					break
+				}
+			}
+			if !scanBetween {
+				ok = true
+				break
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("trace: atomic Block-Update %d by %d returned view %v not matching any legal point in [%d, %d] (m=%d)",
+			bu.Index, bu.PID, bu.View, zp, first, m)
+	}
+	return nil
+}
+
+// countEventsBy counts the H events by pid with from <= seq <= to.
+func countEventsBy(log *augsnap.Log, pid, from, to int) int {
+	n := 0
+	for _, e := range log.Events {
+		if e.PID == pid && e.Seq >= from && e.Seq <= to {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"revisionist/internal/augsnap"
+)
+
+// Segment is one α_t γ_t β_t block of the paper's block decomposition
+// (§4.3): Beta is the consecutive run of Updates of the t-th completed
+// atomic Block-Update B_t; Gamma the Updates (all from yielding
+// Block-Updates) linearized between B_t's view point and Beta; Alpha
+// everything since the previous segment. B_t returned the contents of M at
+// the configuration reached after Alpha.
+type Segment struct {
+	Alpha []MOp
+	Gamma []MOp
+	Beta  []MOp
+	BU    *augsnap.BURecord
+	// ViewPoint is the state index (into Replay's states) at which B_t's
+	// returned view matches the contents of M.
+	ViewPoint int
+}
+
+// Decomposition is the full block decomposition of a run: the segments for
+// B_1..B_ℓ and the trailing α_{ℓ+1}.
+type Decomposition struct {
+	Segments []Segment
+	Tail     []MOp
+}
+
+// BlockDecomposition computes the block decomposition of a recorded history:
+// the sequence of linearized operations is split as α₁γ₁β₁ ... α_ℓγ_ℓβ_ℓ
+// α_{ℓ+1}, where each β_t is an atomic Block-Update's updates, each γ_t
+// contains only Updates of yielding Block-Updates, and B_t's returned view
+// is the contents of M right after α₁γ₁β₁...α_t. It errors if the history
+// violates the structure (which Lemmas 17–19 rule out).
+func BlockDecomposition(log *augsnap.Log, m int) (*Decomposition, error) {
+	ops, err := Linearize(log, m)
+	if err != nil {
+		return nil, err
+	}
+	states := Replay(ops, m)
+
+	// Atomic Block-Updates in linearization order.
+	type block struct {
+		bu          *augsnap.BURecord
+		first, last int
+	}
+	var blocks []block
+	idx := map[*augsnap.BURecord]int{}
+	for k, op := range ops {
+		if op.IsScan || op.BU.Yielded {
+			continue
+		}
+		if bi, ok := idx[op.BU]; ok {
+			blocks[bi].last = k
+			continue
+		}
+		idx[op.BU] = len(blocks)
+		blocks = append(blocks, block{bu: op.BU, first: k, last: k})
+	}
+
+	d := &Decomposition{}
+	prevEnd := 0
+	for t, b := range blocks {
+		if b.first < prevEnd {
+			return nil, fmt.Errorf("trace: atomic blocks overlap at op %d", b.first)
+		}
+		// Find the view point: the latest k in [prevEnd, first] with contents
+		// equal to the returned view and no Scan in ops[k:first].
+		viewPoint := -1
+		for k := b.first; k >= prevEnd; k-- {
+			if reflect.DeepEqual(b.bu.View, states[k]) && !anyScan(ops[k:b.first]) {
+				viewPoint = k
+				break
+			}
+		}
+		if viewPoint < 0 {
+			return nil, fmt.Errorf("trace: no view point for atomic Block-Update %d of q%d (Lemma 19 violated)",
+				b.bu.Index, b.bu.PID)
+		}
+		gamma := ops[viewPoint:b.first]
+		for _, op := range gamma {
+			if op.IsScan {
+				return nil, fmt.Errorf("trace: Scan inside γ_%d (Lemma 17 violated)", t+1)
+			}
+			if !op.BU.Yielded {
+				return nil, fmt.Errorf("trace: atomic Update inside γ_%d (Lemma 18 violated)", t+1)
+			}
+		}
+		d.Segments = append(d.Segments, Segment{
+			Alpha:     ops[prevEnd:viewPoint],
+			Gamma:     gamma,
+			Beta:      ops[b.first : b.last+1],
+			BU:        b.bu,
+			ViewPoint: viewPoint,
+		})
+		prevEnd = b.last + 1
+	}
+	d.Tail = ops[prevEnd:]
+	return d, nil
+}
+
+func anyScan(ops []MOp) bool {
+	for _, op := range ops {
+		if op.IsScan {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders the decomposition compactly, one segment per line:
+//
+//	B1 by q0: |alpha|=3 |gamma|=0 |beta|=2 view@5
+func (d *Decomposition) Summary() string {
+	var sb strings.Builder
+	for t, seg := range d.Segments {
+		fmt.Fprintf(&sb, "B%d by q%d: |alpha|=%d |gamma|=%d |beta|=%d view@%d\n",
+			t+1, seg.BU.PID, len(seg.Alpha), len(seg.Gamma), len(seg.Beta), seg.ViewPoint)
+	}
+	fmt.Fprintf(&sb, "tail: %d ops\n", len(d.Tail))
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"revisionist/internal/augsnap"
+	"revisionist/internal/sched"
+	"revisionist/internal/shmem"
+)
+
+func TestBlockDecompositionSolo(t *testing.T) {
+	a := augsnap.New(shmem.Free{}, 2, 2)
+	a.BlockUpdate(0, []int{0}, []augsnap.Value{"x"})
+	a.BlockUpdate(0, []int{0, 1}, []augsnap.Value{"y", "z"})
+	a.Scan(1)
+	d, err := BlockDecomposition(a.Log(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(d.Segments))
+	}
+	if len(d.Segments[0].Beta) != 1 || len(d.Segments[1].Beta) != 2 {
+		t.Fatalf("beta sizes = %d, %d", len(d.Segments[0].Beta), len(d.Segments[1].Beta))
+	}
+	for _, seg := range d.Segments {
+		if len(seg.Gamma) != 0 {
+			t.Fatal("gamma must be empty without yields")
+		}
+	}
+	if len(d.Tail) != 1 || !d.Tail[0].IsScan {
+		t.Fatalf("tail = %+v, want the final scan", d.Tail)
+	}
+	if !strings.Contains(d.Summary(), "B2 by q0") {
+		t.Fatalf("summary:\n%s", d.Summary())
+	}
+}
+
+func TestBlockDecompositionStructureUnderContention(t *testing.T) {
+	// Across many contended runs: every γ contains only yield-updates (the
+	// decomposition function enforces it), segments tile the linearization,
+	// and the number of segments equals the number of atomic Block-Updates.
+	for seed := int64(0); seed < 40; seed++ {
+		a := runAugWorkload(t, 4, 3, 6, seed, sched.NewRandom(seed))
+		d, err := BlockDecomposition(a.Log(), 3)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		atomic := 0
+		for _, bu := range a.Log().BUs {
+			if !bu.Yielded {
+				atomic++
+			}
+		}
+		if len(d.Segments) != atomic {
+			t.Fatalf("seed %d: %d segments for %d atomic Block-Updates", seed, len(d.Segments), atomic)
+		}
+		total := len(d.Tail)
+		for _, seg := range d.Segments {
+			total += len(seg.Alpha) + len(seg.Gamma) + len(seg.Beta)
+		}
+		ops, err := Linearize(a.Log(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != len(ops) {
+			t.Fatalf("seed %d: segments cover %d of %d ops", seed, total, len(ops))
+		}
+	}
+}
+
+func TestBlockDecompositionViewMatchesContents(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a := runAugWorkload(t, 3, 2, 5, seed, sched.NewRandom(seed+500))
+		d, err := BlockDecomposition(a.Log(), 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ops, _ := Linearize(a.Log(), 2)
+		states := Replay(ops, 2)
+		for _, seg := range d.Segments {
+			got := states[seg.ViewPoint]
+			for j := range got {
+				if got[j] != seg.BU.View[j] {
+					t.Fatalf("seed %d: view point contents %v != returned view %v", seed, got, seg.BU.View)
+				}
+			}
+		}
+	}
+}

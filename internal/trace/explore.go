@@ -1,0 +1,152 @@
+// Package trace provides execution-history tooling: bounded exhaustive
+// schedule exploration (this file), and offline linearization plus
+// specification checking for the augmented snapshot object (see check.go).
+package trace
+
+import (
+	"fmt"
+
+	"revisionist/internal/sched"
+)
+
+// ExploreOpts bounds an exhaustive exploration.
+type ExploreOpts struct {
+	// MaxDepth caps the number of scheduler steps per run; runs that reach it
+	// are truncated (remaining processes treated as crashed), which is sound
+	// for safety checking of colorless tasks because their specifications are
+	// subset-closed.
+	MaxDepth int
+	// MaxRuns caps the number of explored schedules (0 = no cap).
+	MaxRuns int
+	// MaxViolations stops the search after this many violations (0 = 1).
+	MaxViolations int
+}
+
+// Violation is one failing schedule.
+type Violation struct {
+	Schedule []int // scheduler picks, replayable with sched.Replay
+	Err      error
+}
+
+// ExploreReport summarizes an exhaustive exploration.
+type ExploreReport struct {
+	Runs       int
+	Truncated  int // runs cut off at MaxDepth
+	Violations []Violation
+	Exhausted  bool // the whole schedule space within MaxDepth was covered
+}
+
+// System is one freshly constructed system instance to execute and check.
+// Factory functions wire their shared objects to the provided runner.
+type System struct {
+	Body func(pid int)
+	// Check is called after the run with the scheduler result; returning an
+	// error marks the schedule as violating.
+	Check func(res *sched.Result) error
+}
+
+// recStrategy replays a prefix, then always picks the first enabled process,
+// recording every decision so the explorer can backtrack to siblings.
+type recStrategy struct {
+	prefix   []int
+	maxDepth int
+	enabled  [][]int
+	picks    []int
+	trunc    bool
+}
+
+func (s *recStrategy) Pick(step int, enabled []int) int {
+	if step >= s.maxDepth {
+		s.trunc = true
+		return sched.Halt
+	}
+	pick := enabled[0]
+	if step < len(s.prefix) {
+		pick = s.prefix[step]
+		found := false
+		for _, pid := range enabled {
+			if pid == pick {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Deterministic systems replay identically; reaching here means
+			// the factory is nondeterministic, which the explorer cannot
+			// handle. Fall back to the first enabled process.
+			pick = enabled[0]
+		}
+	}
+	cp := make([]int, len(enabled))
+	copy(cp, enabled)
+	s.enabled = append(s.enabled, cp)
+	s.picks = append(s.picks, pick)
+	return pick
+}
+
+// Explore enumerates schedules of the nprocs-process system produced by
+// factory, depth-first over scheduler choices, until the space is exhausted
+// or a bound is hit.
+func Explore(nprocs int, factory func(runner *sched.Runner) System, opts ExploreOpts) (*ExploreReport, error) {
+	if opts.MaxDepth <= 0 {
+		return nil, fmt.Errorf("trace: MaxDepth must be positive")
+	}
+	maxViol := opts.MaxViolations
+	if maxViol <= 0 {
+		maxViol = 1
+	}
+	report := &ExploreReport{}
+	prefix := []int{}
+	for {
+		if opts.MaxRuns > 0 && report.Runs >= opts.MaxRuns {
+			return report, nil
+		}
+		strat := &recStrategy{prefix: prefix, maxDepth: opts.MaxDepth}
+		runner := sched.NewRunner(nprocs, strat)
+		sys := factory(runner)
+		res, err := runner.Run(sys.Body)
+		report.Runs++
+		if strat.trunc {
+			report.Truncated++
+		}
+		if err != nil {
+			return report, fmt.Errorf("trace: run failed on schedule %v: %w", strat.picks, err)
+		}
+		if cerr := sys.Check(res); cerr != nil {
+			sch := make([]int, len(strat.picks))
+			copy(sch, strat.picks)
+			report.Violations = append(report.Violations, Violation{Schedule: sch, Err: cerr})
+			if len(report.Violations) >= maxViol {
+				return report, nil
+			}
+		}
+		// Backtrack: find the deepest decision with an unexplored sibling.
+		next := backtrack(strat.enabled, strat.picks)
+		if next == nil {
+			report.Exhausted = true
+			return report, nil
+		}
+		prefix = next
+	}
+}
+
+// backtrack returns the next prefix in DFS order, or nil when exhausted.
+func backtrack(enabled [][]int, picks []int) []int {
+	for d := len(picks) - 1; d >= 0; d-- {
+		opts := enabled[d]
+		idx := -1
+		for i, pid := range opts {
+			if pid == picks[d] {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 && idx+1 < len(opts) {
+			next := make([]int, d+1)
+			copy(next, picks[:d])
+			next[d] = opts[idx+1]
+			return next
+		}
+	}
+	return nil
+}

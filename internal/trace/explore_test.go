@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"revisionist/internal/sched"
+	"revisionist/internal/shmem"
+)
+
+// counterSystem: two processes each write their pid then read back; check can
+// be told to flag a specific final read by process 0. The final value is
+// captured inside Body — Check must not touch gated objects, since the
+// scheduler has already shut down when it runs.
+func counterSystem(flagValue shmem.Value) func(runner *sched.Runner) System {
+	return func(runner *sched.Runner) System {
+		reg := shmem.NewRegister("R", runner, nil)
+		var lastRead [2]shmem.Value
+		return System{
+			Body: func(pid int) {
+				reg.Write(pid, pid)
+				lastRead[pid] = reg.Read(pid)
+			},
+			Check: func(*sched.Result) error {
+				if flagValue != nil && lastRead[0] == flagValue {
+					return fmt.Errorf("flagged value reached")
+				}
+				return nil
+			},
+		}
+	}
+}
+
+func TestExploreExhaustsSmallSpace(t *testing.T) {
+	rep, err := Explore(2, counterSystem(nil), ExploreOpts{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exhausted {
+		t.Fatal("small space not exhausted")
+	}
+	// Two processes, four ops: C(4,2) = 6 interleavings.
+	if rep.Runs != 6 {
+		t.Fatalf("runs = %d, want 6", rep.Runs)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", rep.Violations)
+	}
+}
+
+func TestExploreFindsViolation(t *testing.T) {
+	// Flag the schedules in which process 1's write lands last.
+	rep, err := Explore(2, counterSystem(1), ExploreOpts{MaxDepth: 10, MaxViolations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("no violation found")
+	}
+	// Replaying a violating schedule reproduces it.
+	v := rep.Violations[0]
+	runner := sched.NewRunner(2, sched.Replay{Choices: v.Schedule, Fallback: sched.RoundRobin{N: 2}})
+	reg := shmem.NewRegister("R", runner, nil)
+	var lastRead [2]shmem.Value
+	if _, err := runner.Run(func(pid int) {
+		reg.Write(pid, pid)
+		lastRead[pid] = reg.Read(pid)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lastRead[0] != 1 {
+		t.Fatalf("replay of violating schedule gives %v, want 1", lastRead[0])
+	}
+}
+
+func TestExploreRespectsMaxRuns(t *testing.T) {
+	rep, err := Explore(2, counterSystem(nil), ExploreOpts{MaxDepth: 10, MaxRuns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 3 || rep.Exhausted {
+		t.Fatalf("runs=%d exhausted=%v", rep.Runs, rep.Exhausted)
+	}
+}
+
+func TestExploreTruncatesAtDepth(t *testing.T) {
+	factory := func(runner *sched.Runner) System {
+		reg := shmem.NewRegister("R", runner, nil)
+		return System{
+			Body: func(pid int) {
+				for i := 0; i < 100; i++ {
+					reg.Write(pid, i)
+				}
+			},
+			Check: func(*sched.Result) error { return nil },
+		}
+	}
+	rep, err := Explore(1, factory, ExploreOpts{MaxDepth: 5, MaxRuns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated == 0 {
+		t.Fatal("expected truncated runs")
+	}
+}
+
+func TestExploreRejectsBadDepth(t *testing.T) {
+	if _, err := Explore(1, counterSystem(nil), ExploreOpts{}); err == nil {
+		t.Fatal("MaxDepth 0 accepted")
+	}
+}
+
+func TestBacktrackOrder(t *testing.T) {
+	// backtrack must produce the DFS-next prefix.
+	enabled := [][]int{{0, 1}, {0, 1}, {1}}
+	picks := []int{0, 0, 1}
+	next := backtrack(enabled, picks)
+	want := []int{0, 1}
+	if len(next) != len(want) {
+		t.Fatalf("next = %v", next)
+	}
+	for i := range want {
+		if next[i] != want[i] {
+			t.Fatalf("next = %v, want %v", next, want)
+		}
+	}
+	// Fully explored space returns nil.
+	if backtrack([][]int{{0}}, []int{0}) != nil {
+		t.Fatal("expected nil for exhausted space")
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"revisionist/internal/sched"
+)
+
+// FuzzOpts configures an adversarial schedule search.
+type FuzzOpts struct {
+	// Iterations is the number of candidate schedules evaluated.
+	Iterations int
+	// Seed makes the search reproducible.
+	Seed int64
+	// ScheduleLen is the length of the evolved choice prefix (beyond it the
+	// run falls back to a seeded random strategy).
+	ScheduleLen int
+	// MaxSteps bounds each run.
+	MaxSteps int
+}
+
+// FuzzReport is the outcome of a schedule search.
+type FuzzReport struct {
+	BestSchedule []int
+	BestScore    float64
+	Evaluated    int
+}
+
+// Fuzz hill-climbs over schedule prefixes to maximize metric — an
+// adversarial-scheduler search. It mutates the best known prefix (point
+// mutations of process choices), evaluates each candidate by running a fresh
+// system under Replay with a seeded random fallback, and keeps improvements.
+// Protocol lower bounds come with adversary constructions; this is the
+// mechanical stand-in: it finds schedules that maximize steps (livelock
+// pressure on obstruction-free protocols), yields, or any other measurable
+// damage.
+func Fuzz(nprocs int, factory func(runner *sched.Runner) System,
+	metric func(res *sched.Result) float64, opts FuzzOpts) (*FuzzReport, error) {
+
+	if opts.Iterations <= 0 {
+		opts.Iterations = 100
+	}
+	if opts.ScheduleLen <= 0 {
+		opts.ScheduleLen = 64
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1 << 20
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	evaluate := func(prefix []int) (float64, error) {
+		strat := sched.Replay{Choices: prefix, Fallback: sched.NewRandom(opts.Seed + 1)}
+		runner := sched.NewRunner(nprocs, strat, sched.WithMaxSteps(opts.MaxSteps))
+		sys := factory(runner)
+		res, err := runner.Run(sys.Body)
+		if err != nil && res == nil {
+			return 0, fmt.Errorf("trace: fuzz run failed: %w", err)
+		}
+		if sys.Check != nil {
+			if cerr := sys.Check(res); cerr != nil {
+				return 0, fmt.Errorf("trace: fuzz check failed: %w", cerr)
+			}
+		}
+		return metric(res), nil
+	}
+
+	best := make([]int, opts.ScheduleLen)
+	for i := range best {
+		best[i] = rng.Intn(nprocs)
+	}
+	bestScore, err := evaluate(best)
+	if err != nil {
+		return nil, err
+	}
+	report := &FuzzReport{Evaluated: 1}
+	for it := 1; it < opts.Iterations; it++ {
+		cand := append([]int(nil), best...)
+		// Mutate a random segment.
+		nmut := 1 + rng.Intn(4)
+		for j := 0; j < nmut; j++ {
+			cand[rng.Intn(len(cand))] = rng.Intn(nprocs)
+		}
+		score, err := evaluate(cand)
+		if err != nil {
+			return nil, err
+		}
+		report.Evaluated++
+		if score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	report.BestSchedule = best
+	report.BestScore = bestScore
+	return report, nil
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"revisionist/internal/augsnap"
+	"revisionist/internal/sched"
+	"revisionist/internal/shmem"
+	"revisionist/internal/spec"
+)
+
+// paxosLikeSystem is a tiny 2-process round-racing protocol (phase-structured
+// like the repository's Paxos): the fuzzer should find schedules that force
+// retries, inflating the step count well beyond the contention-free optimum.
+func paxosLikeSystem(runner *sched.Runner) System {
+	type reg struct {
+		LRE, LRWW int
+		Val       shmem.Value
+	}
+	snap := shmem.NewMWSnapshot("M", runner, 2, nil)
+	get := func(v shmem.Value) reg {
+		if v == nil {
+			return reg{}
+		}
+		return v.(reg)
+	}
+	outputs := [2]shmem.Value{}
+	return System{
+		Body: func(pid int) {
+			r := pid + 1
+			var val shmem.Value
+			for round := 0; round < 30; round++ {
+				my := get(snap.Scan(pid)[pid])
+				snap.Update(pid, pid, reg{LRE: r, LRWW: my.LRWW, Val: my.Val})
+				view := snap.Scan(pid)
+				conflict := false
+				val = pid * 100
+				best := 0
+				for _, raw := range view {
+					g := get(raw)
+					if g.LRE > r || g.LRWW > r {
+						conflict = true
+					}
+					if g.LRWW > best {
+						best, val = g.LRWW, g.Val
+					}
+				}
+				if conflict {
+					r += 2
+					continue
+				}
+				snap.Update(pid, pid, reg{LRE: r, LRWW: r, Val: val})
+				view = snap.Scan(pid)
+				conflict = false
+				for _, raw := range view {
+					g := get(raw)
+					if g.LRE > r {
+						conflict = true
+					}
+				}
+				if !conflict {
+					outputs[pid] = val
+					return
+				}
+				r += 2
+			}
+		},
+		Check: func(*sched.Result) error {
+			if outputs[0] != nil && outputs[1] != nil && outputs[0] != outputs[1] {
+				return fmt.Errorf("agreement violated: %v vs %v", outputs[0], outputs[1])
+			}
+			return nil
+		},
+	}
+}
+
+func TestFuzzFindsContention(t *testing.T) {
+	steps := func(res *sched.Result) float64 { return float64(res.Steps) }
+	// Baseline: one random run.
+	base, err := Fuzz(2, paxosLikeSystem, steps, FuzzOpts{Iterations: 1, Seed: 2, ScheduleLen: 24, MaxSteps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuzzed, err := Fuzz(2, paxosLikeSystem, steps, FuzzOpts{Iterations: 400, Seed: 2, ScheduleLen: 24, MaxSteps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fuzzed.BestScore < base.BestScore {
+		t.Fatalf("hill climbing regressed: %v -> %v", base.BestScore, fuzzed.BestScore)
+	}
+	if fuzzed.Evaluated != 400 {
+		t.Fatalf("evaluated = %d", fuzzed.Evaluated)
+	}
+	t.Logf("steps: baseline %v, fuzzed %v", base.BestScore, fuzzed.BestScore)
+}
+
+func TestFuzzMaximizesYields(t *testing.T) {
+	var a *augsnap.AugSnapshot
+	factory := func(runner *sched.Runner) System {
+		a = augsnap.New(runner, 3, 2)
+		return System{
+			Body: func(pid int) {
+				for i := 0; i < 4; i++ {
+					a.BlockUpdate(pid, []int{pid % 2}, []augsnap.Value{i})
+				}
+			},
+			Check: func(*sched.Result) error {
+				return Check(a.Log(), 2)
+			},
+		}
+	}
+	yields := func(*sched.Result) float64 {
+		n := 0.0
+		for _, bu := range a.Log().BUs {
+			if bu.Yielded {
+				n++
+			}
+		}
+		return n
+	}
+	rep, err := Fuzz(3, factory, yields, FuzzOpts{Iterations: 120, Seed: 3, ScheduleLen: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestScore == 0 {
+		t.Fatal("fuzzer found no yielding schedule; with 3 contending processes it should")
+	}
+	t.Logf("max yields found: %v", rep.BestScore)
+}
+
+func TestFuzzValidatesSafetyEveryRun(t *testing.T) {
+	// Every evaluated schedule runs the Check; a protocol with a reachable
+	// safety violation surfaces as an error.
+	factory := func(runner *sched.Runner) System {
+		reg := shmem.NewRegister("R", runner, nil)
+		var outs [2]shmem.Value
+		return System{
+			Body: func(pid int) {
+				if reg.Read(pid) == nil {
+					reg.Write(pid, pid)
+				}
+				outs[pid] = reg.Read(pid)
+			},
+			Check: func(*sched.Result) error {
+				return (spec.Consensus{}).Validate([]spec.Value{0, 1}, []spec.Value{outs[0], outs[1]})
+			},
+		}
+	}
+	_, err := Fuzz(2, factory, func(res *sched.Result) float64 { return float64(res.Steps) },
+		FuzzOpts{Iterations: 200, Seed: 7, ScheduleLen: 8})
+	if err == nil {
+		t.Fatal("fuzzer never hit the reachable violation of the 1-register protocol")
+	}
+}
