@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all vet build test bench bench-smoke ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite; takes a while.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rot without the cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+ci: vet build test bench-smoke

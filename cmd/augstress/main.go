@@ -21,18 +21,23 @@ import (
 
 func main() {
 	var (
-		f     = flag.Int("f", 4, "processes")
-		m     = flag.Int("m", 3, "components")
-		ops   = flag.Int("ops", 8, "operations per process")
-		seeds = flag.Int("seeds", 200, "number of seeded schedules")
+		f      = flag.Int("f", 4, "processes")
+		m      = flag.Int("m", 3, "components")
+		ops    = flag.Int("ops", 8, "operations per process")
+		seeds  = flag.Int("seeds", 200, "number of seeded schedules")
+		engine = flag.String("engine", string(sched.DefaultEngine), "execution engine: seq | goroutine")
 	)
 	flag.Parse()
 
 	var totalBU, totalYield, totalScan int
 	for seed := 0; seed < *seeds; seed++ {
-		runner := sched.NewRunner(*f, sched.NewRandom(int64(seed)), sched.WithMaxSteps(1<<22))
+		runner, err := sched.NewEngine(sched.EngineKind(*engine), *f, sched.NewRandom(int64(seed)), sched.WithMaxSteps(1<<22))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		a := augsnap.New(runner, *f, *m)
-		_, err := runner.Run(func(pid int) {
+		_, err = runner.Run(func(pid int) {
 			rng := rand.New(rand.NewSource(int64(seed*1000 + pid)))
 			for i := 0; i < *ops; i++ {
 				if rng.Intn(4) == 0 {

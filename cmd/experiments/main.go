@@ -29,9 +29,14 @@ import (
 	"revisionist/internal/trace"
 )
 
+// engineKind is the execution engine every experiment runs on (-engine flag).
+var engineKind sched.EngineKind
+
 func main() {
 	section := flag.String("section", "all", "which section to print")
+	engine := flag.String("engine", string(sched.DefaultEngine), "execution engine: seq | goroutine")
 	flag.Parse()
+	engineKind = sched.EngineKind(*engine)
 	run := func(name string, fn func()) {
 		if *section == "all" || *section == name {
 			fn()
@@ -158,9 +163,12 @@ func mustLB3(n int, l3 float64) int {
 
 // augWorkload runs one random augmented-snapshot workload and returns it.
 func augWorkload(f, m, ops int, seed int64) *augsnap.AugSnapshot {
-	runner := sched.NewRunner(f, sched.NewRandom(seed), sched.WithMaxSteps(1<<22))
+	runner, err := sched.NewEngine(engineKind, f, sched.NewRandom(seed), sched.WithMaxSteps(1<<22))
+	if err != nil {
+		fail(err)
+	}
 	a := augsnap.New(runner, f, m)
-	_, err := runner.Run(func(pid int) {
+	_, err = runner.Run(func(pid int) {
 		rng := rand.New(rand.NewSource(seed*1000 + int64(pid)))
 		for i := 0; i < ops; i++ {
 			if rng.Intn(4) == 0 {
@@ -304,6 +312,7 @@ func e5Simulation() {
 	}
 	fmt.Printf("%-26s | %6s %6s %6s %8s %10s %12s %8s %8s\n", "experiment", "runs", "done", "valid", "maxBU", "maxOps", "2b(i)+1 ok", "revis.", "recon")
 	for _, e := range exps {
+		e.cfg.Engine = engineKind
 		var runs, done, valid, maxBU, maxOps, revis, recon int
 		capsOK := true
 		for seed := int64(0); seed < 30; seed++ {
@@ -382,7 +391,7 @@ func e5bGrowth() {
 				return procs, err
 			}
 		}
-		cfg := core.Config{N: n, M: m, F: f, D: 0}
+		cfg := core.Config{N: n, M: m, F: f, D: 0, Engine: engineKind}
 		maxBU, maxOps := 0, 0
 		for seed := int64(0); seed < 40; seed++ {
 			inputs := make([]proto.Value, f)
@@ -414,7 +423,7 @@ func e6Falsification() {
 	fmt.Printf("%3s %3s | %8s %10s %12s\n", "n", "f", "runs", "all done", "disagree")
 	for _, nf := range [][2]int{{2, 2}, {4, 4}, {8, 8}} {
 		n, f := nf[0], nf[1]
-		cfg := core.Config{N: n, M: 1, F: f, D: 0}
+		cfg := core.Config{N: n, M: 1, F: f, D: 0, Engine: engineKind}
 		var done, disagree int
 		const runs = 200
 		for seed := int64(0); seed < runs; seed++ {

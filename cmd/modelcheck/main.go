@@ -33,6 +33,7 @@ func main() {
 		depth    = flag.Int("depth", 20, "max schedule depth")
 		maxRuns  = flag.Int("maxruns", 200_000, "max schedules")
 		maxViol  = flag.Int("maxviol", 3, "stop after this many violations")
+		engine   = flag.String("engine", string(sched.DefaultEngine), "execution engine: seq | goroutine")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 		MaxDepth:      *depth,
 		MaxRuns:       *maxRuns,
 		MaxViolations: *maxViol,
+		Engine:        sched.EngineKind(*engine),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "modelcheck:", err)
@@ -62,7 +64,7 @@ func main() {
 	os.Exit(1)
 }
 
-func buildFactory(protocol string, n, k int, eps float64) (func(*sched.Runner) trace.System, int, error) {
+func buildFactory(protocol string, n, k int, eps float64) (trace.Factory, int, error) {
 	inputs := make([]spec.Value, n)
 	for i := range inputs {
 		inputs[i] = i
@@ -100,16 +102,16 @@ func buildFactory(protocol string, n, k int, eps float64) (func(*sched.Runner) t
 }
 
 func protocolFactory(inputs []spec.Value, task spec.Task,
-	mk func(in []proto.Value) ([]proto.Process, int, error)) func(*sched.Runner) trace.System {
-	return func(runner *sched.Runner) trace.System {
+	mk func(in []proto.Value) ([]proto.Process, int, error)) trace.Factory {
+	return func(gate sched.Stepper) trace.System {
 		procs, m, err := mk(inputs)
 		if err != nil {
 			panic(err)
 		}
 		res := proto.NewRunResult(len(procs))
-		snap := shmem.NewMWSnapshot("M", runner, m, nil)
+		snap := shmem.NewMWSnapshot("M", gate, m, nil)
 		return trace.System{
-			Body: proto.Body(procs, snap, res),
+			Machines: proto.Machines(procs, snap, res),
 			Check: func(*sched.Result) error {
 				return task.Validate(inputs, res.DoneOutputs())
 			},

@@ -32,6 +32,7 @@ func main() {
 		d        = flag.Int("d", 0, "direct simulators")
 		m        = flag.Int("m", 0, "components (layout mode; inferred otherwise)")
 		seed     = flag.Int64("seed", 1, "schedule seed")
+		engine   = flag.String("engine", string(sched.DefaultEngine), "execution engine: seq | goroutine")
 		layout   = flag.Bool("layout", false, "print the Figure 1 layout and exit")
 		decomp   = flag.Bool("decompose", false, "print the block decomposition of the run (§4.3)")
 		validate = flag.Bool("validate", true, "reconstruct and replay the simulated execution (Lemmas 26-27)")
@@ -75,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := core.Config{N: *n, M: mVal, F: *f, D: *d}
+	cfg := core.Config{N: *n, M: mVal, F: *f, D: *d, Engine: sched.EngineKind(*engine)}
 	inputs := make([]proto.Value, *f)
 	for i := range inputs {
 		inputs[i] = 100 + i

@@ -75,12 +75,12 @@ func main() {
 	fmt.Printf("\nrandom schedules: 20/20 safe, %d/20 fully decided\n", decidedAll)
 
 	// Starved protocol: exhaustive search exhibits the violation.
-	factory := func(runner *sched.Runner) trace.System {
+	factory := func(gate sched.Stepper) trace.System {
 		procs := []proto.Process{algorithms.NewFirstValue(0, 0), algorithms.NewFirstValue(0, 1)}
 		res := proto.NewRunResult(2)
-		snap := shmem.NewMWSnapshot("M", runner, 1, nil)
+		snap := shmem.NewMWSnapshot("M", gate, 1, nil)
 		return trace.System{
-			Body: proto.Body(procs, snap, res),
+			Machines: proto.Machines(procs, snap, res),
 			Check: func(*sched.Result) error {
 				return (spec.Consensus{}).Validate([]spec.Value{0, 1}, res.DoneOutputs())
 			},

@@ -1,0 +1,3 @@
+module revisionist
+
+go 1.24

@@ -113,7 +113,7 @@ func TestConsensusSafetyExhaustiveTwoProcs(t *testing.T) {
 	// depth 24 keeps agreement+validity (truncated runs check the outputs
 	// produced so far; colorless specs are subset-closed).
 	inputs := []proto.Value{0, 1}
-	factory := func(runner *sched.Runner) trace.System {
+	factory := func(runner sched.Stepper) trace.System {
 		procs, m, err := NewConsensus(2, []proto.Value{0, 1})
 		if err != nil {
 			panic(err)
@@ -235,7 +235,7 @@ func TestFirstValueViolatesConsensusSomewhere(t *testing.T) {
 	// The starved "consensus" (m = 1 < n = lower bound) must admit an
 	// agreement violation; exhaustive search finds one.
 	inputs := []proto.Value{0, 1}
-	factory := func(runner *sched.Runner) trace.System {
+	factory := func(runner sched.Stepper) trace.System {
 		procs := []proto.Process{NewFirstValue(0, 0), NewFirstValue(0, 1)}
 		res := proto.NewRunResult(2)
 		snap := shmem.NewMWSnapshot("M", runner, 1, nil)
@@ -280,7 +280,7 @@ func TestPaxosCloneIsIndependent(t *testing.T) {
 func TestConsensusValidityExhaustiveSameInputs(t *testing.T) {
 	// With identical inputs every decided value must be that input, under
 	// every schedule (bounded).
-	factory := func(runner *sched.Runner) trace.System {
+	factory := func(runner sched.Stepper) trace.System {
 		procs, m, err := NewConsensus(2, []proto.Value{5, 5})
 		if err != nil {
 			panic(err)

@@ -57,7 +57,7 @@ func TestAA2ExhaustiveSchedules(t *testing.T) {
 	// Every schedule of the eps = 0.25 instance (2 rounds, 5 ops each): both
 	// processes always terminate with outputs within eps and inside [0, 1].
 	const eps = 0.25
-	factory := func(runner *sched.Runner) trace.System {
+	factory := func(runner sched.Stepper) trace.System {
 		procs, m, err := NewApproxAgreement2([2]float64{0, 1}, eps)
 		if err != nil {
 			panic(err)
@@ -160,7 +160,7 @@ func TestFirstValueAsStarvedAA(t *testing.T) {
 	// some schedule splits the outputs by the full input spread (the
 	// protocol is below the ⌊n/2⌋+1 bound of Corollary 34 and must fail).
 	inputs := []proto.Value{0.0, 1.0}
-	factory := func(runner *sched.Runner) trace.System {
+	factory := func(runner sched.Stepper) trace.System {
 		procs := []proto.Process{NewFirstValue(0, 0.0), NewFirstValue(0, 1.0)}
 		res := proto.NewRunResult(2)
 		snap := shmem.NewMWSnapshot("M", runner, 1, nil)

@@ -129,7 +129,7 @@ func TestAANCrashTolerance(t *testing.T) {
 func TestAANExhaustiveTiny(t *testing.T) {
 	// All schedules of a 2-process eps=0.25 instance.
 	const eps = 0.25
-	factory := func(runner *sched.Runner) trace.System {
+	factory := func(runner sched.Stepper) trace.System {
 		procs, m, err := NewApproxAgreementN([]float64{0, 1}, eps)
 		if err != nil {
 			panic(err)

@@ -29,8 +29,6 @@
 package augsnap
 
 import (
-	"fmt"
-
 	"revisionist/internal/shmem"
 )
 
@@ -120,8 +118,17 @@ func (h HView) numBU(j int) int { return h[j].NumBU }
 // view computes Get-View(h) (Algorithm 2): per component, the value of the
 // triple with the lexicographically largest timestamp, or nil.
 func (h HView) view(m int) []Value {
+	return h.viewInto(m, make([]Timestamp, m))
+}
+
+// viewInto is view with a caller-provided timestamp scratch buffer (len m,
+// not retained); the returned value slice is freshly allocated because
+// callers retain it.
+func (h HView) viewInto(m int, best []Timestamp) []Value {
 	out := make([]Value, m)
-	best := make([]Timestamp, m)
+	for i := range best {
+		best[i] = nil
+	}
 	for j := range h {
 		for _, tr := range h[j].Triples {
 			if best[tr.Comp] == nil || best[tr.Comp].Less(tr.TS) {
@@ -155,6 +162,19 @@ type AugSnapshot struct {
 	own     []HComp
 
 	log *Log
+
+	// Scratch buffers for the operation hot paths. Execution between two
+	// gated steps is exclusive under both engines and no scratch use spans a
+	// gate, so per-object reuse is race-free; contents are always copied out
+	// (or recomputed) before the next gate.
+	helpScratch []HelpRec
+	bestScratch []Timestamp
+	rawScratch  []shmem.Value
+}
+
+// scanIntoer is the allocation-free scan fast path (*shmem.SWSnapshot).
+type scanIntoer interface {
+	ScanInto(pid int, out []shmem.Value)
 }
 
 // New returns an m-component augmented snapshot for f processes, gated by st,
@@ -172,12 +192,15 @@ func New(st shmem.Stepper, f, m int) *AugSnapshot {
 // linearization points, so validate such runs at the task level instead.
 func NewOver(h Store, f, m int) *AugSnapshot {
 	a := &AugSnapshot{
-		f:       f,
-		m:       m,
-		h:       h,
-		buCount: make([]int, f),
-		own:     make([]HComp, f),
-		log:     &Log{},
+		f:           f,
+		m:           m,
+		h:           h,
+		buCount:     make([]int, f),
+		own:         make([]HComp, f),
+		log:         &Log{},
+		helpScratch: make([]HelpRec, 0, f),
+		bestScratch: make([]Timestamp, m),
+		rawScratch:  make([]shmem.Value, f),
 	}
 	a.h.SetRecorder(a.log)
 	return a
@@ -193,9 +216,16 @@ func (a *AugSnapshot) Processes() int { return a.f }
 // linearization and specification checking (package trace).
 func (a *AugSnapshot) Log() *Log { return a.log }
 
-// scanH performs one atomic scan of H and converts the result.
+// scanH performs one atomic scan of H and converts the result. The converted
+// HView owns its memory (help records retain it); the raw value slice is
+// scratch when H supports the ScanInto fast path.
 func (a *AugSnapshot) scanH(pid int) HView {
-	raw := a.h.Scan(pid)
+	raw := a.rawScratch
+	if si, ok := a.h.(scanIntoer); ok {
+		si.ScanInto(pid, raw)
+	} else {
+		raw = a.h.Scan(pid)
+	}
 	h := make(HView, a.f)
 	for j := range raw {
 		h[j] = raw[j].(HComp)
@@ -217,96 +247,28 @@ func (a *AugSnapshot) newTimestamp(pid int, h HView) Timestamp {
 // coincide (over triples), helping every other process between collects, and
 // return the view of the last result. It is non-blocking: only an infinite
 // sequence of concurrent Block-Updates can starve it.
+//
+// Scan drives a ScanOp cursor to completion; bodies that must take one gated
+// step per resume (the simulation's step machines) step the cursor
+// themselves via StartScan.
 func (a *AugSnapshot) Scan(pid int) []Value {
-	hp := a.scanH(pid)
-	startSeq := a.log.lastSeq()
-	hops := 1
-	for {
-		h := hp
-		recs := make([]HelpRec, 0, a.f-1)
-		for j := 0; j < a.f; j++ {
-			if j != pid {
-				recs = append(recs, HelpRec{Dst: j, Idx: h.numBU(j), H: h})
-			}
-		}
-		a.appendHelp(pid, recs)
-		hp = a.scanH(pid)
-		hops += 2
-		if h.eq(hp) {
-			view := h.view(a.m)
-			a.log.recordScanOp(pid, view, startSeq, hops)
-			return view
-		}
+	op := a.StartScan(pid)
+	for !op.Step() {
 	}
+	return op.View()
 }
 
 // BlockUpdate implements Algorithm 4: it applies Updates setting comps[g] to
 // vals[g] for each g and returns (view, true) if the Block-Update is atomic,
 // or (nil, false) if it yields.
+//
+// BlockUpdate drives a BlockUpdateOp cursor to completion; step machines use
+// StartBlockUpdate directly.
 func (a *AugSnapshot) BlockUpdate(pid int, comps []int, vals []Value) ([]Value, bool) {
-	if len(comps) == 0 || len(comps) != len(vals) {
-		panic(fmt.Sprintf("augsnap: BlockUpdate with %d components and %d values", len(comps), len(vals)))
+	op := a.StartBlockUpdate(pid, comps, vals)
+	for !op.Step() {
 	}
-	seen := make(map[int]bool, len(comps))
-	for _, c := range comps {
-		if c < 0 || c >= a.m || seen[c] {
-			panic(fmt.Sprintf("augsnap: BlockUpdate components %v invalid for m=%d", comps, a.m))
-		}
-		seen[c] = true
-	}
-	b := a.buCount[pid] // index of this Block-Update; equals #h_i below
-
-	// Line 2: h <- H.scan().
-	h := a.scanH(pid)
-	hSeq := a.log.lastSeq()
-	// Line 3: generate the timestamp.
-	t := a.newTimestamp(pid, h)
-	// Line 4: append the triples.
-	triples := make([]Triple, len(comps))
-	for g := range comps {
-		triples[g] = Triple{Comp: comps[g], Val: vals[g], TS: t}
-	}
-	a.appendTriples(pid, triples)
-	a.buCount[pid]++
-	rec := a.log.openBU(pid, b, comps, vals, t)
-	rec.HSeq, rec.XSeq = hSeq, a.log.lastSeq()
-
-	// Lines 5–7: help lower-id processes with one scan and one update.
-	g := a.scanH(pid)
-	rec.GSeq = a.log.lastSeq()
-	recs := make([]HelpRec, 0, pid)
-	for j := 0; j < pid; j++ {
-		recs = append(recs, HelpRec{Dst: j, Idx: g.numBU(j), H: g})
-	}
-	a.appendHelp(pid, recs)
-	rec.HelpSeq = a.log.lastSeq()
-
-	// Lines 8–10: yield if a lower-id process appended triples since h.
-	hp := a.scanH(pid)
-	rec.CheckSeq = a.log.lastSeq()
-	for j := 0; j < pid; j++ {
-		if hp.numBU(j) > h.numBU(j) {
-			a.log.closeBUYield(rec)
-			return nil, false
-		}
-	}
-
-	// Lines 11–16: determine the latest recorded scan and return its view.
-	r := a.scanH(pid)
-	rec.ReadSeq = a.log.lastSeq()
-	last := h
-	for j := 0; j < a.f; j++ {
-		if j == pid {
-			continue
-		}
-		rj := lookupHelp(r[j].Help, pid, b)
-		if rj != nil && last.properPrefix(rj) {
-			last = rj
-		}
-	}
-	view := last.view(a.m)
-	a.log.closeBUAtomic(rec, last, view)
-	return view, true
+	return op.Result()
 }
 
 // appendTriples publishes new triples with one H.update; it is the only place

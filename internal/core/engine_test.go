@@ -1,0 +1,130 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/proto"
+	"revisionist/internal/sched"
+)
+
+// TestSimulationIdenticalAcrossEngines runs the full revisionist simulation
+// on both execution engines for the same (strategy, seed) and requires
+// identical results: outputs, termination, operation counts, revision logs
+// and real-system step traces. The simulators run as goroutines on one
+// engine and as coroutine-bridged step functions on the other, so this pins
+// down that the engine abstraction did not change interleaving semantics.
+func TestSimulationIdenticalAcrossEngines(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		mk   func(in []proto.Value) ([]proto.Process, error)
+	}{
+		{
+			name: "firstvalue_n4_f4",
+			cfg:  Config{N: 4, M: 1, F: 4, D: 0},
+			mk: func(in []proto.Value) ([]proto.Process, error) {
+				procs := make([]proto.Process, len(in))
+				for i := range procs {
+					procs[i] = algorithms.NewFirstValue(0, in[i])
+				}
+				return procs, nil
+			},
+		},
+		{
+			name: "kset_n4_m2_f2",
+			cfg:  Config{N: 4, M: 2, F: 2, D: 0},
+			mk: func(in []proto.Value) ([]proto.Process, error) {
+				procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
+				return procs, err
+			},
+		},
+		{
+			name: "kset_n9_m3_f3_registerH",
+			cfg:  Config{N: 9, M: 3, F: 3, D: 0, RegisterBuiltH: true},
+			mk: func(in []proto.Value) ([]proto.Process, error) {
+				procs, _, err := algorithms.NewKSetAgreement(9, 7, in)
+				return procs, err
+			},
+		},
+		{
+			name: "kset_n4_m2_f3_d2_direct",
+			cfg:  Config{N: 4, M: 2, F: 3, D: 2},
+			mk: func(in []proto.Value) ([]proto.Process, error) {
+				procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
+				return procs, err
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				inputs := make([]proto.Value, c.cfg.F)
+				for i := range inputs {
+					inputs[i] = 100 + i
+				}
+				run := func(kind sched.EngineKind) *Result {
+					cfg := c.cfg
+					cfg.Engine = kind
+					res, err := Run(cfg, inputs, c.mk, sched.NewRandom(seed))
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", kind, seed, err)
+					}
+					return res
+				}
+				g := run(sched.EngineGoroutine)
+				s := run(sched.EngineSeq)
+				if !reflect.DeepEqual(g.Outputs, s.Outputs) || !reflect.DeepEqual(g.Done, s.Done) ||
+					!reflect.DeepEqual(g.OutputBy, s.OutputBy) {
+					t.Fatalf("seed %d: outputs differ: goroutine %v/%v, seq %v/%v", seed, g.Outputs, g.Done, s.Outputs, s.Done)
+				}
+				if !reflect.DeepEqual(g.BlockUpdates, s.BlockUpdates) || !reflect.DeepEqual(g.Scans, s.Scans) ||
+					!reflect.DeepEqual(g.Revisions, s.Revisions) {
+					t.Fatalf("seed %d: op counts differ", seed)
+				}
+				if !reflect.DeepEqual(g.RevisionLog, s.RevisionLog) || !reflect.DeepEqual(g.Finals, s.Finals) {
+					t.Fatalf("seed %d: revision logs differ", seed)
+				}
+				if g.Steps != s.Steps || !reflect.DeepEqual(g.StepsBy, s.StepsBy) {
+					t.Fatalf("seed %d: steps differ: goroutine %d %v, seq %d %v", seed, g.Steps, g.StepsBy, s.Steps, s.StepsBy)
+				}
+				if !reflect.DeepEqual(g.Log.Events, s.Log.Events) {
+					t.Fatalf("seed %d: H-histories differ", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestSimulationAdversarialStrategiesAcrossEngines covers non-random
+// adversaries on both engines.
+func TestSimulationAdversarialStrategiesAcrossEngines(t *testing.T) {
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
+		return procs, err
+	}
+	strategies := map[string]func() sched.Strategy{
+		"lowest":     func() sched.Strategy { return sched.Lowest{} },
+		"highest":    func() sched.Strategy { return sched.Highest{} },
+		"alternate2": func() sched.Strategy { return sched.Alternator{Burst: 2} },
+	}
+	inputs := []proto.Value{1, 2}
+	for name, mkStrat := range strategies {
+		t.Run(name, func(t *testing.T) {
+			run := func(kind sched.EngineKind) *Result {
+				res, err := Run(Config{N: 4, M: 2, F: 2, D: 0, Engine: kind}, inputs, mk, mkStrat())
+				if err != nil {
+					t.Fatalf("%s: %v", kind, err)
+				}
+				return res
+			}
+			g := run(sched.EngineGoroutine)
+			s := run(sched.EngineSeq)
+			if !reflect.DeepEqual(g.Outputs, s.Outputs) || g.Steps != s.Steps ||
+				!reflect.DeepEqual(g.Log.Events, s.Log.Events) {
+				t.Fatalf("engines disagree: goroutine %v (%d steps), seq %v (%d steps)", g.Outputs, g.Steps, s.Outputs, s.Steps)
+			}
+		})
+	}
+}

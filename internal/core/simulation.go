@@ -22,7 +22,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"revisionist/internal/augsnap"
 	"revisionist/internal/proto"
@@ -57,6 +56,12 @@ type Config struct {
 	// registers (Afek et al.) instead of using the atomic snapshot: the full
 	// stack of the paper's model, at a higher step cost per operation.
 	RegisterBuiltH bool
+	// Engine selects the execution engine for the real system. The default
+	// (sched.EngineSeq) runs the simulators as coroutine-bridged step
+	// functions with no channel operations; sched.EngineGoroutine is the
+	// goroutine-per-simulator gate. Both produce identical results and traces
+	// for the same strategy.
+	Engine sched.EngineKind
 }
 
 func (c *Config) fill() error {
@@ -71,6 +76,11 @@ func (c *Config) fill() error {
 	}
 	if c.N < 1 || c.M < 1 || c.F < 1 || c.D < 0 || c.D > c.F {
 		return fmt.Errorf("core: invalid config N=%d M=%d F=%d D=%d", c.N, c.M, c.F, c.D)
+	}
+	if c.M > 64 {
+		// Component sets are tracked as 64-bit masks; the b(i) operation
+		// bound is astronomically beyond reach long before m gets here.
+		return fmt.Errorf("core: m = %d components unsupported (max 64)", c.M)
 	}
 	if need := (c.F-c.D)*c.M + c.D; need > c.N {
 		return fmt.Errorf("core: not enough simulated processes: (f-d)*m + d = %d > n = %d", need, c.N)
@@ -194,12 +204,15 @@ func Run(cfg Config, inputs []proto.Value, mkProtocol func(inputs []proto.Value)
 		return nil, fmt.Errorf("core: protocol has %d processes, want n = %d", len(allProcs), cfg.N)
 	}
 
-	runner := sched.NewRunner(cfg.F, strat, sched.WithMaxSteps(cfg.MaxSteps))
+	eng, err := sched.NewEngine(cfg.Engine, cfg.F, strat, sched.WithMaxSteps(cfg.MaxSteps))
+	if err != nil {
+		return nil, err
+	}
 	var aug *augsnap.AugSnapshot
 	if cfg.RegisterBuiltH {
-		aug = augsnap.NewOver(shmem.NewRegSWSnapshot("H", runner, cfg.F, augsnap.HComp{}), cfg.F, cfg.M)
+		aug = augsnap.NewOver(shmem.NewRegSWSnapshot("H", eng, cfg.F, augsnap.HComp{}), cfg.F, cfg.M)
 	} else {
-		aug = augsnap.New(runner, cfg.F, cfg.M)
+		aug = augsnap.New(eng, cfg.F, cfg.M)
 	}
 
 	res := &Result{
@@ -215,23 +228,34 @@ func Run(cfg Config, inputs []proto.Value, mkProtocol func(inputs []proto.Value)
 		res.OutputBy[i] = -1
 	}
 
-	sims := make([]simulator, cfg.F)
+	machines := make([]sched.Machine, cfg.F)
 	for i := 0; i < cfg.F; i++ {
-		ps := make([]proto.Process, 0, cfg.M)
-		for _, id := range cfg.Partition(i) {
-			ps = append(ps, allProcs[id])
-		}
 		ids := cfg.Partition(i)
+		ps := make([]proto.Process, len(ids))
+		for g, id := range ids {
+			ps[g] = allProcs[id]
+		}
 		if i < cfg.NumCovering() {
-			sims[i] = &coveringSimulator{cfg: cfg, aug: aug, me: i, ps: ps, ids: ids, res: res}
+			machines[i] = &coveringMachine{cfg: cfg, aug: aug, me: i, ps: ps, ids: ids, res: res}
 		} else {
-			sims[i] = &directSimulator{aug: aug, me: i, p: ps[0], id: ids[0], res: res}
+			machines[i] = &directMachine{aug: aug, me: i, p: ps[0], id: ids[0], res: res}
 		}
 	}
 
-	sres, rerr := runner.Run(func(pid int) {
-		sims[pid].simulate()
-	})
+	var sres *sched.Result
+	var rerr error
+	if cfg.RegisterBuiltH {
+		// A register-built H takes several gated register steps per H
+		// operation, so the simulators cannot run as one-step machines; run
+		// them as plain bodies (coroutine-bridged on the sequential engine).
+		sres, rerr = eng.Run(func(pid int) {
+			m := machines[pid]
+			for m.Resume() {
+			}
+		})
+	} else {
+		sres, rerr = eng.RunMachines(machines)
+	}
 	res.Steps = sres.Steps
 	res.StepsBy = sres.StepsBy
 	if rerr != nil {
@@ -240,39 +264,78 @@ func Run(cfg Config, inputs []proto.Value, mkProtocol func(inputs []proto.Value)
 	return res, nil
 }
 
-type simulator interface {
-	simulate()
-}
+// The simulators are implemented as resumable step machines (sched.Machine):
+// every Resume performs exactly one base-object operation on H, by stepping
+// the augmented snapshot's operation cursors (augsnap.ScanOp,
+// augsnap.BlockUpdateOp). On the sequential engine they run by direct
+// dispatch — no goroutines, no channels, no coroutines; on the goroutine
+// engine the same machines run as resume loops, one goroutine each, with
+// identical traces.
 
-// directSimulator implements Algorithm 5.
-type directSimulator struct {
+// directMachine implements Algorithm 5.
+type directMachine struct {
 	aug *augsnap.AugSnapshot
 	me  int
 	p   proto.Process
 	id  int // global id of the simulated process
 	res *Result
+
+	scan    *augsnap.ScanOp
+	bu      *augsnap.BlockUpdateOp
+	started bool
+	done    bool
 }
 
-func (d *directSimulator) simulate() {
-	for {
-		op := d.p.NextOp()
-		switch op.Kind {
-		case proto.OpOutput:
-			d.res.Outputs[d.me] = op.Val
-			d.res.OutputBy[d.me] = d.id
-			d.res.Done[d.me] = true
-			return
-		case proto.OpScan:
-			view := d.aug.Scan(d.me)
-			d.res.Scans[d.me]++
-			d.p.ApplyScan(view)
-		case proto.OpUpdate:
-			d.aug.BlockUpdate(d.me, []int{op.Comp}, []proto.Value{op.Val})
-			d.res.BlockUpdates[d.me]++
-			d.p.ApplyUpdate()
-		default:
-			panic(fmt.Sprintf("core: direct simulator saw invalid op kind %v", op.Kind))
+// Resume implements sched.Machine.
+func (d *directMachine) Resume() bool {
+	if d.done {
+		return false
+	}
+	if !d.started {
+		d.started = true
+		return d.next()
+	}
+	switch {
+	case d.scan != nil:
+		if !d.scan.Step() {
+			return true
 		}
+		view := d.scan.View()
+		d.scan = nil
+		d.res.Scans[d.me]++
+		d.p.ApplyScan(view)
+		return d.next()
+	case d.bu != nil:
+		if !d.bu.Step() {
+			return true
+		}
+		d.bu = nil
+		d.res.BlockUpdates[d.me]++
+		d.p.ApplyUpdate()
+		return d.next()
+	}
+	panic(fmt.Sprintf("core: direct simulator %d resumed with no active operation", d.me))
+}
+
+// next starts the operation the simulated process is poised on (without
+// performing any step of it), or records its output.
+func (d *directMachine) next() bool {
+	op := d.p.NextOp()
+	switch op.Kind {
+	case proto.OpOutput:
+		d.res.Outputs[d.me] = op.Val
+		d.res.OutputBy[d.me] = d.id
+		d.res.Done[d.me] = true
+		d.done = true
+		return false
+	case proto.OpScan:
+		d.scan = d.aug.StartScan(d.me)
+		return true
+	case proto.OpUpdate:
+		d.bu = d.aug.StartBlockUpdate(d.me, []int{op.Comp}, []proto.Value{op.Val})
+		return true
+	default:
+		panic(fmt.Sprintf("core: direct simulator saw invalid op kind %v", op.Kind))
 	}
 }
 
@@ -283,29 +346,163 @@ type blockUpdate struct {
 	vals  []proto.Value
 }
 
-// coveringSimulator implements Algorithms 6 and 7.
-type coveringSimulator struct {
+// buEntry remembers an atomic Block-Update to a component set: the view it
+// returned and its index among the simulator's Block-Updates.
+type buEntry struct {
+	view    []proto.Value
+	buIndex int
+}
+
+// covFrame is one activation of Construct(r) (Algorithm 6), r > 1 frames
+// keep the attempts table of their enclosing loop; the r == 1 frame is the
+// base case.
+type covFrame struct {
+	r        int
+	attempts map[uint64]buEntry
+	blk      blockUpdate // block applied by the frame's active Block-Update
+	key      uint64      // component mask of blk
+}
+
+// coveringMachine implements Algorithms 6 and 7 with an explicit frame stack
+// in place of construct's recursion.
+type coveringMachine struct {
 	cfg Config
 	aug *augsnap.AugSnapshot
 	me  int
 	ps  []proto.Process // p_{i,1} .. p_{i,m}
 	ids []int           // global ids of ps
 	res *Result
+
+	stack   []*covFrame
+	scan    *augsnap.ScanOp        // active base-case scan
+	bu      *augsnap.BlockUpdateOp // active Block-Update of the top frame
+	buIndex int                    // index of the active Block-Update
+	started bool
+	done    bool
 }
 
-// errTerminated unwinds construct once the simulator has output.
-var errTerminated = errors.New("core: simulator terminated")
-
-func (c *coveringSimulator) simulate() {
-	blk, err := c.construct(c.cfg.M)
-	if err != nil {
-		if errors.Is(err, errTerminated) {
-			return
-		}
-		panic(err)
+// Resume implements sched.Machine.
+func (c *coveringMachine) Resume() bool {
+	if c.done {
+		return false
 	}
-	// Algorithm 7: locally simulate the full block update (it overwrites all
-	// m components), then p_{i,1}'s terminating solo execution.
+	if !c.started {
+		c.started = true
+		c.enter(c.cfg.M)
+		return true
+	}
+	switch {
+	case c.scan != nil:
+		if !c.scan.Step() {
+			return true
+		}
+		view := c.scan.View()
+		c.scan = nil
+		// Base case of Construct: scan, advance p_{i,1}, hand its poised
+		// update to the enclosing frame.
+		c.res.Scans[c.me]++
+		c.ps[0].ApplyScan(view)
+		op := c.ps[0].NextOp()
+		if op.Kind == proto.OpOutput {
+			return c.output(op.Val, 1)
+		}
+		if op.Kind != proto.OpUpdate {
+			panic(fmt.Errorf("core: p(%d,1) poised to %v after scan", c.me, op.Kind))
+		}
+		c.stack = c.stack[:len(c.stack)-1] // pop the r == 1 frame
+		return c.ret(blockUpdate{comps: []int{op.Comp}, vals: []proto.Value{op.Val}})
+	case c.bu != nil:
+		if !c.bu.Step() {
+			return true
+		}
+		view, atomic := c.bu.Result()
+		c.bu = nil
+		// The (r-1)-block was simulated: advance p_{i,1..r-1} past their
+		// updates and remember atomic Block-Updates per component set.
+		c.res.BlockUpdates[c.me]++
+		f := c.stack[len(c.stack)-1]
+		for g := 0; g < len(f.blk.comps); g++ {
+			c.ps[g].ApplyUpdate()
+		}
+		if atomic {
+			if f.attempts == nil {
+				f.attempts = make(map[uint64]buEntry)
+			}
+			f.attempts[f.key] = buEntry{view: view, buIndex: c.buIndex}
+		}
+		c.enter(f.r - 1) // loop: construct the next (r-1)-block
+		return true
+	}
+	panic(fmt.Sprintf("core: covering simulator %d resumed with no active operation", c.me))
+}
+
+// enter pushes the frames of Construct(r), Construct(r-1), ..., Construct(1)
+// — Construct recurses immediately — and starts the base case's scan. No H
+// operation is performed.
+func (c *coveringMachine) enter(r int) {
+	for ; r >= 1; r-- {
+		c.stack = append(c.stack, &covFrame{r: r})
+	}
+	c.scan = c.aug.StartScan(c.me)
+}
+
+// ret delivers a constructed r-block to the enclosing Construct frame and
+// runs the local (hidden) transitions until the machine parks on the first H
+// operation of its next augmented snapshot operation, or terminates.
+func (c *coveringMachine) ret(blk blockUpdate) bool {
+	for {
+		if len(c.stack) == 0 {
+			return c.finalize(blk)
+		}
+		f := c.stack[len(c.stack)-1]
+		key := compMask(blk.comps)
+		if ent, ok := f.attempts[key]; ok {
+			// An atomic Block-Update to the same component set exists:
+			// revise the past of p_{i,r} by locally simulating it against
+			// that Block-Update's view, hiding its steps under the block
+			// update (only updates to the block's components and scans
+			// occur before it stops).
+			c.res.Revisions[c.me]++
+			mem := append([]proto.Value(nil), ent.view...)
+			p := c.ps[f.r-1]
+			stop, out, hidden, serr := proto.RunSoloTrace(p, mem, func(j int) bool { return key&(1<<uint(j)) != 0 }, c.cfg.MaxLocalOps)
+			if serr != nil {
+				panic(fmt.Errorf("%w: %v", ErrNotObstructionFree, serr))
+			}
+			c.res.RevisionLog = append(c.res.RevisionLog, RevisionRecord{
+				Sim:     c.me,
+				Proc:    c.ids[f.r-1],
+				BUIndex: ent.buIndex,
+				Steps:   hidden,
+			})
+			if stop == proto.SoloOutput {
+				return c.output(out, f.r)
+			}
+			op := p.NextOp()
+			blk = blockUpdate{
+				comps: append(blk.comps, op.Comp),
+				vals:  append(blk.vals, op.Val),
+			}
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+
+		// No atomic Block-Update to this set yet: simulate the block with a
+		// Block-Update (the frame's loop body).
+		if c.res.BlockUpdates[c.me] >= c.cfg.MaxBlockUpdates {
+			panic(fmt.Errorf("%w: simulator %d", ErrBudget, c.me))
+		}
+		f.blk, f.key = blk, key
+		c.buIndex = c.res.BlockUpdates[c.me]
+		c.bu = c.aug.StartBlockUpdate(c.me, blk.comps, blk.vals)
+		return true
+	}
+}
+
+// finalize implements Algorithm 7: the top-level Construct returned a block
+// update to all m components; locally simulate it (it overwrites every
+// component) followed by p_{i,1}'s terminating solo execution, and output.
+func (c *coveringMachine) finalize(blk blockUpdate) bool {
 	c.res.Finals = append(c.res.Finals, FinalRecord{
 		Sim:   c.me,
 		Comps: append([]int(nil), blk.comps...),
@@ -324,102 +521,25 @@ func (c *coveringSimulator) simulate() {
 	if stop != proto.SoloOutput {
 		panic(fmt.Errorf("core: unconstrained solo run stopped without output"))
 	}
-	c.res.Outputs[c.me] = out
-	c.res.OutputBy[c.me] = c.ids[0]
-	c.res.Done[c.me] = true
+	return c.output(out, 1)
 }
 
 // output records the simulator's output (produced by p_{i,g}, 1-based g) and
-// unwinds.
-func (c *coveringSimulator) output(v proto.Value, g int) error {
+// finishes the machine.
+func (c *coveringMachine) output(v proto.Value, g int) bool {
 	c.res.Outputs[c.me] = v
 	c.res.OutputBy[c.me] = c.ids[g-1]
 	c.res.Done[c.me] = true
-	return errTerminated
+	c.done = true
+	return false
 }
 
-// construct implements Construct(r) (Algorithm 6). On success it returns a
-// block update to r distinct components by p_{i,1..r}; p_{i,g} is left poised
-// to perform its update. It returns errTerminated after recording an output.
-func (c *coveringSimulator) construct(r int) (blockUpdate, error) {
-	if r == 1 {
-		view := c.aug.Scan(c.me)
-		c.res.Scans[c.me]++
-		c.ps[0].ApplyScan(view)
-		op := c.ps[0].NextOp()
-		if op.Kind == proto.OpOutput {
-			return blockUpdate{}, c.output(op.Val, 1)
-		}
-		if op.Kind != proto.OpUpdate {
-			return blockUpdate{}, fmt.Errorf("core: p(%d,1) poised to %v after scan", c.me, op.Kind)
-		}
-		return blockUpdate{comps: []int{op.Comp}, vals: []proto.Value{op.Val}}, nil
+// compMask canonically encodes a component set (components are < 64, see
+// Config.fill).
+func compMask(comps []int) uint64 {
+	var mask uint64
+	for _, comp := range comps {
+		mask |= 1 << uint(comp)
 	}
-
-	type entry struct {
-		view    []proto.Value
-		buIndex int // index among this simulator's Block-Updates
-	}
-	attempts := make(map[string]entry)
-	for {
-		blk, err := c.construct(r - 1)
-		if err != nil {
-			return blockUpdate{}, err
-		}
-		key := compSetKey(blk.comps)
-		if ent, ok := attempts[key]; ok {
-			// Revise the past of p_{i,r} using the view of the earlier
-			// atomic Block-Update to the same component set: locally
-			// simulate it against that view, hiding its steps under the
-			// block update (only updates to the block's components and
-			// scans occur before it stops).
-			c.res.Revisions[c.me]++
-			mem := append([]proto.Value(nil), ent.view...)
-			allowed := make(map[int]bool, len(blk.comps))
-			for _, j := range blk.comps {
-				allowed[j] = true
-			}
-			p := c.ps[r-1]
-			stop, out, hidden, serr := proto.RunSoloTrace(p, mem, func(j int) bool { return allowed[j] }, c.cfg.MaxLocalOps)
-			if serr != nil {
-				return blockUpdate{}, fmt.Errorf("%w: %v", ErrNotObstructionFree, serr)
-			}
-			c.res.RevisionLog = append(c.res.RevisionLog, RevisionRecord{
-				Sim:     c.me,
-				Proc:    c.ids[r-1],
-				BUIndex: ent.buIndex,
-				Steps:   hidden,
-			})
-			if stop == proto.SoloOutput {
-				return blockUpdate{}, c.output(out, r)
-			}
-			op := p.NextOp()
-			return blockUpdate{
-				comps: append(blk.comps, op.Comp),
-				vals:  append(blk.vals, op.Val),
-			}, nil
-		}
-
-		// Simulate the constructed (r-1)-block with a Block-Update and
-		// advance the states of p_{i,1..r-1} past their updates.
-		if c.res.BlockUpdates[c.me] >= c.cfg.MaxBlockUpdates {
-			return blockUpdate{}, fmt.Errorf("%w: simulator %d", ErrBudget, c.me)
-		}
-		myIndex := c.res.BlockUpdates[c.me]
-		view, atomic := c.aug.BlockUpdate(c.me, blk.comps, blk.vals)
-		c.res.BlockUpdates[c.me]++
-		for g := 0; g < len(blk.comps); g++ {
-			c.ps[g].ApplyUpdate()
-		}
-		if atomic {
-			attempts[key] = entry{view: view, buIndex: myIndex}
-		}
-	}
-}
-
-// compSetKey canonically encodes a component set.
-func compSetKey(comps []int) string {
-	s := append([]int(nil), comps...)
-	sort.Ints(s)
-	return fmt.Sprint(s)
+	return mask
 }

@@ -1,0 +1,100 @@
+package proto
+
+import (
+	"fmt"
+
+	"revisionist/internal/sched"
+)
+
+// procMachine adapts a Process to the sched.Machine contract: one gated
+// snapshot operation per granted Resume. A Process is already a deterministic
+// scan/update/output state machine (Assumption 1), so no goroutine or
+// coroutine is needed to make it resumable — the sequential engine dispatches
+// it directly.
+type procMachine struct {
+	pid      int
+	p        Process
+	m        Snapshot
+	res      *RunResult
+	poised   Op // the validated op peeked by advance, executed by the next Resume
+	started  bool
+	wantScan bool
+	done     bool
+}
+
+// Machine returns a resumable step machine driving p over the snapshot m,
+// recording into res. The snapshot must be atomic (exactly one gated step per
+// Scan/Update, like shmem.MWSnapshot); register-built snapshots take several
+// steps per operation and must be driven by Body via Engine.Run instead.
+//
+// The machine validates Assumption 1 exactly as Body does and panics with
+// ErrBadAlternation on violation (surfaced by the engine as an error).
+func Machine(pid int, p Process, m Snapshot, res *RunResult) sched.Machine {
+	return &procMachine{pid: pid, p: p, m: m, res: res}
+}
+
+// Machines builds one machine per process, the RunMachines counterpart of
+// Body.
+func Machines(procs []Process, m Snapshot, res *RunResult) []sched.Machine {
+	ms := make([]sched.Machine, len(procs))
+	for pid, p := range procs {
+		ms[pid] = Machine(pid, p, m, res)
+	}
+	return ms
+}
+
+// Resume implements sched.Machine: the first call checks the process's first
+// poised operation; every later call executes the poised operation and peeks
+// the next one.
+func (mc *procMachine) Resume() bool {
+	if mc.done {
+		return false
+	}
+	if !mc.started {
+		mc.started = true
+		mc.wantScan = true
+		return mc.advance()
+	}
+	switch op := mc.poised; op.Kind {
+	case OpScan:
+		view := mc.m.Scan(mc.pid)
+		mc.p.ApplyScan(view)
+		mc.res.OpsBy[mc.pid]++
+		mc.wantScan = false
+	case OpUpdate:
+		mc.m.Update(mc.pid, op.Comp, op.Val)
+		mc.p.ApplyUpdate()
+		mc.res.OpsBy[mc.pid]++
+		mc.wantScan = true
+	}
+	return mc.advance()
+}
+
+// advance peeks the next poised operation, validating alternation at the same
+// point Body does (before the gate, i.e. still inside the current scheduling
+// slot), and records the output if the process terminates. The peeked op is
+// cached for the next Resume, so NextOp is dispatched once per operation.
+func (mc *procMachine) advance() bool {
+	op := mc.p.NextOp()
+	switch op.Kind {
+	case OpScan:
+		if !mc.wantScan {
+			panic(fmt.Errorf("%w: pid %d scan after scan", ErrBadAlternation, mc.pid))
+		}
+		mc.poised = op
+		return true
+	case OpUpdate:
+		if mc.wantScan {
+			panic(fmt.Errorf("%w: pid %d update after update", ErrBadAlternation, mc.pid))
+		}
+		mc.poised = op
+		return true
+	case OpOutput:
+		mc.res.Outputs[mc.pid] = op.Val
+		mc.res.Done[mc.pid] = true
+		mc.done = true
+		return false
+	default:
+		panic(fmt.Errorf("proto: pid %d poised with invalid op kind %v", mc.pid, op.Kind))
+	}
+}

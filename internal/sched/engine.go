@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stepper gates base-object operations. Shared objects (package shmem) call
+// Step immediately before executing an operation; the engine behind the
+// Stepper decides when the operation is admitted and records it in the trace.
+// Both execution engines implement Stepper.
+type Stepper interface {
+	Step(pid int, op Op)
+}
+
+// Machine is a resumable process body: a state machine that the sequential
+// engine drives by direct function dispatch, with zero goroutines and zero
+// channel operations.
+//
+// The contract mirrors the phases of a gated goroutine body:
+//
+//   - The first Resume call runs the process's local computation up to its
+//     first gated base-object operation and returns true, or false if the
+//     process finishes without taking any steps. No gated operation is
+//     executed by the first call.
+//   - Every later Resume call executes exactly one gated base-object
+//     operation (a single Stepper.Step is reached, through a shared object)
+//     and then runs local computation up to the next gate. It returns true if
+//     the process is poised on another operation, false if it finished.
+//
+// Machines run unchanged on the concurrent engine: there Resume's inner Step
+// blocks at the goroutine gate, so a plain resume loop reproduces the same
+// schedule. Machines must only be driven over atomic base objects (exactly
+// one Step per logical operation); register-built snapshots take several
+// steps per operation and must use a plain body via Engine.Run instead.
+type Machine interface {
+	Resume() bool
+}
+
+// Engine executes n process bodies under a Strategy, one base-object step at
+// a time, and is the Stepper those processes' shared objects are gated by.
+// Engines are single-use: create one per run.
+type Engine interface {
+	Stepper
+
+	// Run executes body(pid) for every pid in [0, n) until all processes
+	// finish, the strategy halts the run, or the step budget is exhausted.
+	Run(body func(pid int)) (*Result, error)
+
+	// RunMachines is Run for resumable step machines (see Machine). The
+	// sequential engine dispatches these directly, with no goroutines.
+	RunMachines(machines []Machine) (*Result, error)
+}
+
+// EngineKind selects an execution engine implementation.
+type EngineKind string
+
+// Execution engines.
+const (
+	// EngineGoroutine is the concurrent engine: one goroutine per process,
+	// every step admitted through a channel gate (*Runner).
+	EngineGoroutine EngineKind = "goroutine"
+	// EngineSeq is the direct-dispatch sequential engine (*SeqEngine): the
+	// paper's interleaving model needs only sequential base-object steps, so
+	// processes run as resumable step functions with no goroutines and no
+	// channel operations on the hot path.
+	EngineSeq EngineKind = "seq"
+)
+
+// DefaultEngine is the engine used when an empty EngineKind is given.
+const DefaultEngine = EngineSeq
+
+// ErrReused reports a second Run on a single-use engine.
+var ErrReused = errors.New("sched: engine is single-use: create a new engine per run")
+
+// NewEngine returns a fresh engine of the given kind for n processes
+// scheduled by strat. An empty kind selects DefaultEngine.
+func NewEngine(kind EngineKind, n int, strat Strategy, opts ...Option) (Engine, error) {
+	if kind == "" {
+		kind = DefaultEngine
+	}
+	switch kind {
+	case EngineGoroutine:
+		return NewRunner(n, strat, opts...), nil
+	case EngineSeq:
+		return NewSeqEngine(n, strat, opts...), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown engine kind %q (want %q or %q)", kind, EngineGoroutine, EngineSeq)
+	}
+}
+
+// engineConfig carries the options shared by both engines.
+type engineConfig struct {
+	maxSteps int
+	onStep   func(StepRecord)
+}
+
+// Option configures an engine.
+type Option func(*engineConfig)
+
+// WithMaxSteps caps the number of granted steps (default 1 << 20).
+func WithMaxSteps(n int) Option {
+	return func(c *engineConfig) { c.maxSteps = n }
+}
+
+// WithStepHook installs a callback invoked synchronously for every granted
+// step, before the step's operation executes.
+func WithStepHook(fn func(StepRecord)) Option {
+	return func(c *engineConfig) { c.onStep = fn }
+}
+
+func newEngineConfig(opts []Option) engineConfig {
+	c := engineConfig{maxSteps: 1 << 20}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// traceCap bounds the initial trace preallocation: enough for short runs
+// (exploration, protocol instances) to never regrow, small enough that the
+// per-run fixed cost stays negligible.
+func traceCap(maxSteps int) int {
+	return min(maxSteps, 64)
+}
+
+// Machine-contract violation messages, shared by both engines so that the
+// same buggy machine surfaces as the same error whichever engine runs it.
+// opDetail is " <op>" when the violating operation is known, "" otherwise.
+func machineStartStepMsg(pid int, opDetail string) string {
+	return fmt.Sprintf("sched: machine %d performed a gated operation%s while running to its first gate; the first Resume must not execute an operation", pid, opDetail)
+}
+
+func machineNoStepMsg(pid int) string {
+	return fmt.Sprintf("sched: machine %d performed no gated operation on its granted step", pid)
+}
+
+func machineSecondStepMsg(pid int, opDetail string) string {
+	return fmt.Sprintf("sched: machine %d performed a second gated operation%s in one granted step; machines must take exactly one step per Resume", pid, opDetail)
+}
+
+// schedCore is the scheduling decision kernel shared by both engines: the
+// step-budget check, enabled-set construction, strategy pick and pick
+// validation. Keeping these in one place is what guarantees the engines'
+// byte-identical traces cannot drift apart.
+type schedCore struct {
+	n        int
+	strat    Strategy
+	maxSteps int
+	step     int
+	enabled  []int // scratch buffer for the sorted enabled set
+}
+
+func newSchedCore(n int, strat Strategy, maxSteps int) schedCore {
+	return schedCore{n: n, strat: strat, maxSteps: maxSteps, enabled: make([]int, 0, n)}
+}
+
+// pick chooses the next process to grant a step among the parked ones
+// (parked[pid] true ⇔ pid is at its gate). It reports halt when the strategy
+// stops the run, an error for a blown step budget or an invalid pick, and
+// otherwise advances the step counter and returns the granted pid.
+func (c *schedCore) pick(parked []bool) (pid int, halt bool, err error) {
+	if c.step >= c.maxSteps {
+		return 0, false, fmt.Errorf("%w (budget %d)", ErrMaxSteps, c.maxSteps)
+	}
+	enabled := c.enabled[:0]
+	for p := 0; p < c.n; p++ {
+		if parked[p] {
+			enabled = append(enabled, p)
+		}
+	}
+	p := c.strat.Pick(c.step, enabled)
+	if p == Halt {
+		return 0, true, nil
+	}
+	if p < 0 || p >= c.n || !parked[p] {
+		return 0, false, fmt.Errorf("sched: strategy picked pid %d not in enabled set %v", p, enabled)
+	}
+	c.step++
+	return p, false, nil
+}

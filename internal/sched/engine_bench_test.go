@@ -1,0 +1,71 @@
+package sched
+
+import "testing"
+
+// The engine gate microbenchmarks isolate the per-step cost of the two
+// execution engines, with no shared-object work: the number that explains
+// the explore/fuzz/simulation ablations in the root bench suite.
+
+func benchGateBodies(b *testing.B, kind EngineKind, n, steps int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		eng, err := NewEngine(kind, n, RoundRobin{N: n}, WithMaxSteps(1<<30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = eng.Run(func(pid int) {
+			for s := 0; s < steps; s++ {
+				eng.Step(pid, Op{Object: "X", Kind: OpRead, Comp: -1})
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*n*steps)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// gateBenchMachine takes `left` one-op steps.
+type gateBenchMachine struct {
+	gate    Stepper
+	pid     int
+	left    int
+	started bool
+}
+
+func (m *gateBenchMachine) Resume() bool {
+	if !m.started {
+		m.started = true
+		return m.left > 0
+	}
+	m.gate.Step(m.pid, Op{Object: "X", Kind: OpRead, Comp: -1})
+	m.left--
+	return m.left > 0
+}
+
+func benchGateMachines(b *testing.B, kind EngineKind, n, steps int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		eng, err := NewEngine(kind, n, RoundRobin{N: n}, WithMaxSteps(1<<30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms := make([]Machine, n)
+		for pid := range ms {
+			ms[pid] = &gateBenchMachine{gate: eng, pid: pid, left: steps}
+		}
+		if _, err := eng.RunMachines(ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*n*steps)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkGate measures closure bodies: direct coroutine dispatch on the
+// sequential engine versus channel handshakes on the goroutine engine.
+func BenchmarkGate(b *testing.B) {
+	b.Run("bodies/engine=seq", func(b *testing.B) { benchGateBodies(b, EngineSeq, 4, 500) })
+	b.Run("bodies/engine=goroutine", func(b *testing.B) { benchGateBodies(b, EngineGoroutine, 4, 500) })
+	b.Run("machines/engine=seq", func(b *testing.B) { benchGateMachines(b, EngineSeq, 4, 500) })
+	b.Run("machines/engine=goroutine", func(b *testing.B) { benchGateMachines(b, EngineGoroutine, 4, 500) })
+}

@@ -1,0 +1,266 @@
+package sched
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// engineBody returns a body in which each process takes `steps` gated steps
+// through the given gate, with a final extra step for even pids so the
+// enabled set shrinks unevenly.
+func engineBody(gate Stepper, steps int) func(pid int) {
+	return func(pid int) {
+		for i := 0; i < steps; i++ {
+			gate.Step(pid, Op{Object: "X", Kind: OpRead, Comp: i})
+		}
+		if pid%2 == 0 {
+			gate.Step(pid, Op{Object: "Y", Kind: OpWrite, Comp: -1})
+		}
+	}
+}
+
+// runOn builds an engine of the given kind and runs engineBody on it.
+func runOn(t *testing.T, kind EngineKind, n int, strat Strategy, steps int, opts ...Option) (*Result, error) {
+	t.Helper()
+	eng, err := NewEngine(kind, n, strat, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Run(engineBody(eng, steps))
+}
+
+// equivalenceStrategies is the cross-engine test matrix: fair, seeded random
+// and adversarial schedulers.
+func equivalenceStrategies(n int) map[string]func() Strategy {
+	return map[string]func() Strategy{
+		"roundrobin": func() Strategy { return RoundRobin{N: n} },
+		"random7":    func() Strategy { return NewRandom(7) },
+		"random99":   func() Strategy { return NewRandom(99) },
+		"lowest":     func() Strategy { return Lowest{} },
+		"highest":    func() Strategy { return Highest{} },
+		"alternate3": func() Strategy { return Alternator{Burst: 3} },
+		"solo":       func() Strategy { return Solo{PID: 1, After: 4, Fallback: RoundRobin{N: n}} },
+		"crash":      func() Strategy { return Crash{Crashed: map[int]int{0: 5}, Inner: RoundRobin{N: n}} },
+	}
+}
+
+func TestEnginesProduceIdenticalTraces(t *testing.T) {
+	const n, steps = 4, 9
+	for name, mk := range equivalenceStrategies(n) {
+		t.Run(name, func(t *testing.T) {
+			g, gerr := runOn(t, EngineGoroutine, n, mk(), steps)
+			s, serr := runOn(t, EngineSeq, n, mk(), steps)
+			if (gerr == nil) != (serr == nil) {
+				t.Fatalf("error mismatch: goroutine=%v seq=%v", gerr, serr)
+			}
+			if !reflect.DeepEqual(g.Trace, s.Trace) {
+				t.Fatalf("traces differ:\ngoroutine: %v\nseq:       %v", g.Trace, s.Trace)
+			}
+			if !reflect.DeepEqual(g.StepsBy, s.StepsBy) || !reflect.DeepEqual(g.Finished, s.Finished) {
+				t.Fatalf("results differ: goroutine=%+v seq=%+v", g, s)
+			}
+			if g.Halted != s.Halted || g.Steps != s.Steps {
+				t.Fatalf("halted/steps differ: goroutine=%+v seq=%+v", g, s)
+			}
+		})
+	}
+}
+
+func TestEnginesAgreeOnStepBudget(t *testing.T) {
+	spin := func(gate Stepper) func(pid int) {
+		return func(pid int) {
+			for {
+				gate.Step(pid, Op{Object: "X", Kind: OpRead, Comp: -1})
+			}
+		}
+	}
+	for _, kind := range []EngineKind{EngineGoroutine, EngineSeq} {
+		eng, err := NewEngine(kind, 2, RoundRobin{N: 2}, WithMaxSteps(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, rerr := eng.Run(spin(eng))
+		if !errors.Is(rerr, ErrMaxSteps) {
+			t.Fatalf("%s: err = %v, want ErrMaxSteps", kind, rerr)
+		}
+		if res.Steps != 9 {
+			t.Fatalf("%s: steps = %d, want 9", kind, res.Steps)
+		}
+		if res.Finished[0] || res.Finished[1] {
+			t.Fatalf("%s: starved processes reported finished", kind)
+		}
+	}
+}
+
+func TestEnginesAgreeOnHalt(t *testing.T) {
+	for _, kind := range []EngineKind{EngineGoroutine, EngineSeq} {
+		strat := StrategyFunc(func(step int, enabled []int) int {
+			if step >= 5 {
+				return Halt
+			}
+			return enabled[0]
+		})
+		res, err := runOn(t, kind, 3, strat, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !res.Halted || res.Steps != 5 {
+			t.Fatalf("%s: halted=%v steps=%d, want halted at 5", kind, res.Halted, res.Steps)
+		}
+		for pid, f := range res.Finished {
+			if f {
+				t.Fatalf("%s: pid %d finished after halt", kind, pid)
+			}
+		}
+	}
+}
+
+func TestEnginesAgreeOnBodyPanic(t *testing.T) {
+	for _, kind := range []EngineKind{EngineGoroutine, EngineSeq} {
+		eng, err := NewEngine(kind, 2, RoundRobin{N: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, rerr := eng.Run(func(pid int) {
+			eng.Step(pid, Op{Object: "X", Kind: OpRead, Comp: -1})
+			if pid == 1 {
+				panic("protocol bug")
+			}
+			for i := 0; i < 10; i++ {
+				eng.Step(pid, Op{Object: "X", Kind: OpRead, Comp: -1})
+			}
+		})
+		if rerr == nil || !strings.Contains(rerr.Error(), "process 1 panicked") {
+			t.Fatalf("%s: err = %v, want process 1 panic", kind, rerr)
+		}
+		if len(res.PanicVals) != 1 || res.PanicVals[0] != "protocol bug" {
+			t.Fatalf("%s: PanicVals = %v", kind, res.PanicVals)
+		}
+		if res.Finished[0] || res.Finished[1] {
+			t.Fatalf("%s: finished = %v, want none", kind, res.Finished)
+		}
+	}
+}
+
+func TestEnginesAgreeOnInvalidPick(t *testing.T) {
+	for _, kind := range []EngineKind{EngineGoroutine, EngineSeq} {
+		strat := StrategyFunc(func(step int, enabled []int) int { return 42 })
+		_, err := runOn(t, kind, 2, strat, 4)
+		if err == nil || !strings.Contains(err.Error(), "not in enabled set") {
+			t.Fatalf("%s: err = %v, want invalid-pick error", kind, err)
+		}
+	}
+}
+
+func TestEnginesAreSingleUse(t *testing.T) {
+	for _, kind := range []EngineKind{EngineGoroutine, EngineSeq} {
+		eng, err := NewEngine(kind, 1, RoundRobin{N: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := func(pid int) { eng.Step(pid, Op{Object: "X", Kind: OpRead, Comp: -1}) }
+		if _, err := eng.Run(body); err != nil {
+			t.Fatalf("%s: first run: %v", kind, err)
+		}
+		if _, err := eng.Run(body); !errors.Is(err, ErrReused) {
+			t.Fatalf("%s: second run err = %v, want ErrReused", kind, err)
+		}
+	}
+}
+
+func TestSeqEngineStepAfterRunPanics(t *testing.T) {
+	eng := NewSeqEngine(1, RoundRobin{N: 1})
+	if _, err := eng.Run(func(pid int) {
+		eng.Step(pid, Op{Object: "X", Kind: OpRead, Comp: -1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Step after run completed did not panic")
+		}
+	}()
+	eng.Step(0, Op{Object: "X", Kind: OpRead, Comp: -1})
+}
+
+func TestNewEngineRejectsUnknownKind(t *testing.T) {
+	if _, err := NewEngine("fibers", 1, RoundRobin{N: 1}); err == nil {
+		t.Fatal("unknown engine kind accepted")
+	}
+	eng, err := NewEngine("", 1, RoundRobin{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.(*SeqEngine); !ok {
+		t.Fatalf("default engine is %T, want *SeqEngine", eng)
+	}
+}
+
+// stepsMachine is a native machine taking a fixed number of one-op steps.
+type stepsMachine struct {
+	gate    Stepper
+	pid     int
+	left    int
+	started bool
+	// perResume > 1 deliberately violates the one-op contract.
+	perResume int
+}
+
+func (m *stepsMachine) Resume() bool {
+	if !m.started {
+		m.started = true
+		return m.left > 0
+	}
+	for i := 0; i < m.perResume; i++ {
+		m.gate.Step(m.pid, Op{Object: "N", Kind: OpRead, Comp: -1})
+	}
+	m.left--
+	return m.left > 0
+}
+
+func TestRunMachinesMatchesAcrossEngines(t *testing.T) {
+	mk := func(gate Stepper) []Machine {
+		return []Machine{
+			&stepsMachine{gate: gate, pid: 0, left: 5, perResume: 1},
+			&stepsMachine{gate: gate, pid: 1, left: 3, perResume: 1},
+		}
+	}
+	ge := NewRunner(2, NewRandom(5))
+	g, gerr := ge.RunMachines(mk(ge))
+	se := NewSeqEngine(2, NewRandom(5))
+	s, serr := se.RunMachines(mk(se))
+	if gerr != nil || serr != nil {
+		t.Fatalf("errors: %v %v", gerr, serr)
+	}
+	if !reflect.DeepEqual(g.Trace, s.Trace) {
+		t.Fatalf("machine traces differ:\ngoroutine: %v\nseq:       %v", g.Trace, s.Trace)
+	}
+}
+
+func TestEnginesRejectMultiStepMachine(t *testing.T) {
+	for _, kind := range []EngineKind{EngineGoroutine, EngineSeq} {
+		eng, nerr := NewEngine(kind, 1, RoundRobin{N: 1})
+		if nerr != nil {
+			t.Fatal(nerr)
+		}
+		_, err := eng.RunMachines([]Machine{&stepsMachine{gate: eng, pid: 0, left: 2, perResume: 2}})
+		if err == nil || !strings.Contains(err.Error(), "second gated operation") {
+			t.Fatalf("%s: err = %v, want second-gated-operation violation", kind, err)
+		}
+	}
+}
+
+func TestEnginesRejectStepFreeMachine(t *testing.T) {
+	for _, kind := range []EngineKind{EngineGoroutine, EngineSeq} {
+		eng, nerr := NewEngine(kind, 1, RoundRobin{N: 1})
+		if nerr != nil {
+			t.Fatal(nerr)
+		}
+		_, err := eng.RunMachines([]Machine{&stepsMachine{gate: eng, pid: 0, left: 2, perResume: 0}})
+		if err == nil || !strings.Contains(err.Error(), "no gated operation") {
+			t.Fatalf("%s: err = %v, want no-gated-operation violation", kind, err)
+		}
+	}
+}

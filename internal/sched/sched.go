@@ -4,18 +4,27 @@
 // The paper's model (§2) is an interleaving model: a configuration consists of
 // the state of each process and the value of each base object, and a step is
 // one atomic operation on one base object by one process, chosen by an
-// adversarial scheduler. This package realizes that model on top of
-// goroutines: every process runs as a goroutine, and every base-object
-// operation passes through a gate (Runner.Step). The runner admits exactly one
-// operation at a time, picked by a pluggable Strategy, so executions are
-// sequential at the base-object level, reproducible from (Strategy, seed),
-// replayable, and free of data races by construction.
+// adversarial scheduler. The package realizes that model behind a pluggable
+// Engine abstraction (see engine.go) with two implementations:
+//
+//   - Runner, the concurrent engine (this file): every process runs as a
+//     goroutine and every base-object operation passes through a channel gate
+//     (Runner.Step). The runner admits exactly one operation at a time.
+//   - SeqEngine, the direct-dispatch sequential engine (see seq.go): the
+//     interleaving model only requires sequential base-object steps, so
+//     processes run as resumable step machines with no goroutines and no
+//     channel operations.
+//
+// Both engines grant steps picked by the same pluggable Strategy, so
+// executions are sequential at the base-object level, reproducible from
+// (Strategy, seed), replayable, byte-identical across engines, and free of
+// data races by construction.
 package sched
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"strconv"
 )
 
 // OpKind classifies a base-object operation for traces and step accounting.
@@ -41,7 +50,7 @@ func (k OpKind) String() string {
 	case OpUpdate:
 		return "update"
 	default:
-		return fmt.Sprintf("OpKind(%d)", int(k))
+		return "OpKind(" + strconv.Itoa(int(k)) + ")"
 	}
 }
 
@@ -52,12 +61,20 @@ type Op struct {
 	Comp   int // component/register index, -1 if not applicable
 }
 
-// String renders the operation as Object.kind[comp].
+// String renders the operation as Object.kind[comp]. It avoids fmt so that
+// rendering ops (e.g. from a step hook) stays a single-allocation operation.
 func (o Op) String() string {
+	kind := o.Kind.String()
+	buf := make([]byte, 0, len(o.Object)+len(kind)+8)
+	buf = append(buf, o.Object...)
+	buf = append(buf, '.')
+	buf = append(buf, kind...)
 	if o.Comp >= 0 {
-		return fmt.Sprintf("%s.%s[%d]", o.Object, o.Kind, o.Comp)
+		buf = append(buf, '[')
+		buf = strconv.AppendInt(buf, int64(o.Comp), 10)
+		buf = append(buf, ']')
 	}
-	return fmt.Sprintf("%s.%s", o.Object, o.Kind)
+	return string(buf)
 }
 
 // StepRecord is one granted step in an execution trace.
@@ -93,8 +110,8 @@ type Result struct {
 	PanicVals []any
 }
 
-// abortSignal unwinds a process goroutine whose run was halted. It is
-// recovered by the runner's wrapper and never escapes the package.
+// abortSignal unwinds a process whose run was halted. It is recovered by the
+// engines' wrappers and never escapes the package.
 type abortSignal struct{}
 
 type event struct {
@@ -109,49 +126,34 @@ type grant struct {
 	abort bool
 }
 
-// Runner executes n process bodies under a Strategy. A Runner is single-use:
-// create one per run.
+// Runner is the concurrent execution engine: it executes n process bodies as
+// goroutines under a Strategy, admitting one base-object operation at a time
+// through a channel gate. A Runner is single-use: create one per run.
 type Runner struct {
-	n        int
-	strat    Strategy
-	maxSteps int
+	core schedCore
 
+	n       int
 	ready   chan event
 	resume  []chan grant
 	trace   []StepRecord
 	stepsBy []int
 	onStep  func(StepRecord)
+	started bool
 	closed  bool
 }
 
-// Option configures a Runner.
-type Option func(*Runner)
-
-// WithMaxSteps caps the number of granted steps (default 1 << 20).
-func WithMaxSteps(n int) Option {
-	return func(r *Runner) { r.maxSteps = n }
-}
-
-// WithStepHook installs a callback invoked synchronously for every granted
-// step, before the step's operation executes.
-func WithStepHook(fn func(StepRecord)) Option {
-	return func(r *Runner) { r.onStep = fn }
-}
-
-// NewRunner returns a runner for n processes scheduled by strat.
+// NewRunner returns a concurrent engine for n processes scheduled by strat.
 func NewRunner(n int, strat Strategy, opts ...Option) *Runner {
+	c := newEngineConfig(opts)
 	r := &Runner{
-		n:        n,
-		strat:    strat,
-		maxSteps: 1 << 20,
-		ready:    make(chan event),
-		resume:   make([]chan grant, n),
+		core:   newSchedCore(n, strat, c.maxSteps),
+		n:      n,
+		onStep: c.onStep,
+		ready:  make(chan event),
+		resume: make([]chan grant, n),
 	}
 	for i := range r.resume {
 		r.resume[i] = make(chan grant)
-	}
-	for _, o := range opts {
-		o(r)
 	}
 	return r
 }
@@ -176,12 +178,46 @@ func (r *Runner) Step(pid int, op Op) {
 	}
 }
 
+// RunMachines executes resumable step machines (see Machine) by running each
+// as a goroutine body that resumes until its process finishes. Traces are
+// identical to the sequential engine's direct dispatch of the same machines,
+// and Machine contract violations (a Resume that takes no gated step, or
+// more than one) surface as the same errors instead of hanging the gate.
+// stepsBy[pid] is only ever written by pid's own goroutine during the run,
+// so the contract checks are race-free.
+func (r *Runner) RunMachines(machines []Machine) (*Result, error) {
+	if len(machines) != r.n {
+		return nil, fmt.Errorf("sched: got %d machines for %d processes", len(machines), r.n)
+	}
+	return r.Run(func(pid int) {
+		m := machines[pid]
+		alive := m.Resume()
+		if r.stepsBy[pid] != 0 {
+			panic(machineStartStepMsg(pid, ""))
+		}
+		for alive {
+			before := r.stepsBy[pid]
+			alive = m.Resume()
+			switch after := r.stepsBy[pid]; {
+			case after == before:
+				panic(machineNoStepMsg(pid))
+			case after > before+1:
+				panic(machineSecondStepMsg(pid, ""))
+			}
+		}
+	})
+}
+
 // Run starts body(pid) for pid in [0, n) and schedules their base-object
 // steps until every process returns, the strategy halts the run, or the step
 // budget is exhausted. It returns the execution result; err is non-nil only
-// for a blown step budget or a panicking process body.
+// for a blown step budget, a panicking process body, or a misused runner.
 func (r *Runner) Run(body func(pid int)) (*Result, error) {
-	r.trace = r.trace[:0]
+	if r.started {
+		return nil, fmt.Errorf("%w (Runner.Run called twice)", ErrReused)
+	}
+	r.started = true
+	r.trace = make([]StepRecord, 0, traceCap(r.core.maxSteps))
 	r.stepsBy = make([]int, r.n)
 	finished := make([]bool, r.n)
 	var panics []any
@@ -203,14 +239,14 @@ func (r *Runner) Run(body func(pid int)) (*Result, error) {
 		}(pid)
 	}
 
-	waiting := make(map[int]bool, r.n)
+	waiting := make([]bool, r.n) // parked at the gate, indexed by pid
+	numWaiting := 0
 	outstanding := r.n // processes running (not parked at gate, not finished)
 	numFinished := 0
 	aborting := false
 	halted := false
 	var runErr error
 
-	step := 0
 	for numFinished < r.n {
 		// Drain events until every live process is parked or finished.
 		for outstanding > 0 {
@@ -228,42 +264,39 @@ func (r *Runner) Run(body func(pid int)) (*Result, error) {
 				}
 			} else {
 				waiting[e.pid] = true
+				numWaiting++
 			}
 		}
-		if len(waiting) == 0 {
+		if numWaiting == 0 {
 			break // all finished
 		}
-		if step >= r.maxSteps && runErr == nil {
-			runErr = fmt.Errorf("%w (budget %d)", ErrMaxSteps, r.maxSteps)
-			aborting = true
-		}
 		if aborting {
-			for pid := range waiting {
-				delete(waiting, pid)
-				outstanding++
-				r.resume[pid] <- grant{abort: true}
+			for pid := 0; pid < r.n; pid++ {
+				if waiting[pid] {
+					waiting[pid] = false
+					numWaiting--
+					outstanding++
+					r.resume[pid] <- grant{abort: true}
+				}
 			}
 			continue
 		}
-		enabled := make([]int, 0, len(waiting))
-		for pid := range waiting {
-			enabled = append(enabled, pid)
+		pick, halt, perr := r.core.pick(waiting)
+		if perr != nil {
+			if runErr == nil {
+				runErr = perr
+			}
+			aborting = true
+			continue
 		}
-		sort.Ints(enabled)
-		pick := r.strat.Pick(step, enabled)
-		if pick == Halt {
+		if halt {
 			halted = true
 			aborting = true
 			continue
 		}
-		if !waiting[pick] {
-			runErr = fmt.Errorf("sched: strategy picked pid %d not in enabled set %v", pick, enabled)
-			aborting = true
-			continue
-		}
-		delete(waiting, pick)
+		waiting[pick] = false
+		numWaiting--
 		outstanding++
-		step++
 		r.resume[pick] <- grant{}
 	}
 

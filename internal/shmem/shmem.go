@@ -19,12 +19,10 @@ import (
 // passing it to Write/Update, and readers must not mutate returned values.
 type Value = any
 
-// Stepper gates base-object operations. *sched.Runner implements it; Free can
-// be used to run without a scheduler (single-threaded tests, local
-// simulation).
-type Stepper interface {
-	Step(pid int, op sched.Op)
-}
+// Stepper gates base-object operations. Both execution engines
+// (*sched.Runner and *sched.SeqEngine) implement it; Free can be used to run
+// without a scheduler (single-threaded tests, local simulation).
+type Stepper = sched.Stepper
 
 // Free is a Stepper that admits every operation immediately. It makes shared
 // objects usable from a single goroutine without a scheduler.
@@ -100,14 +98,25 @@ func (s *SWSnapshot) Update(pid int, v Value) {
 
 // Scan atomically returns the value of every component.
 func (s *SWSnapshot) Scan(pid int) []Value {
-	s.stepper.Step(pid, sched.Op{Object: s.name, Kind: sched.OpScan, Comp: -1})
 	out := make([]Value, len(s.comps))
+	s.ScanInto(pid, out)
+	return out
+}
+
+// ScanInto is Scan into a caller-provided slice of length Components(),
+// avoiding the result allocation on hot paths; the caller must not retain
+// component values beyond their copy semantics (Value contents are immutable
+// once written).
+func (s *SWSnapshot) ScanInto(pid int, out []Value) {
+	if len(out) != len(s.comps) {
+		panic(fmt.Sprintf("shmem: SWSnapshot %q ScanInto with %d-slot buffer for %d components", s.name, len(out), len(s.comps)))
+	}
+	s.stepper.Step(pid, sched.Op{Object: s.name, Kind: sched.OpScan, Comp: -1})
 	copy(out, s.comps)
 	s.scans++
 	if s.rec != nil {
 		s.rec.RecordScan(pid, out)
 	}
-	return out
 }
 
 // OpCounts reports the number of updates and scans applied so far.
@@ -172,6 +181,10 @@ func (s *MWSnapshot) OpCounts() (updates, scans int) { return s.updates, s.scans
 // Recorder receives the linearized history of a snapshot object. Because the
 // gated scheduler serializes operations, the callback order is the
 // linearization order.
+//
+// The view slice passed to RecordScan is only valid for the duration of the
+// callback: scan fast paths (SWSnapshot.ScanInto) reuse the caller's buffer
+// across scans. A Recorder that wants to keep a view must copy it.
 type Recorder interface {
 	RecordUpdate(pid, comp int, v Value)
 	RecordScan(pid int, view []Value)

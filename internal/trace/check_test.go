@@ -80,7 +80,7 @@ func TestAugSnapshotSpecExhaustiveTiny(t *testing.T) {
 	// Exhaustively explore all schedules (bounded) of 2 processes each doing
 	// one Block-Update and one Scan over a 2-component augmented snapshot,
 	// checking the full §3 specification after every run.
-	factory := func(runner *sched.Runner) System {
+	factory := func(runner sched.Stepper) System {
 		a := augsnap.New(runner, 2, 2)
 		return System{
 			Body: func(pid int) {

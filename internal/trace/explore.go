@@ -20,6 +20,11 @@ type ExploreOpts struct {
 	MaxRuns int
 	// MaxViolations stops the search after this many violations (0 = 1).
 	MaxViolations int
+	// Engine selects the execution engine used per schedule; the default
+	// (sched.EngineSeq) dispatches steps directly with no goroutine setup per
+	// run, which makes exploration an order of magnitude faster than the
+	// goroutine gate.
+	Engine sched.EngineKind
 }
 
 // Violation is one failing schedule.
@@ -37,22 +42,50 @@ type ExploreReport struct {
 }
 
 // System is one freshly constructed system instance to execute and check.
-// Factory functions wire their shared objects to the provided runner.
+// Factory functions wire their shared objects to the provided step gate,
+// which is the engine the system will run on.
 type System struct {
+	// Body is the per-process closure body. Used when Machines is nil.
 	Body func(pid int)
+	// Machines, when non-nil, are resumable step machines (one per process)
+	// that engines run natively — the fastest path on the sequential engine.
+	// See proto.Machines for the protocol-process adapter.
+	Machines []sched.Machine
 	// Check is called after the run with the scheduler result; returning an
 	// error marks the schedule as violating.
 	Check func(res *sched.Result) error
 }
 
+// Factory builds one fresh system wired to the given step gate. Explore and
+// Fuzz construct a new engine (and through the factory a new system) for
+// every schedule they execute.
+type Factory func(gate sched.Stepper) System
+
 // recStrategy replays a prefix, then always picks the first enabled process,
-// recording every decision so the explorer can backtrack to siblings.
+// recording every decision so the explorer can backtrack to siblings. The
+// recorded enabled sets live in a flat arena (reused across schedules) so
+// recording a step allocates nothing once warm.
 type recStrategy struct {
 	prefix   []int
 	maxDepth int
-	enabled  [][]int
+	flat     []int // concatenation of the enabled sets, per decision depth
+	offs     []int // offs[d]..offs[d+1] frames depth d's enabled set in flat
 	picks    []int
 	trunc    bool
+}
+
+// reset prepares the strategy for the next schedule, keeping the arenas.
+func (s *recStrategy) reset(prefix []int) {
+	s.prefix = prefix
+	s.flat = s.flat[:0]
+	s.offs = s.offs[:0]
+	s.picks = s.picks[:0]
+	s.trunc = false
+}
+
+// enabledAt returns the recorded enabled set of decision depth d.
+func (s *recStrategy) enabledAt(d int) []int {
+	return s.flat[s.offs[d]:s.offs[d+1]]
 }
 
 func (s *recStrategy) Pick(step int, enabled []int) int {
@@ -77,17 +110,20 @@ func (s *recStrategy) Pick(step int, enabled []int) int {
 			pick = enabled[0]
 		}
 	}
-	cp := make([]int, len(enabled))
-	copy(cp, enabled)
-	s.enabled = append(s.enabled, cp)
+	if len(s.offs) == 0 {
+		s.offs = append(s.offs, 0)
+	}
+	s.flat = append(s.flat, enabled...)
+	s.offs = append(s.offs, len(s.flat))
 	s.picks = append(s.picks, pick)
 	return pick
 }
 
 // Explore enumerates schedules of the nprocs-process system produced by
 // factory, depth-first over scheduler choices, until the space is exhausted
-// or a bound is hit.
-func Explore(nprocs int, factory func(runner *sched.Runner) System, opts ExploreOpts) (*ExploreReport, error) {
+// or a bound is hit. Each schedule runs on a fresh engine of opts.Engine
+// (sequential by default: no per-schedule goroutine system is built).
+func Explore(nprocs int, factory Factory, opts ExploreOpts) (*ExploreReport, error) {
 	if opts.MaxDepth <= 0 {
 		return nil, fmt.Errorf("trace: MaxDepth must be positive")
 	}
@@ -96,15 +132,24 @@ func Explore(nprocs int, factory func(runner *sched.Runner) System, opts Explore
 		maxViol = 1
 	}
 	report := &ExploreReport{}
+	strat := &recStrategy{maxDepth: opts.MaxDepth}
 	prefix := []int{}
 	for {
 		if opts.MaxRuns > 0 && report.Runs >= opts.MaxRuns {
 			return report, nil
 		}
-		strat := &recStrategy{prefix: prefix, maxDepth: opts.MaxDepth}
-		runner := sched.NewRunner(nprocs, strat)
-		sys := factory(runner)
-		res, err := runner.Run(sys.Body)
+		strat.reset(prefix)
+		eng, err := sched.NewEngine(opts.Engine, nprocs, strat)
+		if err != nil {
+			return nil, err
+		}
+		sys := factory(eng)
+		var res *sched.Result
+		if sys.Machines != nil {
+			res, err = eng.RunMachines(sys.Machines)
+		} else {
+			res, err = eng.Run(sys.Body)
+		}
 		report.Runs++
 		if strat.trunc {
 			report.Truncated++
@@ -121,7 +166,7 @@ func Explore(nprocs int, factory func(runner *sched.Runner) System, opts Explore
 			}
 		}
 		// Backtrack: find the deepest decision with an unexplored sibling.
-		next := backtrack(strat.enabled, strat.picks)
+		next := strat.backtrack()
 		if next == nil {
 			report.Exhausted = true
 			return report, nil
@@ -131,19 +176,19 @@ func Explore(nprocs int, factory func(runner *sched.Runner) System, opts Explore
 }
 
 // backtrack returns the next prefix in DFS order, or nil when exhausted.
-func backtrack(enabled [][]int, picks []int) []int {
-	for d := len(picks) - 1; d >= 0; d-- {
-		opts := enabled[d]
+func (s *recStrategy) backtrack() []int {
+	for d := len(s.picks) - 1; d >= 0; d-- {
+		opts := s.enabledAt(d)
 		idx := -1
 		for i, pid := range opts {
-			if pid == picks[d] {
+			if pid == s.picks[d] {
 				idx = i
 				break
 			}
 		}
 		if idx >= 0 && idx+1 < len(opts) {
 			next := make([]int, d+1)
-			copy(next, picks[:d])
+			copy(next, s.picks[:d])
 			next[d] = opts[idx+1]
 			return next
 		}

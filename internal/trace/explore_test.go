@@ -12,8 +12,8 @@ import (
 // be told to flag a specific final read by process 0. The final value is
 // captured inside Body — Check must not touch gated objects, since the
 // scheduler has already shut down when it runs.
-func counterSystem(flagValue shmem.Value) func(runner *sched.Runner) System {
-	return func(runner *sched.Runner) System {
+func counterSystem(flagValue shmem.Value) Factory {
+	return func(runner sched.Stepper) System {
 		reg := shmem.NewRegister("R", runner, nil)
 		var lastRead [2]shmem.Value
 		return System{
@@ -84,7 +84,7 @@ func TestExploreRespectsMaxRuns(t *testing.T) {
 }
 
 func TestExploreTruncatesAtDepth(t *testing.T) {
-	factory := func(runner *sched.Runner) System {
+	factory := func(runner sched.Stepper) System {
 		reg := shmem.NewRegister("R", runner, nil)
 		return System{
 			Body: func(pid int) {
@@ -112,9 +112,17 @@ func TestExploreRejectsBadDepth(t *testing.T) {
 
 func TestBacktrackOrder(t *testing.T) {
 	// backtrack must produce the DFS-next prefix.
-	enabled := [][]int{{0, 1}, {0, 1}, {1}}
-	picks := []int{0, 0, 1}
-	next := backtrack(enabled, picks)
+	mk := func(enabled [][]int, picks []int) *recStrategy {
+		s := &recStrategy{}
+		s.offs = append(s.offs, 0)
+		for _, e := range enabled {
+			s.flat = append(s.flat, e...)
+			s.offs = append(s.offs, len(s.flat))
+		}
+		s.picks = picks
+		return s
+	}
+	next := mk([][]int{{0, 1}, {0, 1}, {1}}, []int{0, 0, 1}).backtrack()
 	want := []int{0, 1}
 	if len(next) != len(want) {
 		t.Fatalf("next = %v", next)
@@ -125,7 +133,7 @@ func TestBacktrackOrder(t *testing.T) {
 		}
 	}
 	// Fully explored space returns nil.
-	if backtrack([][]int{{0}}, []int{0}) != nil {
+	if mk([][]int{{0}}, []int{0}).backtrack() != nil {
 		t.Fatal("expected nil for exhausted space")
 	}
 }

@@ -18,6 +18,10 @@ type FuzzOpts struct {
 	ScheduleLen int
 	// MaxSteps bounds each run.
 	MaxSteps int
+	// Engine selects the execution engine per evaluated schedule; the default
+	// (sched.EngineSeq) dispatches steps directly, so candidate evaluation
+	// carries no goroutine or channel cost.
+	Engine sched.EngineKind
 }
 
 // FuzzReport is the outcome of a schedule search.
@@ -35,7 +39,7 @@ type FuzzReport struct {
 // mechanical stand-in: it finds schedules that maximize steps (livelock
 // pressure on obstruction-free protocols), yields, or any other measurable
 // damage.
-func Fuzz(nprocs int, factory func(runner *sched.Runner) System,
+func Fuzz(nprocs int, factory Factory,
 	metric func(res *sched.Result) float64, opts FuzzOpts) (*FuzzReport, error) {
 
 	if opts.Iterations <= 0 {
@@ -51,9 +55,17 @@ func Fuzz(nprocs int, factory func(runner *sched.Runner) System,
 
 	evaluate := func(prefix []int) (float64, error) {
 		strat := sched.Replay{Choices: prefix, Fallback: sched.NewRandom(opts.Seed + 1)}
-		runner := sched.NewRunner(nprocs, strat, sched.WithMaxSteps(opts.MaxSteps))
-		sys := factory(runner)
-		res, err := runner.Run(sys.Body)
+		eng, err := sched.NewEngine(opts.Engine, nprocs, strat, sched.WithMaxSteps(opts.MaxSteps))
+		if err != nil {
+			return 0, err
+		}
+		sys := factory(eng)
+		var res *sched.Result
+		if sys.Machines != nil {
+			res, err = eng.RunMachines(sys.Machines)
+		} else {
+			res, err = eng.Run(sys.Body)
+		}
 		if err != nil && res == nil {
 			return 0, fmt.Errorf("trace: fuzz run failed: %w", err)
 		}

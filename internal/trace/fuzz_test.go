@@ -13,7 +13,7 @@ import (
 // paxosLikeSystem is a tiny 2-process round-racing protocol (phase-structured
 // like the repository's Paxos): the fuzzer should find schedules that force
 // retries, inflating the step count well beyond the contention-free optimum.
-func paxosLikeSystem(runner *sched.Runner) System {
+func paxosLikeSystem(runner sched.Stepper) System {
 	type reg struct {
 		LRE, LRWW int
 		Val       shmem.Value
@@ -97,7 +97,7 @@ func TestFuzzFindsContention(t *testing.T) {
 
 func TestFuzzMaximizesYields(t *testing.T) {
 	var a *augsnap.AugSnapshot
-	factory := func(runner *sched.Runner) System {
+	factory := func(runner sched.Stepper) System {
 		a = augsnap.New(runner, 3, 2)
 		return System{
 			Body: func(pid int) {
@@ -132,7 +132,7 @@ func TestFuzzMaximizesYields(t *testing.T) {
 func TestFuzzValidatesSafetyEveryRun(t *testing.T) {
 	// Every evaluated schedule runs the Check; a protocol with a reachable
 	// safety violation surfaces as an error.
-	factory := func(runner *sched.Runner) System {
+	factory := func(runner sched.Stepper) System {
 		reg := shmem.NewRegister("R", runner, nil)
 		var outs [2]shmem.Value
 		return System{
