@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test bench bench-smoke ci
+.PHONY: all vet build test bench bench-smoke ci protocols
 
 all: ci
 
@@ -20,5 +20,10 @@ bench:
 # One iteration of every benchmark: catches bit-rot without the cost.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Print the protocol registry; doubles as a smoke test that registration
+# side effects are wired.
+protocols:
+	$(GO) run ./cmd/simulate -list
 
 ci: vet build test bench-smoke

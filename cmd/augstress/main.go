@@ -1,7 +1,8 @@
-// Command augstress stress-tests the augmented snapshot implementation:
-// many seeded random schedules of mixed Scan/Block-Update workloads, each
-// checked offline against the §3 specification (linearization, returned
-// views, yield conditions, Lemma 2 step counts).
+// Command augstress stress-tests the augmented snapshot implementation
+// through the harness: many seeded random schedules of mixed
+// Scan/Block-Update workloads, each checked offline against the §3
+// specification (linearization, returned views, yield conditions, Lemma 2
+// step counts).
 //
 // Usage:
 //
@@ -9,73 +10,62 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
 
-	"revisionist/internal/augsnap"
+	"revisionist/internal/harness"
 	"revisionist/internal/sched"
-	"revisionist/internal/trace"
 )
 
 func main() {
-	var (
-		f      = flag.Int("f", 4, "processes")
-		m      = flag.Int("m", 3, "components")
-		ops    = flag.Int("ops", 8, "operations per process")
-		seeds  = flag.Int("seeds", 200, "number of seeded schedules")
-		engine = flag.String("engine", string(sched.DefaultEngine), "execution engine: seq | goroutine")
-	)
-	flag.Parse()
-
-	var totalBU, totalYield, totalScan int
-	for seed := 0; seed < *seeds; seed++ {
-		runner, err := sched.NewEngine(sched.EngineKind(*engine), *f, sched.NewRandom(int64(seed)), sched.WithMaxSteps(1<<22))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "augstress:", err)
+		if harness.IsUsage(err) {
 			os.Exit(2)
 		}
-		a := augsnap.New(runner, *f, *m)
-		_, err = runner.Run(func(pid int) {
-			rng := rand.New(rand.NewSource(int64(seed*1000 + pid)))
-			for i := 0; i < *ops; i++ {
-				if rng.Intn(4) == 0 {
-					a.Scan(pid)
-					continue
-				}
-				r := 1 + rng.Intn(*m)
-				comps := rng.Perm(*m)[:r]
-				vals := make([]augsnap.Value, r)
-				for g := range vals {
-					vals[g] = fmt.Sprintf("p%d-%d-%d", pid, i, g)
-				}
-				a.BlockUpdate(pid, comps, vals)
-			}
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "seed %d: run failed: %v\n", seed, err)
-			os.Exit(1)
-		}
-		if err := trace.Check(a.Log(), *m); err != nil {
-			fmt.Fprintf(os.Stderr, "seed %d: SPEC VIOLATION: %v\n", seed, err)
-			os.Exit(1)
-		}
-		totalBU += len(a.Log().BUs)
-		totalScan += len(a.Log().Scans)
-		for _, bu := range a.Log().BUs {
-			if bu.Yielded {
-				totalYield++
-			}
-		}
+		os.Exit(1)
 	}
-	fmt.Printf("ok: %d schedules, %d Block-Updates (%d yielded, %.1f%%), %d Scans — all §3 checks passed\n",
-		*seeds, totalBU, totalYield, 100*float64(totalYield)/float64(max(totalBU, 1)), totalScan)
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("augstress", flag.ContinueOnError)
+	var (
+		f      = fs.Int("f", 4, "processes")
+		m      = fs.Int("m", 3, "components")
+		ops    = fs.Int("ops", 8, "operations per process")
+		seeds  = fs.Int("seeds", 200, "number of seeded schedules")
+		engine = harness.EngineFlag(fs)
+	)
+	if err := harness.ParseFlags(fs, args); err != nil {
+		return err
 	}
-	return b
+	kind, err := sched.ParseEngine(*engine)
+	if err != nil {
+		fs.Usage()
+		return &harness.UsageError{Err: err}
+	}
+
+	rep, err := harness.Stress(harness.Options{
+		Engine: kind,
+		F:      *f,
+		M:      *m,
+		Ops:    *ops,
+		Seeds:  *seeds,
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Violation != nil {
+		return fmt.Errorf("seed %d: SPEC VIOLATION: %w", rep.FailedSeed, rep.Violation)
+	}
+	fmt.Fprintf(out, "ok: %d schedules, %d Block-Updates (%d yielded, %.1f%%), %d Scans — all §3 checks passed\n",
+		rep.Schedules, rep.BlockUpdates, rep.Yields,
+		100*float64(rep.Yields)/float64(max(rep.BlockUpdates, 1)), rep.Scans)
+	return nil
 }

@@ -5,127 +5,151 @@
 // conversion (E7) and the upper-bound protocol measurements (E8). The
 // Figure 1 layout (F1) is printed first.
 //
+// All protocol instances come from the registry (internal/protocol) and all
+// simulation runs go through the harness (internal/harness).
+//
 // Usage:
 //
-//	experiments [-section all|f1|t1|t2|e3|e4|e5|e6|e7|e8]
+//	experiments [-section all|f1|t1|t2|e3|e4|e5|e5b|e6|e7|e8]
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
-	"math/rand"
 	"os"
 
-	"revisionist/internal/algorithms"
-	"revisionist/internal/augsnap"
 	"revisionist/internal/bounds"
 	"revisionist/internal/core"
+	"revisionist/internal/harness"
 	"revisionist/internal/nst"
 	"revisionist/internal/proto"
+	"revisionist/internal/protocol"
 	"revisionist/internal/sched"
 	"revisionist/internal/spec"
 	"revisionist/internal/trace"
 )
 
-// engineKind is the execution engine every experiment runs on (-engine flag).
-var engineKind sched.EngineKind
-
 func main() {
-	section := flag.String("section", "all", "which section to print")
-	engine := flag.String("engine", string(sched.DefaultEngine), "execution engine: seq | goroutine")
-	flag.Parse()
-	engineKind = sched.EngineKind(*engine)
-	run := func(name string, fn func()) {
-		if *section == "all" || *section == name {
-			fn()
-			fmt.Println()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
 		}
-	}
-	run("f1", f1Layout)
-	run("t1", t1SetAgreementBounds)
-	run("t2", t2ApproxAgreement)
-	run("e3", e3StepCounts)
-	run("e4", e4YieldConditions)
-	run("e5", e5Simulation)
-	run("e5b", e5bGrowth)
-	run("e6", e6Falsification)
-	run("e7", e7Conversion)
-	run("e8", e8UpperBounds)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
-}
-
-func f1Layout() {
-	fmt.Println("== F1: Figure 1 — real and simulated systems ==")
-	cfg := core.Config{N: 10, M: 3, F: 4, D: 1}
-	fmt.Printf("real system: f = %d simulators (%d covering, %d direct) over an f-component single-writer snapshot\n",
-		cfg.F, cfg.NumCovering(), cfg.D)
-	fmt.Printf("they implement an m = %d component augmented snapshot and simulate n = %d processes\n", cfg.M, cfg.N)
-	for i := 0; i < cfg.F; i++ {
-		kind := "covering"
-		if i >= cfg.NumCovering() {
-			kind = "direct  "
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if harness.IsUsage(err) {
+			os.Exit(2)
 		}
-		fmt.Printf("  q%d (%s)  P%d = %v\n", i, kind, i, cfg.Partition(i))
+		os.Exit(1)
 	}
 }
 
-func t1SetAgreementBounds() {
-	fmt.Println("== T1: Corollary 33 — registers for x-obstruction-free k-set agreement ==")
-	fmt.Printf("%4s %4s %4s | %9s %9s %6s\n", "n", "k", "x", "LB(paper)", "UB([16])", "tight")
+// exps carries the flag-level configuration through the experiment funcs.
+type exps struct {
+	out    io.Writer
+	engine sched.EngineKind
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	section := fs.String("section", "all", "which section to print")
+	engine := harness.EngineFlag(fs)
+	if err := harness.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	kind, err := sched.ParseEngine(*engine)
+	if err != nil {
+		fs.Usage()
+		return &harness.UsageError{Err: err}
+	}
+	e := &exps{out: out, engine: kind}
+	sections := []struct {
+		name string
+		fn   func() error
+	}{
+		{"f1", e.f1Layout},
+		{"t1", e.t1SetAgreementBounds},
+		{"t2", e.t2ApproxAgreement},
+		{"e3", e.e3StepCounts},
+		{"e4", e.e4YieldConditions},
+		{"e5", e.e5Simulation},
+		{"e5b", e.e5bGrowth},
+		{"e6", e.e6Falsification},
+		{"e7", e.e7Conversion},
+		{"e8", e.e8UpperBounds},
+	}
+	known := *section == "all"
+	for _, s := range sections {
+		if *section == "all" || *section == s.name {
+			known = true
+			if err := s.fn(); err != nil {
+				return fmt.Errorf("%s: %w", s.name, err)
+			}
+			fmt.Fprintln(e.out)
+		}
+	}
+	if !known {
+		return &harness.UsageError{Err: fmt.Errorf("unknown section %q", *section)}
+	}
+	return nil
+}
+
+func (e *exps) f1Layout() error {
+	fmt.Fprintln(e.out, "== F1: Figure 1 — real and simulated systems ==")
+	harness.WriteLayout(e.out, core.Config{N: 10, M: 3, F: 4, D: 1})
+	return nil
+}
+
+func (e *exps) t1SetAgreementBounds() error {
+	fmt.Fprintln(e.out, "== T1: Corollary 33 — registers for x-obstruction-free k-set agreement ==")
+	fmt.Fprintf(e.out, "%4s %4s %4s | %9s %9s %6s\n", "n", "k", "x", "LB(paper)", "UB([16])", "tight")
 	for _, n := range []int{4, 8, 16, 32, 64} {
 		for _, k := range dedupe([]int{1, 2, n / 2, n - 1}, 1, n-1) {
 			for _, x := range dedupe([]int{1, (k + 1) / 2, k}, 1, k) {
 				lb, err := bounds.SetAgreementLB(n, k, x)
 				if err != nil {
-					fail(err)
+					return err
 				}
 				ub, _ := bounds.SetAgreementUB(n, k, x)
 				tight := ""
 				if lb == ub {
 					tight = "yes"
 				}
-				fmt.Printf("%4d %4d %4d | %9d %9d %6s\n", n, k, x, lb, ub, tight)
+				fmt.Fprintf(e.out, "%4d %4d %4d | %9d %9d %6s\n", n, k, x, lb, ub, tight)
 			}
 		}
 	}
-	fmt.Println("consensus (k=x=1): LB = UB = n (tight); (n-1)-set (x=1): LB = UB = 2 (tight)")
+	fmt.Fprintln(e.out, "consensus (k=x=1): LB = UB = n (tight); (n-1)-set (x=1): LB = UB = 2 (tight)")
+	return nil
 }
 
-func t2ApproxAgreement() {
-	fmt.Println("== T2: Corollary 34 — eps-approximate agreement (n = 16) ==")
-	fmt.Printf("%10s | %8s %12s | %14s %14s %12s\n", "eps", "space LB", "step LB(2p)", "AA2 ops (meas)", "AAN ops (n=8)", "2R+1 (pred)")
+func (e *exps) t2ApproxAgreement() error {
+	fmt.Fprintln(e.out, "== T2: Corollary 34 — eps-approximate agreement (n = 16) ==")
+	fmt.Fprintf(e.out, "%10s | %8s %12s | %14s %14s %12s\n", "eps", "space LB", "step LB(2p)", "AA2 ops (meas)", "AAN ops (n=8)", "2R+1 (pred)")
+	aa2, aan := protocol.MustLookup("aa2"), protocol.MustLookup("aan")
 	for _, eps := range []float64{0.25, 0.1, 0.01, 1e-3, 1e-4, 1e-6} {
 		lb, err := bounds.ApproxAgreementSpaceLB(16, eps)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		procs, m, err := algorithms.NewApproxAgreement2([2]float64{0, 1}, eps)
+		inst, err := aa2.Instantiate(protocol.Params{Eps: eps})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		res, _, rerr := proto.Run(procs, m, nil, sched.RoundRobin{N: 2}, sched.WithMaxSteps(1_000_000))
+		res, _, rerr := proto.Run(inst.Procs, inst.M, nil, sched.RoundRobin{N: 2}, sched.WithMaxSteps(1_000_000))
 		if rerr != nil {
-			fail(rerr)
+			return rerr
 		}
 		// The n-process protocol (n components, the [9]-style upper bound):
 		// worst-case ops per process across an adversarial run.
-		fs := make([]float64, 8)
-		for i := range fs {
-			fs[i] = float64(i) / 7
-		}
-		nprocs, nm, err := algorithms.NewApproxAgreementN(fs, eps)
+		ninst, err := aan.Instantiate(protocol.Params{N: 8, Eps: eps})
 		if err != nil {
-			fail(err)
+			return err
 		}
-		nres, _, rerr2 := proto.Run(nprocs, nm, nil, sched.Alternator{Burst: 3}, sched.WithMaxSteps(1_000_000))
+		nres, _, rerr2 := proto.Run(ninst.Procs, ninst.M, nil, sched.Alternator{Burst: 3}, sched.WithMaxSteps(1_000_000))
 		if rerr2 != nil {
-			fail(rerr2)
+			return rerr2
 		}
 		maxOps := 0
 		for _, o := range nres.OpsBy {
@@ -133,10 +157,11 @@ func t2ApproxAgreement() {
 				maxOps = o
 			}
 		}
-		fmt.Printf("%10.0e | %8d %12.1f | %14d %14d %12d\n",
+		fmt.Fprintf(e.out, "%10.0e | %8d %12.1f | %14d %14d %12d\n",
 			eps, lb, bounds.ApproxAgreementStepLB(eps), res.OpsBy[0], maxOps, 2*bounds.AA2Rounds(eps)+1)
 	}
-	fmt.Println("symbolic regime: log3(1/eps) = 2^80 gives space LB", mustLB3(16, math.Pow(2, 80)), "= ⌊n/2⌋+1 (covering term)")
+	fmt.Fprintln(e.out, "symbolic regime: log3(1/eps) = 2^80 gives space LB", mustLB3(16, math.Pow(2, 80)), "= ⌊n/2⌋+1 (covering term)")
+	return nil
 }
 
 // dedupe keeps in-range values, first occurrence only, preserving order.
@@ -156,59 +181,33 @@ func dedupe(vals []int, lo, hi int) []int {
 func mustLB3(n int, l3 float64) int {
 	lb, err := bounds.ApproxAgreementSpaceLBFromLog3(n, l3)
 	if err != nil {
-		fail(err)
+		panic(err)
 	}
 	return lb
 }
 
-// augWorkload runs one random augmented-snapshot workload and returns it.
-func augWorkload(f, m, ops int, seed int64) *augsnap.AugSnapshot {
-	runner, err := sched.NewEngine(engineKind, f, sched.NewRandom(seed), sched.WithMaxSteps(1<<22))
-	if err != nil {
-		fail(err)
-	}
-	a := augsnap.New(runner, f, m)
-	_, err = runner.Run(func(pid int) {
-		rng := rand.New(rand.NewSource(seed*1000 + int64(pid)))
-		for i := 0; i < ops; i++ {
-			if rng.Intn(4) == 0 {
-				a.Scan(pid)
-				continue
-			}
-			r := 1 + rng.Intn(m)
-			comps := rng.Perm(m)[:r]
-			vals := make([]augsnap.Value, r)
-			for g := range vals {
-				vals[g] = fmt.Sprintf("p%d-%d-%d", pid, i, g)
-			}
-			a.BlockUpdate(pid, comps, vals)
-		}
-	})
-	if err != nil {
-		fail(err)
-	}
-	return a
-}
-
-func e3StepCounts() {
-	fmt.Println("== E3: Lemma 2 — step counts on the single-writer snapshot H ==")
-	fmt.Printf("%3s %3s | %10s %12s | %10s %12s %9s\n", "f", "m", "BU steps", "(atomic=6)", "Scan max", "bound 2k+3", "checked")
+func (e *exps) e3StepCounts() error {
+	fmt.Fprintln(e.out, "== E3: Lemma 2 — step counts on the single-writer snapshot H ==")
+	fmt.Fprintf(e.out, "%3s %3s | %10s %12s | %10s %12s %9s\n", "f", "m", "BU steps", "(atomic=6)", "Scan max", "bound 2k+3", "checked")
 	for _, f := range []int{2, 4, 8} {
 		m := 3
 		buOK, scanMax, scanBound := true, 0, 0
 		var nBU, nScan int
 		for seed := int64(0); seed < 30; seed++ {
-			a := augWorkload(f, m, 6, seed)
+			a, err := harness.StressWorkload(e.engine, f, m, 6, seed)
+			if err != nil {
+				return err
+			}
 			log := a.Log()
 			if err := trace.Check(log, m); err != nil {
-				fail(err)
+				return err
 			}
 			nBU += len(log.BUs)
 			nScan += len(log.Scans)
 			for _, sr := range log.Scans {
 				k := 0
-				for _, e := range log.Events {
-					if e.Seq > sr.StartSeq && e.Seq < sr.LinSeq && e.PID != sr.PID && len(e.Appended) > 0 {
+				for _, ev := range log.Events {
+					if ev.Seq > sr.StartSeq && ev.Seq < sr.LinSeq && ev.PID != sr.PID && len(ev.Appended) > 0 {
 						k++
 					}
 				}
@@ -223,9 +222,10 @@ func e3StepCounts() {
 				}
 			}
 		}
-		fmt.Printf("%3d %3d | %10s %12s | %10d %12d %9d\n", f, m, "6/5", ok(buOK), scanMax, scanBound, nBU+nScan)
+		fmt.Fprintf(e.out, "%3d %3d | %10s %12s | %10d %12d %9d\n", f, m, "6/5", ok(buOK), scanMax, scanBound, nBU+nScan)
 	}
-	fmt.Println("(Block-Updates take exactly 6 H-operations, 5 when yielding at line 10; verified by trace.Check)")
+	fmt.Fprintln(e.out, "(Block-Updates take exactly 6 H-operations, 5 when yielding at line 10; verified by trace.Check)")
+	return nil
 }
 
 func ok(b bool) string {
@@ -235,14 +235,17 @@ func ok(b bool) string {
 	return "VIOLATED"
 }
 
-func e4YieldConditions() {
-	fmt.Println("== E4: Theorem 20 — yield conditions ==")
-	fmt.Printf("%3s | %8s %8s %10s %12s\n", "f", "BUs", "yields", "by q0", "spec checks")
+func (e *exps) e4YieldConditions() error {
+	fmt.Fprintln(e.out, "== E4: Theorem 20 — yield conditions ==")
+	fmt.Fprintf(e.out, "%3s | %8s %8s %10s %12s\n", "f", "BUs", "yields", "by q0", "spec checks")
 	for _, f := range []int{2, 4, 6} {
 		var bus, yields, byQ0 int
 		allOK := true
 		for seed := int64(0); seed < 40; seed++ {
-			a := augWorkload(f, 3, 6, seed)
+			a, err := harness.StressWorkload(e.engine, f, 3, 6, seed)
+			if err != nil {
+				return err
+			}
 			if err := trace.Check(a.Log(), 3); err != nil {
 				allOK = false
 			}
@@ -256,74 +259,36 @@ func e4YieldConditions() {
 				}
 			}
 		}
-		fmt.Printf("%3d | %8d %8d %10d %12s\n", f, bus, yields, byQ0, ok(allOK))
+		fmt.Fprintf(e.out, "%3d | %8d %8d %10d %12s\n", f, bus, yields, byQ0, ok(allOK))
 	}
-	fmt.Println("(q0 never yields; every yield has a lower-id triple-append inside its interval — checked offline)")
+	fmt.Fprintln(e.out, "(q0 never yields; every yield has a lower-id triple-append inside its interval — checked offline)")
+	return nil
 }
 
-func e5Simulation() {
-	fmt.Println("== E5: Theorem 21 machinery — wait-free simulation runs ==")
-	type exp struct {
+func (e *exps) e5Simulation() error {
+	fmt.Fprintln(e.out, "== E5: Theorem 21 machinery — wait-free simulation runs ==")
+	cases := []struct {
 		name string
-		cfg  core.Config
-		mk   func(in []proto.Value) ([]proto.Process, error)
-		task spec.Task
+		opts harness.Options
+	}{
+		{"first-value n=8 m=1 f=8", harness.Options{Protocol: "firstvalue", Params: protocol.Params{N: 8}, F: 8}},
+		{"3-set n=4 m=2 f=2", harness.Options{Protocol: "kset", Params: protocol.Params{N: 4, K: 3}, F: 2}},
+		{"7-set n=9 m=3 f=3", harness.Options{Protocol: "kset", Params: protocol.Params{N: 9, K: 7}, F: 3}},
+		{"3-set n=4 m=2 f=3 d=2", harness.Options{Protocol: "kset", Params: protocol.Params{N: 4, K: 3}, F: 3, D: 2}},
 	}
-	exps := []exp{
-		{
-			name: "first-value n=8 m=1 f=8",
-			cfg:  core.Config{N: 8, M: 1, F: 8, D: 0},
-			mk: func(in []proto.Value) ([]proto.Process, error) {
-				procs := make([]proto.Process, len(in))
-				for i := range procs {
-					procs[i] = algorithms.NewFirstValue(0, in[i])
-				}
-				return procs, nil
-			},
-			task: spec.Trivial{},
-		},
-		{
-			name: "3-set n=4 m=2 f=2",
-			cfg:  core.Config{N: 4, M: 2, F: 2, D: 0},
-			mk: func(in []proto.Value) ([]proto.Process, error) {
-				procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
-				return procs, err
-			},
-			task: spec.KSetAgreement{K: 3},
-		},
-		{
-			name: "7-set n=9 m=3 f=3",
-			cfg:  core.Config{N: 9, M: 3, F: 3, D: 0},
-			mk: func(in []proto.Value) ([]proto.Process, error) {
-				procs, _, err := algorithms.NewKSetAgreement(9, 7, in)
-				return procs, err
-			},
-			task: spec.KSetAgreement{K: 7},
-		},
-		{
-			name: "3-set n=4 m=2 f=3 d=2",
-			cfg:  core.Config{N: 4, M: 2, F: 3, D: 2},
-			mk: func(in []proto.Value) ([]proto.Process, error) {
-				procs, _, err := algorithms.NewKSetAgreement(4, 3, in)
-				return procs, err
-			},
-			task: spec.KSetAgreement{K: 3},
-		},
-	}
-	fmt.Printf("%-26s | %6s %6s %6s %8s %10s %12s %8s %8s\n", "experiment", "runs", "done", "valid", "maxBU", "maxOps", "2b(i)+1 ok", "revis.", "recon")
-	for _, e := range exps {
-		e.cfg.Engine = engineKind
+	fmt.Fprintf(e.out, "%-26s | %6s %6s %6s %8s %10s %12s %8s %8s\n", "experiment", "runs", "done", "valid", "maxBU", "maxOps", "2b(i)+1 ok", "revis.", "recon")
+	for _, c := range cases {
+		c.opts.Engine = e.engine
+		c.opts.Validate = true
 		var runs, done, valid, maxBU, maxOps, revis, recon int
 		capsOK := true
 		for seed := int64(0); seed < 30; seed++ {
-			inputs := make([]proto.Value, e.cfg.F)
-			for i := range inputs {
-				inputs[i] = 100 + i
+			c.opts.Seed = seed
+			rep, err := harness.Run(c.opts)
+			if err != nil && !harness.IsStarved(err) {
+				return err
 			}
-			res, err := core.Run(e.cfg, inputs, e.mk, sched.NewRandom(seed))
-			if err != nil && !errors.Is(err, sched.ErrMaxSteps) {
-				fail(err)
-			}
+			res, cfg := rep.Result, rep.Config
 			runs++
 			all := true
 			for _, dn := range res.Done {
@@ -332,135 +297,114 @@ func e5Simulation() {
 			if all {
 				done++
 			}
-			var outs []proto.Value
-			for i, dn := range res.Done {
-				if dn {
-					outs = append(outs, res.Outputs[i])
-				}
-			}
-			if e.task.Validate(inputs, outs) == nil {
+			if rep.TaskErr == nil {
 				valid++
 			}
-			for i := 0; i < e.cfg.NumCovering(); i++ {
+			for i := 0; i < cfg.NumCovering(); i++ {
 				if res.BlockUpdates[i] > maxBU {
 					maxBU = res.BlockUpdates[i]
 				}
 				if res.Operations(i) > maxOps {
 					maxOps = res.Operations(i)
 				}
-				if float64(res.Operations(i)) > bounds.SimulationOpsCap(e.cfg.M, i+1) {
+				if float64(res.Operations(i)) > bounds.SimulationOpsCap(cfg.M, i+1) {
 					capsOK = false
 				}
 				revis += res.Revisions[i]
 			}
-			if err := trace.Check(res.Log, e.cfg.M); err != nil {
-				fail(err)
+			if rep.SpecErr != nil {
+				return rep.SpecErr
 			}
-			if err == nil {
-				if verr := core.ValidateExecution(e.cfg, inputs, e.mk, res); verr != nil {
-					fail(fmt.Errorf("Lemma 26 reconstruction: %w", verr))
+			if rep.Validated {
+				if rep.ReconErr != nil {
+					return fmt.Errorf("Lemma 26 reconstruction: %w", rep.ReconErr)
 				}
 				recon++
 			}
 		}
-		fmt.Printf("%-26s | %6d %6d %6d %8d %10d %12s %8d %8d\n", e.name, runs, done, valid, maxBU, maxOps, ok(capsOK), revis, recon)
+		fmt.Fprintf(e.out, "%-26s | %6d %6d %6d %8d %10d %12s %8d %8d\n", c.name, runs, done, valid, maxBU, maxOps, ok(capsOK), revis, recon)
 	}
-	fmt.Println("(d=0 rows are wait-free: done = runs; recon counts runs whose simulated execution was reconstructed")
-	fmt.Println(" with hidden revised steps inserted and replayed as a legal execution of the protocol — Lemmas 26-27)")
+	fmt.Fprintln(e.out, "(d=0 rows are wait-free: done = runs; recon counts runs whose simulated execution was reconstructed")
+	fmt.Fprintln(e.out, " with hidden revised steps inserted and replayed as a legal execution of the protocol — Lemmas 26-27)")
+	return nil
 }
 
-func e5bGrowth() {
-	fmt.Println("== E5b: ablation — measured simulation cost vs the a(m)/b(i) worst case ==")
-	fmt.Printf("%3s %3s %3s | %10s %12s | %12s %14s\n", "m", "n", "f", "max BU", "max ops", "b(f) cap", "2b(f)+1 cap")
+func (e *exps) e5bGrowth() error {
+	fmt.Fprintln(e.out, "== E5b: ablation — measured simulation cost vs the a(m)/b(i) worst case ==")
+	fmt.Fprintf(e.out, "%3s %3s %3s | %10s %12s | %12s %14s\n", "m", "n", "f", "max BU", "max ops", "b(f) cap", "2b(f)+1 cap")
 	for _, m := range []int{1, 2, 3, 4} {
 		n := 3 * m
 		f := 3
 		k := n - m + 1
-		var mk func(in []proto.Value) ([]proto.Process, error)
-		if k >= n { // m = 1: k-set needs k < n, use the one-register protocol
-			mk = func(in []proto.Value) ([]proto.Process, error) {
-				procs := make([]proto.Process, len(in))
-				for i := range procs {
-					procs[i] = algorithms.NewFirstValue(0, in[i])
-				}
-				return procs, nil
-			}
-		} else {
-			mk = func(in []proto.Value) ([]proto.Process, error) {
-				procs, _, err := algorithms.NewKSetAgreement(n, k, in)
-				return procs, err
-			}
+		// m = 1 forces k >= n, which k-set agreement excludes; the
+		// one-register firstvalue protocol is the m = 1 workload.
+		opts := harness.Options{Protocol: "kset", Params: protocol.Params{N: n, K: k}, F: f, Engine: e.engine}
+		if k >= n {
+			opts = harness.Options{Protocol: "firstvalue", Params: protocol.Params{N: n}, F: f, Engine: e.engine}
 		}
-		cfg := core.Config{N: n, M: m, F: f, D: 0, Engine: engineKind}
 		maxBU, maxOps := 0, 0
 		for seed := int64(0); seed < 40; seed++ {
-			inputs := make([]proto.Value, f)
-			for i := range inputs {
-				inputs[i] = i
-			}
-			res, err := core.Run(cfg, inputs, mk, sched.NewRandom(seed))
+			opts.Seed = seed
+			rep, err := harness.Run(opts)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			for i := 0; i < f; i++ {
-				if res.BlockUpdates[i] > maxBU {
-					maxBU = res.BlockUpdates[i]
+				if rep.Result.BlockUpdates[i] > maxBU {
+					maxBU = rep.Result.BlockUpdates[i]
 				}
-				if res.Operations(i) > maxOps {
-					maxOps = res.Operations(i)
+				if rep.Result.Operations(i) > maxOps {
+					maxOps = rep.Result.Operations(i)
 				}
 			}
 		}
-		fmt.Printf("%3d %3d %3d | %10d %12d | %12.3g %14.3g\n",
+		fmt.Fprintf(e.out, "%3d %3d %3d | %10d %12d | %12.3g %14.3g\n",
 			m, n, f, maxBU, maxOps, bounds.B(m, f), bounds.SimulationOpsCap(m, f))
 	}
-	fmt.Println("(measured covering-simulator cost grows mildly with m; the Lemma 30 bound b(i) is a")
-	fmt.Println(" worst-case over adversarial yield patterns and is orders of magnitude above real runs)")
+	fmt.Fprintln(e.out, "(measured covering-simulator cost grows mildly with m; the Lemma 30 bound b(i) is a")
+	fmt.Fprintln(e.out, " worst-case over adversarial yield patterns and is orders of magnitude above real runs)")
+	return nil
 }
 
-func e6Falsification() {
-	fmt.Println("== E6: the reduction, contrapositively — starved consensus through the simulation ==")
-	fmt.Printf("%3s %3s | %8s %10s %12s\n", "n", "f", "runs", "all done", "disagree")
+func (e *exps) e6Falsification() error {
+	fmt.Fprintln(e.out, "== E6: the reduction, contrapositively — starved consensus through the simulation ==")
+	fmt.Fprintf(e.out, "%3s %3s | %8s %10s %12s\n", "n", "f", "runs", "all done", "disagree")
 	for _, nf := range [][2]int{{2, 2}, {4, 4}, {8, 8}} {
 		n, f := nf[0], nf[1]
-		cfg := core.Config{N: n, M: 1, F: f, D: 0, Engine: engineKind}
 		var done, disagree int
 		const runs = 200
 		for seed := int64(0); seed < runs; seed++ {
-			inputs := make([]proto.Value, f)
-			for i := range inputs {
-				inputs[i] = i
-			}
-			res, err := core.Run(cfg, inputs, func(in []proto.Value) ([]proto.Process, error) {
-				procs := make([]proto.Process, len(in))
-				for i := range procs {
-					procs[i] = algorithms.NewFirstValue(0, in[i])
-				}
-				return procs, nil
-			}, sched.NewRandom(seed))
+			rep, err := harness.Run(harness.Options{
+				Protocol: "firstvalue-consensus",
+				Params:   protocol.Params{N: n},
+				F:        f,
+				Engine:   e.engine,
+				Seed:     seed,
+			})
 			if err != nil {
-				fail(err)
+				return err
 			}
 			all := true
-			for _, d := range res.Done {
+			for _, d := range rep.Result.Done {
 				all = all && d
 			}
 			if all {
 				done++
 			}
-			if (spec.Consensus{}).Validate(inputs, res.Outputs) != nil {
+			if rep.TaskErr != nil {
 				disagree++
 			}
 		}
-		fmt.Printf("%3d %3d | %8d %10d %12d\n", n, f, runs, done, disagree)
+		fmt.Fprintf(e.out, "%3d %3d | %8d %10d %12d\n", n, f, runs, done, disagree)
 	}
-	fmt.Println("(the derived f-process protocol is wait-free in every run — and disagrees on many schedules,")
-	fmt.Println(" which is exactly why a correct obstruction-free consensus protocol needs >= n registers)")
+	fmt.Fprintln(e.out, "(the derived f-process protocol is wait-free in every run — and disagrees on many schedules,")
+	fmt.Fprintln(e.out, " which is exactly why a correct obstruction-free consensus protocol needs >= n registers)")
+	return nil
 }
 
-func e7Conversion() {
-	fmt.Println("== E7: Theorem 35 — determinizing nondeterministic solo-terminating protocols ==")
-	fmt.Printf("%-12s %3s | %10s %12s %10s\n", "machine", "m", "solo dist", "OF (solo ok)", "runs valid")
+func (e *exps) e7Conversion() error {
+	fmt.Fprintln(e.out, "== E7: Theorem 35 — determinizing nondeterministic solo-terminating protocols ==")
+	fmt.Fprintf(e.out, "%-12s %3s | %10s %12s %10s\n", "machine", "m", "solo dist", "OF (solo ok)", "runs valid")
 	type mc struct {
 		name string
 		mach nst.Machine
@@ -475,7 +419,7 @@ func e7Conversion() {
 		p := nst.NewProcess(conv, "x")
 		d, err := p.SoloDistance()
 		if err != nil {
-			fail(err)
+			return err
 		}
 		ofOK, valid := true, 0
 		const n = 3
@@ -496,52 +440,57 @@ func e7Conversion() {
 				valid++
 			}
 		}
-		fmt.Printf("%-12s %3d | %10d %12s %10d/%d\n", c.name, c.m, d, ok(ofOK), valid, n)
+		fmt.Fprintf(e.out, "%-12s %3d | %10d %12s %10d/%d\n", c.name, c.m, d, ok(ofOK), valid, n)
 	}
-	fmt.Println("(solo distance strictly decreases along solo runs of Π′; every transition of Π′ is a transition of Π)")
+	fmt.Fprintln(e.out, "(solo distance strictly decreases along solo runs of Π′; every transition of Π′ is a transition of Π)")
+	return nil
 }
 
-func e8UpperBounds() {
-	fmt.Println("== E8: upper-bound protocols vs Corollary 33 ==")
-	fmt.Printf("%-22s | %4s %4s %4s | %9s %9s %9s | %8s\n", "protocol", "n", "k", "x", "m used", "LB", "UB", "solo ok")
-	type row struct {
-		name    string
-		n, k, x int
-		lane    bool
-	}
-	for _, r := range []row{
-		{"consensus (paxos)", 6, 1, 1, false},
-		{"kset singletons+paxos", 8, 4, 1, false},
-		{"kset singletons+paxos", 8, 7, 1, false},
-		{"lane kset", 8, 5, 3, true},
-		{"lane kset", 10, 9, 4, true},
+func (e *exps) e8UpperBounds() error {
+	fmt.Fprintln(e.out, "== E8: upper-bound protocols vs Corollary 33 ==")
+	fmt.Fprintf(e.out, "%-22s | %4s %4s %4s | %9s %9s %9s | %8s\n", "protocol", "n", "k", "x", "m used", "LB", "UB", "solo ok")
+	for _, c := range []struct {
+		protocol string
+		params   protocol.Params
+	}{
+		{"consensus", protocol.Params{N: 6}},
+		{"kset", protocol.Params{N: 8, K: 4}},
+		{"kset", protocol.Params{N: 8, K: 7}},
+		{"lane-kset", protocol.Params{N: 8, K: 5, X: 3}},
+		{"lane-kset", protocol.Params{N: 10, K: 9, X: 4}},
 	} {
-		inputs := make([]proto.Value, r.n)
-		for i := range inputs {
-			inputs[i] = 100 + i
-		}
-		var procs []proto.Process
-		var m int
-		var err error
-		if r.lane {
-			procs, m, err = algorithms.NewLaneKSetAgreement(r.n, r.k, r.x, inputs)
-		} else {
-			procs, m, err = algorithms.NewKSetAgreement(r.n, r.k, inputs)
-		}
+		pr, err := protocol.Lookup(c.protocol)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		lb, _ := bounds.SetAgreementLB(r.n, r.k, r.x)
-		ub, _ := bounds.SetAgreementUB(r.n, r.k, r.x)
+		inst, err := pr.Instantiate(c.params)
+		if err != nil {
+			return err
+		}
+		lb, ub, err := pr.SpaceBounds(inst.Params)
+		if err != nil {
+			return err
+		}
 		soloOK := true
-		for solo := 0; solo < r.n; solo++ {
-			cp := proto.CloneAll(procs)
-			res, _, rerr := proto.Run(cp, m, nil, sched.Solo{PID: solo, Fallback: sched.RoundRobin{N: r.n}}, sched.WithMaxSteps(100_000))
+		for solo := 0; solo < inst.Params.N; solo++ {
+			cp := proto.CloneAll(inst.Procs)
+			res, _, rerr := proto.Run(cp, inst.M, nil,
+				sched.Solo{PID: solo, Fallback: sched.RoundRobin{N: inst.Params.N}}, sched.WithMaxSteps(100_000))
 			if rerr != nil || !res.Done[solo] {
 				soloOK = false
 			}
 		}
-		fmt.Printf("%-22s | %4d %4d %4d | %9d %9d %9d | %8s\n", r.name, r.n, r.k, r.x, m, lb, ub, ok(soloOK))
+		x := inst.Params.X
+		if x == 0 {
+			x = 1
+		}
+		k := inst.Params.K
+		if k == 0 {
+			k = 1
+		}
+		fmt.Fprintf(e.out, "%-22s | %4d %4d %4d | %9d %9d %9d | %8s\n",
+			pr.Name, inst.Params.N, k, x, inst.M, lb, ub, ok(soloOK))
 	}
-	fmt.Println("(m used always equals UB = n-k+x and never falls below LB; consensus and (n-1)-set are tight)")
+	fmt.Fprintln(e.out, "(m used always equals UB = n-k+x and never falls below LB; consensus and (n-1)-set are tight)")
+	return nil
 }

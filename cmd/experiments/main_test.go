@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestT1Golden pins the Corollary 33 bound table (deterministic, no runs).
+func TestT1Golden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-section", "t1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "t1.golden", out.Bytes())
+}
+
+// TestE5Golden pins the harness-driven simulation experiment.
+func TestE5Golden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-section", "e5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "e5.golden", out.Bytes())
+}
+
+func TestUnknownSectionIsUsageError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-section", "zzz"}, &out); err == nil {
+		t.Fatal("expected usage error for unknown section")
+	}
+}

@@ -1,127 +1,98 @@
-// Command modelcheck exhaustively explores the schedules of a small protocol
-// instance (bounded depth) and reports safety violations with replayable
-// schedules. It is the tool behind the falsification experiments: protocols
-// below the paper's space bounds must have violating schedules, and correct
-// ones must not.
+// Command modelcheck exhaustively explores the schedules of a small instance
+// of any registered protocol (bounded depth) and reports safety violations
+// with replayable schedules. It is the tool behind the falsification
+// experiments: protocols below the paper's space bounds must have violating
+// schedules, and correct ones must not. With -fuzz it instead hill-climbs an
+// adversarial schedule search maximizing total scheduler steps (livelock
+// pressure).
 //
 // Usage:
 //
 //	modelcheck -protocol consensus -n 2 -depth 22
 //	modelcheck -protocol firstvalue-consensus -n 2 -depth 12
-//	modelcheck -protocol aan -eps 0.25 -depth 26
+//	modelcheck -protocol aan -n 3 -eps 0.25 -depth 26
+//	modelcheck -protocol consensus -n 2 -fuzz 200
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"revisionist/internal/algorithms"
-	"revisionist/internal/proto"
-	"revisionist/internal/sched"
-	"revisionist/internal/shmem"
-	"revisionist/internal/spec"
-	"revisionist/internal/trace"
+	"revisionist/internal/harness"
 )
 
 func main() {
-	var (
-		protocol = flag.String("protocol", "consensus", "consensus | firstvalue-consensus | kset | aan")
-		n        = flag.Int("n", 2, "processes")
-		k        = flag.Int("k", 1, "k for kset")
-		eps      = flag.Float64("eps", 0.25, "eps for aan")
-		depth    = flag.Int("depth", 20, "max schedule depth")
-		maxRuns  = flag.Int("maxruns", 200_000, "max schedules")
-		maxViol  = flag.Int("maxviol", 3, "stop after this many violations")
-		engine   = flag.String("engine", string(sched.DefaultEngine), "execution engine: seq | goroutine")
-	)
-	flag.Parse()
-
-	factory, nprocs, err := buildFactory(*protocol, *n, *k, *eps)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		if harness.IsUsage(err) {
+			os.Exit(2)
+		}
+		os.Exit(1)
 	}
-	rep, err := trace.Explore(nprocs, factory, trace.ExploreOpts{
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("modelcheck", flag.ContinueOnError)
+	shared := harness.BindFlags(fs, "consensus")
+	var (
+		depth   = fs.Int("depth", 20, "max schedule depth")
+		maxRuns = fs.Int("maxruns", 200_000, "max schedules")
+		maxViol = fs.Int("maxviol", 3, "stop after this many violations")
+		fuzz    = fs.Int("fuzz", 0, "fuzz iterations; > 0 switches to adversarial schedule search (-depth/-maxruns/-maxviol do not apply)")
+		seed    = fs.Int64("seed", 1, "fuzz search seed")
+	)
+	if err := harness.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := shared.Resolve(); err != nil {
+		fs.Usage()
+		return err
+	}
+	if shared.List {
+		harness.WriteRegistry(out)
+		return nil
+	}
+
+	opts := harness.Options{
+		Protocol:      shared.Protocol,
+		Params:        shared.Params,
+		Engine:        shared.Engine,
+		Seed:          *seed,
 		MaxDepth:      *depth,
 		MaxRuns:       *maxRuns,
 		MaxViolations: *maxViol,
-		Engine:        sched.EngineKind(*engine),
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "modelcheck:", err)
-		os.Exit(1)
+		Iterations:    *fuzz,
 	}
-	fmt.Printf("%s n=%d: %d schedules explored (depth <= %d, %d truncated, exhausted=%v)\n",
-		*protocol, *n, rep.Runs, *depth, rep.Truncated, rep.Exhausted)
-	if len(rep.Violations) == 0 {
-		fmt.Println("no violations found")
-		return
-	}
-	for _, v := range rep.Violations {
-		fmt.Printf("VIOLATION on schedule %v:\n  %v\n", v.Schedule, v.Err)
-	}
-	os.Exit(1)
-}
-
-func buildFactory(protocol string, n, k int, eps float64) (trace.Factory, int, error) {
-	inputs := make([]spec.Value, n)
-	for i := range inputs {
-		inputs[i] = i
-	}
-	switch protocol {
-	case "consensus":
-		return protocolFactory(inputs, spec.Consensus{}, func(in []proto.Value) ([]proto.Process, int, error) {
-			return algorithms.NewConsensus(n, in)
-		}), n, nil
-	case "firstvalue-consensus":
-		return protocolFactory(inputs, spec.Consensus{}, func(in []proto.Value) ([]proto.Process, int, error) {
-			procs := make([]proto.Process, len(in))
-			for i := range procs {
-				procs[i] = algorithms.NewFirstValue(0, in[i])
-			}
-			return procs, 1, nil
-		}), n, nil
-	case "kset":
-		return protocolFactory(inputs, spec.KSetAgreement{K: k}, func(in []proto.Value) ([]proto.Process, int, error) {
-			return algorithms.NewKSetAgreement(n, k, in)
-		}), n, nil
-	case "aan":
-		fin := make([]spec.Value, n)
-		fs := make([]float64, n)
-		for i := range fs {
-			fs[i] = float64(i) / float64(maxi(n-1, 1))
-			fin[i] = fs[i]
-		}
-		return protocolFactory(fin, spec.ApproxAgreement{Eps: eps}, func([]proto.Value) ([]proto.Process, int, error) {
-			return algorithms.NewApproxAgreementN(fs, eps)
-		}), n, nil
-	default:
-		return nil, 0, fmt.Errorf("unknown protocol %q", protocol)
-	}
-}
-
-func protocolFactory(inputs []spec.Value, task spec.Task,
-	mk func(in []proto.Value) ([]proto.Process, int, error)) trace.Factory {
-	return func(gate sched.Stepper) trace.System {
-		procs, m, err := mk(inputs)
+	if *fuzz > 0 {
+		rep, err := harness.Fuzz(opts, nil)
 		if err != nil {
-			panic(err)
+			return err
 		}
-		res := proto.NewRunResult(len(procs))
-		snap := shmem.NewMWSnapshot("M", gate, m, nil)
-		return trace.System{
-			Machines: proto.Machines(procs, snap, res),
-			Check: func(*sched.Result) error {
-				return task.Validate(inputs, res.DoneOutputs())
-			},
-		}
+		fmt.Fprintf(out, "%s n=%d: fuzzed %d schedules, best adversary reached %.0f steps\n",
+			rep.Protocol.Name, rep.Params.N, rep.Fuzz.Evaluated, rep.Fuzz.BestScore)
+		fmt.Fprintf(out, "best schedule prefix: %v\n", rep.Fuzz.BestSchedule)
+		return nil
 	}
-}
 
-func maxi(a, b int) int {
-	if a > b {
-		return a
+	rep, err := harness.Check(opts)
+	if err != nil {
+		return err
 	}
-	return b
+	ex := rep.Explore
+	fmt.Fprintf(out, "%s n=%d: %d schedules explored (depth <= %d, %d truncated, exhausted=%v)\n",
+		rep.Protocol.Name, rep.Params.N, ex.Runs, *depth, ex.Truncated, ex.Exhausted)
+	if len(ex.Violations) == 0 {
+		fmt.Fprintln(out, "no violations found")
+		return nil
+	}
+	for _, v := range ex.Violations {
+		fmt.Fprintf(out, "VIOLATION on schedule %v:\n  %v\n", v.Schedule, v.Err)
+	}
+	return fmt.Errorf("%d violating schedule(s) found", len(ex.Violations))
 }

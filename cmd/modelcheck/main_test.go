@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestFalsificationGolden pins the README's documented invocation:
+// modelcheck -protocol firstvalue-consensus -n 2 -depth 12 must find the
+// agreement violations Corollary 33 promises, and exit non-zero.
+func TestFalsificationGolden(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-protocol", "firstvalue-consensus", "-n", "2", "-depth", "12"}, &out)
+	if err == nil {
+		t.Fatal("expected a violations error for the 1-register protocol")
+	}
+	checkGolden(t, "falsification.golden", out.Bytes())
+}
+
+// TestCorrectProtocolClean checks the complementary direction: correct
+// consensus has no violating schedule at small depth.
+func TestCorrectProtocolClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "consensus", "-n", "2", "-depth", "10"}, &out); err != nil {
+		t.Fatalf("consensus should check clean: %v\n%s", err, out.String())
+	}
+}
+
+func TestFuzzMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "consensus", "-n", "2", "-fuzz", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("best adversary")) {
+		t.Errorf("fuzz mode output missing summary:\n%s", out.String())
+	}
+}

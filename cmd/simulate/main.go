@@ -1,144 +1,126 @@
-// Command simulate runs the revisionist simulation on a chosen protocol and
-// reports outputs, operation counts and revision statistics. With -layout it
-// only prints the Figure 1 architecture for the chosen parameters.
+// Command simulate runs the revisionist simulation on any registered
+// protocol and reports outputs, operation counts and revision statistics.
+// With -layout it only prints the Figure 1 architecture for the chosen
+// protocol and parameters; with -list it prints the protocol registry.
 //
 // Usage:
 //
 //	simulate -protocol kset -n 9 -k 7 -f 3 [-d 0] [-seed 1]
 //	simulate -protocol firstvalue -n 4 -f 4
-//	simulate -layout -n 9 -m 3 -f 3 -d 1
+//	simulate -protocol kset -layout -f 3 -d 1
+//	simulate -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"revisionist/internal/algorithms"
 	"revisionist/internal/bounds"
-	"revisionist/internal/core"
-	"revisionist/internal/proto"
-	"revisionist/internal/sched"
-	"revisionist/internal/spec"
+	"revisionist/internal/harness"
 	"revisionist/internal/trace"
 )
 
 func main() {
-	var (
-		protocol = flag.String("protocol", "kset", "protocol to simulate: kset | firstvalue")
-		n        = flag.Int("n", 9, "simulated processes")
-		k        = flag.Int("k", 7, "k for k-set agreement")
-		f        = flag.Int("f", 3, "simulators")
-		d        = flag.Int("d", 0, "direct simulators")
-		m        = flag.Int("m", 0, "components (layout mode; inferred otherwise)")
-		seed     = flag.Int64("seed", 1, "schedule seed")
-		engine   = flag.String("engine", string(sched.DefaultEngine), "execution engine: seq | goroutine")
-		layout   = flag.Bool("layout", false, "print the Figure 1 layout and exit")
-		decomp   = flag.Bool("decompose", false, "print the block decomposition of the run (§4.3)")
-		validate = flag.Bool("validate", true, "reconstruct and replay the simulated execution (Lemmas 26-27)")
-	)
-	flag.Parse()
-
-	if *layout {
-		mm := *m
-		if mm == 0 {
-			mm = *n - *k + 1
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
 		}
-		printLayout(core.Config{N: *n, M: mm, F: *f, D: *d})
-		return
-	}
-
-	var (
-		mk   func(in []proto.Value) ([]proto.Process, error)
-		mVal int
-		task spec.Task
-	)
-	switch *protocol {
-	case "kset":
-		mVal = *n - *k + 1
-		task = spec.KSetAgreement{K: *k}
-		mk = func(in []proto.Value) ([]proto.Process, error) {
-			procs, _, err := algorithms.NewKSetAgreement(*n, *k, in)
-			return procs, err
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		if harness.IsUsage(err) {
+			os.Exit(2)
 		}
-	case "firstvalue":
-		mVal = 1
-		task = spec.Trivial{}
-		mk = func(in []proto.Value) ([]proto.Process, error) {
-			procs := make([]proto.Process, len(in))
-			for i := range procs {
-				procs[i] = algorithms.NewFirstValue(0, in[i])
-			}
-			return procs, nil
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *protocol)
-		os.Exit(2)
-	}
-
-	cfg := core.Config{N: *n, M: mVal, F: *f, D: *d, Engine: sched.EngineKind(*engine)}
-	inputs := make([]proto.Value, *f)
-	for i := range inputs {
-		inputs[i] = 100 + i
-	}
-	res, err := core.Run(cfg, inputs, mk, sched.NewRandom(*seed))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simulation failed:", err)
 		os.Exit(1)
 	}
+}
 
-	printLayout(cfg)
-	fmt.Printf("\ntask: %s, simulator inputs: %v\n", task.Name(), inputs)
-	fmt.Printf("%4s %6s %10s %8s %8s %8s %10s\n", "sim", "done", "output", "BUs", "scans", "revis.", "H-steps")
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	shared := harness.BindFlags(fs, "kset")
+	var (
+		f        = fs.Int("f", 3, "simulators")
+		d        = fs.Int("d", 0, "direct simulators")
+		seed     = fs.Int64("seed", 1, "schedule seed")
+		layout   = fs.Bool("layout", false, "print the Figure 1 layout and exit")
+		decomp   = fs.Bool("decompose", false, "print the block decomposition of the run (§4.3)")
+		validate = fs.Bool("validate", true, "reconstruct and replay the simulated execution (Lemmas 26-27)")
+	)
+	if err := harness.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := shared.Resolve(); err != nil {
+		fs.Usage()
+		return err
+	}
+	if shared.List {
+		harness.WriteRegistry(out)
+		return nil
+	}
+
+	opts := harness.Options{
+		Protocol: shared.Protocol,
+		Params:   shared.Params,
+		Engine:   shared.Engine,
+		Seed:     *seed,
+		F:        *f,
+		D:        *d,
+		Validate: *validate,
+	}
+	if *layout {
+		cfg, err := harness.Plan(opts)
+		if err != nil {
+			return err
+		}
+		harness.WriteLayout(out, cfg)
+		return nil
+	}
+
+	rep, err := harness.Run(opts)
+	if err != nil {
+		return fmt.Errorf("simulation failed: %w", err)
+	}
+	cfg, res := rep.Config, rep.Result
+
+	harness.WriteLayout(out, cfg)
+	fmt.Fprintf(out, "\nprotocol: %s, task: %s, simulator inputs: %v\n", rep.Protocol.Name, rep.Task.Name(), rep.Inputs)
+	fmt.Fprintf(out, "%4s %6s %10s %8s %8s %8s %10s\n", "sim", "done", "output", "BUs", "scans", "revis.", "H-steps")
 	for i := 0; i < cfg.F; i++ {
-		fmt.Printf("%4d %6v %10v %8d %8d %8d %10d\n",
+		fmt.Fprintf(out, "%4d %6v %10v %8d %8d %8d %10d\n",
 			i, res.Done[i], res.Outputs[i], res.BlockUpdates[i], res.Scans[i], res.Revisions[i], res.StepsBy[i])
 	}
-	fmt.Printf("total real-system steps: %d\n", res.Steps)
-	if err := task.Validate(inputs, res.Outputs); err != nil {
-		fmt.Println("task validation: FAILED:", err)
+	fmt.Fprintf(out, "total real-system steps: %d\n", res.Steps)
+	if rep.TaskErr != nil {
+		fmt.Fprintln(out, "task validation: FAILED:", rep.TaskErr)
 	} else {
-		fmt.Println("task validation: ok")
+		fmt.Fprintln(out, "task validation: ok")
 	}
-	if err := trace.Check(res.Log, cfg.M); err != nil {
-		fmt.Println("augmented snapshot spec: FAILED:", err)
+	if rep.SpecErr != nil {
+		fmt.Fprintln(out, "augmented snapshot spec: FAILED:", rep.SpecErr)
 	} else {
-		fmt.Println("augmented snapshot spec: ok")
+		fmt.Fprintln(out, "augmented snapshot spec: ok")
 	}
-	if *validate {
-		if err := core.ValidateExecution(cfg, inputs, mk, res); err != nil {
-			fmt.Println("Lemma 26/27 reconstruction: FAILED:", err)
+	if rep.Validated {
+		if rep.ReconErr != nil {
+			fmt.Fprintln(out, "Lemma 26/27 reconstruction: FAILED:", rep.ReconErr)
 		} else {
-			fmt.Println("Lemma 26/27 reconstruction: ok (simulated execution replayed as a legal execution of the protocol)")
+			fmt.Fprintln(out, "Lemma 26/27 reconstruction: ok (simulated execution replayed as a legal execution of the protocol)")
 		}
 	}
 	if *decomp {
-		d, err := trace.BlockDecomposition(res.Log, cfg.M)
+		dec, err := trace.BlockDecomposition(res.Log, cfg.M)
 		if err != nil {
-			fmt.Println("block decomposition: FAILED:", err)
+			fmt.Fprintln(out, "block decomposition: FAILED:", err)
 		} else {
-			fmt.Println("block decomposition (§4.3):")
-			fmt.Print(d.Summary())
+			fmt.Fprintln(out, "block decomposition (§4.3):")
+			fmt.Fprint(out, dec.Summary())
 		}
 	}
 	for i := 0; i < cfg.NumCovering(); i++ {
 		capOps := bounds.SimulationOpsCap(cfg.M, i+1)
-		fmt.Printf("covering simulator %d: %d ops <= 2*b(%d)+1 = %.3g: %v\n",
+		fmt.Fprintf(out, "covering simulator %d: %d ops <= 2*b(%d)+1 = %.3g: %v\n",
 			i, res.Operations(i), i+1, capOps, float64(res.Operations(i)) <= capOps)
 	}
-}
-
-// printLayout prints the Figure 1 architecture.
-func printLayout(cfg core.Config) {
-	fmt.Printf("real system: f = %d simulators (%d covering, %d direct) over a %d-component single-writer snapshot H\n",
-		cfg.F, cfg.NumCovering(), cfg.D, cfg.F)
-	fmt.Printf("implements:  %d-component augmented snapshot\n", cfg.M)
-	fmt.Printf("simulates:   n = %d processes over a %d-component multi-writer snapshot M\n", cfg.N, cfg.M)
-	for i := 0; i < cfg.F; i++ {
-		kind := "covering"
-		if i >= cfg.NumCovering() {
-			kind = "direct"
-		}
-		fmt.Printf("  q%-2d (%-8s) simulates P%d = %v\n", i, kind, i, cfg.Partition(i))
-	}
+	return nil
 }

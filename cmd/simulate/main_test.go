@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestListGolden pins the -list output: the full registry with each
+// protocol's parameter schema.
+func TestListGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "list.golden", out.Bytes())
+}
+
+// TestKSetGolden pins the README's documented invocation:
+// simulate -protocol kset -n 9 -k 7 -f 3.
+func TestKSetGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "kset", "-n", "9", "-k", "7", "-f", "3", "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "kset.golden", out.Bytes())
+}
+
+func TestUnknownEngineIsUsageError(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-engine", "bogus"}, &out)
+	if err == nil {
+		t.Fatal("expected usage error for unknown engine")
+	}
+}
+
+func TestUnknownProtocolIsUsageError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "nope"}, &out); err == nil {
+		t.Fatal("expected usage error for unknown protocol")
+	}
+}

@@ -1,80 +1,160 @@
 // Command spacebounds prints the paper's space bounds (Corollaries 33 and
-// 34) over a parameter grid: the lower bound ⌊(n−x)/(k+1−x)⌋+1, the best
-// known upper bound n−k+x, and the approximate-agreement bound.
+// 34) for the registered protocols: for every protocol with registered
+// bounds it sweeps the protocol's own parameter schema over a grid and
+// prints the lower bound, the best known upper bound (which is what the
+// registered protocol construction actually uses), and whether they are
+// tight.
 //
 // Usage:
 //
-//	spacebounds [-nmax 32] [-aa]
+//	spacebounds [-nmax 32]
+//	spacebounds -protocol kset -nmax 64
+//	spacebounds -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"math"
+	"io"
 	"os"
+	"strings"
 
-	"revisionist/internal/bounds"
+	"revisionist/internal/harness"
+	"revisionist/internal/protocol"
 )
 
 func main() {
-	nmax := flag.Int("nmax", 32, "largest n in the k-set agreement table")
-	aa := flag.Bool("aa", false, "print the approximate-agreement table instead")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "spacebounds:", err)
+		if harness.IsUsage(err) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
 
-	if *aa {
-		printAA()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("spacebounds", flag.ContinueOnError)
+	shared := harness.BindListFlags(fs, "")
+	nmax := fs.Int("nmax", 32, "largest n in the sweep")
+	if err := harness.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := shared.Resolve(); err != nil {
+		fs.Usage()
+		return err
+	}
+	if shared.List {
+		harness.WriteRegistry(out)
+		return nil
+	}
+
+	protos := protocol.Protocols()
+	if shared.Protocol != "" {
+		pr, err := protocol.Lookup(shared.Protocol)
+		if err != nil {
+			return &harness.UsageError{Err: err}
+		}
+		if pr.SpaceBounds == nil {
+			return &harness.UsageError{Err: fmt.Errorf("protocol %q has no registered space bounds", pr.Name)}
+		}
+		protos = []*protocol.Protocol{pr}
+	}
+
+	var unbounded []string
+	for _, pr := range protos {
+		if pr.SpaceBounds == nil {
+			unbounded = append(unbounded, pr.Name)
+			continue
+		}
+		printTable(out, pr, *nmax)
+	}
+	if len(unbounded) > 0 {
+		fmt.Fprintf(out, "no registered space bounds: %s\n", strings.Join(unbounded, ", "))
+	}
+	return nil
+}
+
+// printTable sweeps pr's parameter schema and prints one bound row per valid
+// parameter combination.
+func printTable(out io.Writer, pr *protocol.Protocol, nmax int) {
+	fmt.Fprintf(out, "== %s — %s ==\n", pr.Name, pr.Doc)
+	for _, s := range pr.Schema {
+		fmt.Fprintf(out, "%10s ", s.Name)
+	}
+	fmt.Fprintf(out, "| %9s %9s %6s\n", "lower", "upper", "tight")
+	sweep(out, pr, protocol.Params{}, 0, nmax)
+	fmt.Fprintln(out)
+}
+
+// sweep recursively assigns candidate values to schema parameters in order
+// (so later parameters' candidates can depend on earlier choices), printing
+// a bounds row for every combination the protocol validates.
+func sweep(out io.Writer, pr *protocol.Protocol, p protocol.Params, idx, nmax int) {
+	if idx == len(pr.Schema) {
+		resolved, err := pr.Resolve(p)
+		if err != nil {
+			return // out-of-range combination; skip silently
+		}
+		lb, ub, err := pr.SpaceBounds(resolved)
+		if err != nil {
+			return
+		}
+		for _, s := range pr.Schema {
+			fmt.Fprintf(out, "%10s ", formatParam(s, resolved))
+		}
+		tight := ""
+		if lb == ub {
+			tight = "yes"
+		}
+		fmt.Fprintf(out, "| %9d %9d %6s\n", lb, ub, tight)
 		return
 	}
-	printKSet(*nmax)
-}
-
-func printKSet(nmax int) {
-	fmt.Println("x-obstruction-free k-set agreement: registers needed (Corollary 33)")
-	fmt.Printf("%6s %4s %4s %10s %10s %8s\n", "n", "k", "x", "lower", "upper", "tight")
-	for _, n := range []int{4, 8, 16, nmax} {
-		for _, k := range []int{1, 2, n / 2, n - 1} {
-			if k < 1 || k >= n {
-				continue
-			}
-			for _, x := range []int{1, k} {
-				if x < 1 || x > k {
-					continue
-				}
-				lb, err := bounds.SetAgreementLB(n, k, x)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					continue
-				}
-				ub, _ := bounds.SetAgreementUB(n, k, x)
-				tight := ""
-				if lb == ub {
-					tight = "yes"
-				}
-				fmt.Printf("%6d %4d %4d %10d %10d %8s\n", n, k, x, lb, ub, tight)
-			}
-		}
+	s := pr.Schema[idx]
+	for _, v := range candidates(s, p, nmax) {
+		q := p
+		q.Set(s.Name, v)
+		sweep(out, pr, q, idx+1, nmax)
 	}
 }
 
-func printAA() {
-	fmt.Println("obstruction-free eps-approximate agreement (Corollary 34), n = 16")
-	fmt.Printf("%12s %14s %14s\n", "eps", "space LB", "2-proc step LB")
-	for _, eps := range []float64{1e-1, 1e-2, 1e-4, 1e-8, 1e-16, 1e-32, 1e-64, 1e-128, 1e-300} {
-		lb, err := bounds.ApproxAgreementSpaceLB(16, eps)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+// candidates returns the sweep grid for one parameter, given the values
+// already chosen for earlier schema parameters. The schema default always
+// leads, so fixed-size protocols (e.g. aa2's n = 2) keep their one valid row.
+func candidates(s protocol.ParamSpec, p protocol.Params, nmax int) []float64 {
+	var vals []float64
+	switch s.Name {
+	case "n":
+		vals = []float64{s.Default, 4, 8, 16, float64(nmax)}
+	case "k":
+		vals = []float64{1, 2, float64(p.N / 2), float64(p.N - 1)}
+	case "x":
+		vals = []float64{1, float64((p.K + 1) / 2), float64(p.K)}
+	case "eps":
+		vals = []float64{1e-1, 1e-2, 1e-4, 1e-8, 1e-16}
+	default:
+		vals = []float64{s.Default}
+	}
+	seen := map[float64]bool{}
+	var out []float64
+	for _, v := range vals {
+		if v <= 0 || seen[v] {
 			continue
 		}
-		fmt.Printf("%12.0e %14d %14.1f\n", eps, lb, bounds.ApproxAgreementStepLB(eps))
+		seen[v] = true
+		out = append(out, v)
 	}
-	fmt.Println("\nsymbolic eps (log3(1/eps) given directly):")
-	fmt.Printf("%12s %14s\n", "log3(1/eps)", "space LB")
-	for _, l3 := range []float64{1e3, 1e9, math.Pow(2, 40), math.Pow(2, 80), math.Pow(2, 120)} {
-		lb, err := bounds.ApproxAgreementSpaceLBFromLog3(16, l3)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			continue
-		}
-		fmt.Printf("%12.2e %14d\n", l3, lb)
+	return out
+}
+
+// formatParam renders one resolved parameter by its schema kind.
+func formatParam(s protocol.ParamSpec, p protocol.Params) string {
+	if s.Kind == protocol.Int {
+		return fmt.Sprintf("%d", int(p.Get(s.Name)))
 	}
+	return fmt.Sprintf("%.0e", p.Get(s.Name))
 }

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update to accept):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestBoundsGolden pins the registry-driven bound tables.
+func TestBoundsGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nmax", "16"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "bounds.golden", out.Bytes())
+}
+
+func TestSingleProtocol(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "kset", "-nmax", "8"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out.Bytes(), []byte("== kset")) {
+		t.Errorf("missing kset table:\n%s", out.String())
+	}
+	if bytes.Contains(out.Bytes(), []byte("== consensus")) {
+		t.Errorf("-protocol kset should not print other protocols:\n%s", out.String())
+	}
+}
+
+func TestNoBoundsProtocolIsUsageError(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "firstvalue"}, &out); err == nil {
+		t.Fatal("expected usage error for a protocol without registered bounds")
+	}
+}

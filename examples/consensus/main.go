@@ -1,6 +1,7 @@
 // Consensus demonstrates the tight case of Corollary 33: obstruction-free
 // consensus among n processes is solvable with exactly n registers (the
-// shared-memory Paxos protocol of internal/algorithms) and not with fewer.
+// shared-memory Paxos protocol, looked up in the protocol registry) and not
+// with fewer.
 //
 // The example runs the protocol under three adversaries:
 //   - a solo scheduler (obstruction-freedom: the isolated process decides),
@@ -9,7 +10,8 @@
 //     cannot be wait-free — but never violates agreement or validity),
 //
 // and then shows the reduction's contrapositive: starving the protocol of
-// registers (m = 1) lets an exhaustive search find an agreement violation.
+// registers (the registry's firstvalue-consensus, m = 1) lets the harness's
+// exhaustive checker find an agreement violation.
 //
 // Run with: go run ./examples/consensus
 package main
@@ -19,31 +21,33 @@ import (
 	"fmt"
 	"log"
 
-	"revisionist/internal/algorithms"
 	"revisionist/internal/bounds"
+	"revisionist/internal/harness"
 	"revisionist/internal/proto"
+	"revisionist/internal/protocol"
 	"revisionist/internal/sched"
-	"revisionist/internal/shmem"
 	"revisionist/internal/spec"
-	"revisionist/internal/trace"
 )
 
 func main() {
 	const n = 5
-	inputs := make([]proto.Value, n)
+	paxos := protocol.MustLookup("consensus")
+	params := protocol.Params{N: n}
+	inputs := make([]spec.Value, n)
 	for i := range inputs {
 		inputs[i] = 10 * (i + 1)
 	}
 	fmt.Printf("obstruction-free consensus, n=%d: lower bound %d registers (Corollary 33)\n\n",
 		n, bounds.ConsensusLB(n))
 
-	// Solo runs: obstruction-freedom.
+	// Solo runs: obstruction-freedom. Instances are single-use, so build a
+	// fresh one per run.
 	for solo := 0; solo < n; solo++ {
-		procs, m, err := algorithms.NewConsensus(n, inputs)
+		inst, err := paxos.InstantiateWith(params, inputs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, _, err := proto.Run(procs, m, nil, sched.Solo{PID: solo, Fallback: sched.RoundRobin{N: n}})
+		res, _, err := proto.Run(inst.Procs, inst.M, nil, sched.Solo{PID: solo, Fallback: sched.RoundRobin{N: n}})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,15 +57,15 @@ func main() {
 	// Random schedules: safety always, and usually liveness.
 	decidedAll := 0
 	for seed := int64(0); seed < 20; seed++ {
-		procs, m, err := algorithms.NewConsensus(n, inputs)
+		inst, err := paxos.InstantiateWith(params, inputs)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, _, rerr := proto.Run(procs, m, nil, sched.NewRandom(seed), sched.WithMaxSteps(100_000))
+		res, _, rerr := proto.Run(inst.Procs, inst.M, nil, sched.NewRandom(seed), sched.WithMaxSteps(100_000))
 		if rerr != nil && !errors.Is(rerr, sched.ErrMaxSteps) {
 			log.Fatal(rerr)
 		}
-		if err := (spec.Consensus{}).Validate(inputs, res.DoneOutputs()); err != nil {
+		if err := inst.Task.Validate(inputs, res.DoneOutputs()); err != nil {
 			log.Fatal("agreement violated: ", err)
 		}
 		all := true
@@ -74,26 +78,21 @@ func main() {
 	}
 	fmt.Printf("\nrandom schedules: 20/20 safe, %d/20 fully decided\n", decidedAll)
 
-	// Starved protocol: exhaustive search exhibits the violation.
-	factory := func(gate sched.Stepper) trace.System {
-		procs := []proto.Process{algorithms.NewFirstValue(0, 0), algorithms.NewFirstValue(0, 1)}
-		res := proto.NewRunResult(2)
-		snap := shmem.NewMWSnapshot("M", gate, 1, nil)
-		return trace.System{
-			Machines: proto.Machines(procs, snap, res),
-			Check: func(*sched.Result) error {
-				return (spec.Consensus{}).Validate([]spec.Value{0, 1}, res.DoneOutputs())
-			},
-		}
-	}
-	rep, err := trace.Explore(2, factory, trace.ExploreOpts{MaxDepth: 12, MaxRuns: 50_000})
+	// Starved protocol: the harness's exhaustive checker exhibits the
+	// violation on the registry's one-register consensus stand-in.
+	rep, err := harness.Check(harness.Options{
+		Protocol: "firstvalue-consensus",
+		Params:   protocol.Params{N: 2},
+		MaxDepth: 12,
+		MaxRuns:  50_000,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(rep.Violations) == 0 {
+	if len(rep.Explore.Violations) == 0 {
 		log.Fatal("expected a violation for the 1-register protocol")
 	}
 	fmt.Printf("\nstarved to m=1 register: %d schedules explored, first agreement violation on schedule %v\n",
-		rep.Runs, rep.Violations[0].Schedule)
-	fmt.Println("   ->", rep.Violations[0].Err)
+		rep.Explore.Runs, rep.Explore.Violations[0].Schedule)
+	fmt.Println("   ->", rep.Explore.Violations[0].Err)
 }

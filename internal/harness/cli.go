@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"revisionist/internal/core"
+	"revisionist/internal/protocol"
+	"revisionist/internal/sched"
+)
+
+// UsageError marks a command-line error (bad flag value, unknown protocol or
+// engine); mains conventionally exit 2 on it instead of 1.
+type UsageError struct{ Err error }
+
+// Error implements error.
+func (e *UsageError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped error.
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// IsUsage reports whether err is (or wraps) a UsageError.
+func IsUsage(err error) bool {
+	var ue *UsageError
+	return errors.As(err, &ue)
+}
+
+// ParseFlags parses args on fs, classifying failures: -h/-help comes back as
+// flag.ErrHelp (mains exit 0 on it), any other parse error as a UsageError
+// (mains exit 2).
+func ParseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &UsageError{Err: err}
+	}
+	return nil
+}
+
+// Flags is the command-line surface shared by the cmds: protocol selection,
+// protocol parameters, engine selection (validated at parse time) and -list.
+// Bind it to a FlagSet, Parse, then Resolve; the resolved values feed an
+// Options directly.
+type Flags struct {
+	// Protocol is the resolved -protocol value, Engine the parse-validated
+	// -engine value, List the -list value.
+	Protocol string
+	Engine   sched.EngineKind
+	List     bool
+	// Params carries the -n/-k/-x/-eps values; 0 means "schema default".
+	Params protocol.Params
+
+	protocolF, engineF *string
+	listF              *bool
+	nF, kF, xF         *int
+	epsF               *float64
+}
+
+// BindFlags registers -protocol (defaulting to def), -engine, -list and the
+// schema parameter flags -n, -k, -x and -eps (all defaulting to 0 =
+// "protocol schema default") on fs.
+func BindFlags(fs *flag.FlagSet, def string) *Flags {
+	f := bindListFlags(fs, def)
+	f.engineF = EngineFlag(fs)
+	f.nF = fs.Int("n", 0, "processes (0 = protocol default)")
+	f.kF = fs.Int("k", 0, "k for k-set agreement (0 = protocol default)")
+	f.xF = fs.Int("x", 0, "x for lane-kset (0 = protocol default)")
+	f.epsF = fs.Float64("eps", 0, "eps for approximate agreement (0 = protocol default)")
+	return f
+}
+
+// BindListFlags registers only -protocol and -list, for cmds that never
+// execute anything (no engine, no parameter overrides).
+func BindListFlags(fs *flag.FlagSet, def string) *Flags {
+	return bindListFlags(fs, def)
+}
+
+func bindListFlags(fs *flag.FlagSet, def string) *Flags {
+	f := &Flags{}
+	f.protocolF = fs.String("protocol", def,
+		"protocol from the registry (see -list): "+strings.Join(protocol.Names(), " | "))
+	f.listF = fs.Bool("list", false, "list the protocol registry and exit")
+	return f
+}
+
+// EngineFlag registers just the -engine flag (for cmds without protocols).
+func EngineFlag(fs *flag.FlagSet) *string {
+	return fs.String("engine", string(sched.DefaultEngine),
+		fmt.Sprintf("execution engine: %s | %s", sched.EngineSeq, sched.EngineGoroutine))
+}
+
+// Resolve validates the parsed flag values; call it after fs.Parse. An
+// unknown engine is a usage error carrying the accepted values.
+func (f *Flags) Resolve() error {
+	if f.engineF != nil {
+		kind, err := sched.ParseEngine(*f.engineF)
+		if err != nil {
+			return &UsageError{Err: err}
+		}
+		f.Engine = kind
+	}
+	f.Protocol = *f.protocolF
+	f.List = *f.listF
+	if f.nF != nil {
+		f.Params = protocol.Params{N: *f.nF, K: *f.kF, X: *f.xF, Eps: *f.epsF}
+	}
+	return nil
+}
+
+// WriteRegistry renders the protocol registry with each protocol's parameter
+// schema — the shared -list output.
+func WriteRegistry(w io.Writer) {
+	protos := protocol.Protocols()
+	fmt.Fprintf(w, "registered protocols (%d):\n", len(protos))
+	for _, pr := range protos {
+		fmt.Fprintf(w, "\n%s\n    %s\n", pr.Name, pr.Doc)
+		for _, s := range pr.Schema {
+			fmt.Fprintf(w, "    -%-4s %-5s default %-5s %s\n", s.Name, s.Kind, s.FormatDefault(), s.Doc)
+		}
+	}
+}
+
+// WriteLayout renders the Figure 1 architecture of a simulation config.
+func WriteLayout(w io.Writer, cfg core.Config) {
+	fmt.Fprintf(w, "real system: f = %d simulators (%d covering, %d direct) over a %d-component single-writer snapshot H\n",
+		cfg.F, cfg.NumCovering(), cfg.D, cfg.F)
+	fmt.Fprintf(w, "implements:  %d-component augmented snapshot\n", cfg.M)
+	fmt.Fprintf(w, "simulates:   n = %d processes over a %d-component multi-writer snapshot M\n", cfg.N, cfg.M)
+	for i := 0; i < cfg.F; i++ {
+		kind := "covering"
+		if i >= cfg.NumCovering() {
+			kind = "direct"
+		}
+		fmt.Fprintf(w, "  q%-2d (%-8s) simulates P%d = %v\n", i, kind, i, cfg.Partition(i))
+	}
+}

@@ -1,0 +1,359 @@
+// Package harness is the one front door to the paper's experiment shapes.
+// Every experiment in the repository — and every cmd — follows one pattern:
+// pick a protocol Π from the registry (internal/protocol), pick a mode, run
+// it. The harness owns the wiring those modes share (engine selection, seed
+// handling, factory construction, report types) behind one Options struct
+// and four verbs:
+//
+//   - Run    — the revisionist simulation (§4): f simulators wait-free
+//     simulate Π through an augmented snapshot (core.Run), with task,
+//     §3-specification and Lemma 26/27 reconstruction checks.
+//   - Check  — bounded exhaustive schedule exploration of Π in the simulated
+//     system (trace.Explore), reporting replayable violating schedules.
+//   - Fuzz   — adversarial schedule search over Π (trace.Fuzz), hill-climbing
+//     a metric such as total scheduler steps.
+//   - Stress — seeded random Scan/Block-Update workloads on the augmented
+//     snapshot itself, each checked offline against the §3 specification.
+//
+// Adding a protocol to the registry makes it available to all four verbs —
+// and through them to every cmd, test and benchmark — with no further code.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"revisionist/internal/augsnap"
+	"revisionist/internal/core"
+	"revisionist/internal/proto"
+	"revisionist/internal/protocol"
+	"revisionist/internal/sched"
+	"revisionist/internal/shmem"
+	"revisionist/internal/spec"
+	"revisionist/internal/trace"
+)
+
+// Options parameterizes all four verbs. Protocol and Params select Π (Run,
+// Check, Fuzz); zero-valued fields fall back to the documented defaults.
+type Options struct {
+	// Protocol is the registry name of Π, e.g. "kset".
+	Protocol string
+	// Params are Π's parameters; unset fields take the schema defaults.
+	Params protocol.Params
+	// Engine selects the execution engine ("" = sched.DefaultEngine).
+	Engine sched.EngineKind
+	// Seed seeds the schedule (Run), the search (Fuzz), or the first
+	// workload (Stress).
+	Seed int64
+
+	// Run: F simulators (default 3), D of them direct, and whether to
+	// reconstruct and replay the simulated execution (Lemmas 26-27).
+	F        int
+	D        int
+	Validate bool
+
+	// Check: exploration bounds (defaults 20 / 200000 / 1).
+	MaxDepth      int
+	MaxRuns       int
+	MaxViolations int
+
+	// Fuzz: search bounds (defaults 100 / 64 / 1<<20).
+	Iterations  int
+	ScheduleLen int
+	MaxSteps    int
+
+	// Stress: M components (default 3), Ops operations per process (default
+	// 8), Seeds seeded schedules (default 200). F doubles as the process
+	// count (default 4).
+	M     int
+	Ops   int
+	Seeds int
+}
+
+// resolve looks the protocol up and resolves its parameters.
+func (o Options) resolve() (*protocol.Protocol, protocol.Params, error) {
+	pr, err := protocol.Lookup(o.Protocol)
+	if err != nil {
+		return nil, protocol.Params{}, &UsageError{Err: err}
+	}
+	p, err := pr.Resolve(o.Params)
+	if err != nil {
+		return nil, protocol.Params{}, &UsageError{Err: err}
+	}
+	return pr, p, nil
+}
+
+func defaultInt(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// RunReport is the outcome of one revisionist simulation run.
+type RunReport struct {
+	// Protocol and Params identify the resolved Π.
+	Protocol *protocol.Protocol
+	Params   protocol.Params
+	// Config is the simulation architecture (Figure 1) the run used.
+	Config core.Config
+	// Task is Π's task; Inputs are the simulator inputs.
+	Task   spec.Task
+	Inputs []spec.Value
+	// Result is the raw simulation result.
+	Result *core.Result
+	// TaskErr reports task validation of the terminated simulators' outputs
+	// (nil = valid). SpecErr reports the §3 check of the augmented snapshot
+	// log. ReconErr reports the Lemma 26/27 reconstruction; it is only
+	// meaningful when Options.Validate was set (Validated records that).
+	TaskErr   error
+	SpecErr   error
+	ReconErr  error
+	Validated bool
+}
+
+// Plan resolves the protocol and returns the simulation configuration Run
+// would use, without running it (simulate -layout).
+func Plan(opts Options) (core.Config, error) {
+	pr, p, err := opts.resolve()
+	if err != nil {
+		return core.Config{}, err
+	}
+	return plan(opts, pr, p)
+}
+
+// plan builds the simulation config from an already-resolved protocol; the
+// one instantiation here is how the protocol reports its component count m.
+func plan(opts Options, pr *protocol.Protocol, p protocol.Params) (core.Config, error) {
+	inst, err := pr.Instantiate(p)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		N:      p.N,
+		M:      inst.M,
+		F:      defaultInt(opts.F, 3),
+		D:      opts.D,
+		Engine: opts.Engine,
+	}, nil
+}
+
+// Run executes the revisionist simulation of the selected protocol under a
+// seeded random schedule. On sched.ErrMaxSteps the report is still returned
+// alongside the error (starved runs are data, not failures, for colorless
+// tasks).
+func Run(opts Options) (*RunReport, error) {
+	pr, p, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := plan(opts, pr, p)
+	if err != nil {
+		return nil, err
+	}
+	inputs := pr.DefaultInputs(p, cfg.F)
+	mk := func(in []proto.Value) ([]proto.Process, error) {
+		inst, err := pr.InstantiateWith(p, in)
+		if err != nil {
+			return nil, err
+		}
+		return inst.Procs, nil
+	}
+	res, runErr := core.Run(cfg, inputs, mk, sched.NewRandom(opts.Seed))
+	if res == nil {
+		return nil, runErr
+	}
+	rep := &RunReport{
+		Protocol: pr,
+		Params:   p,
+		Config:   cfg,
+		Task:     pr.Task(p),
+		Inputs:   inputs,
+		Result:   res,
+	}
+	var done []spec.Value
+	for i, d := range res.Done {
+		if d {
+			done = append(done, res.Outputs[i])
+		}
+	}
+	rep.TaskErr = rep.Task.Validate(inputs, done)
+	rep.SpecErr = trace.Check(res.Log, cfg.M)
+	if opts.Validate && runErr == nil {
+		rep.Validated = true
+		rep.ReconErr = core.ValidateExecution(cfg, inputs, mk, res)
+	}
+	return rep, runErr
+}
+
+// factory builds the trace.Factory both Check and Fuzz run over: a fresh
+// instance of Π per schedule, on a fresh multi-writer snapshot, checked
+// against Π's task.
+func factory(pr *protocol.Protocol, p protocol.Params) trace.Factory {
+	return func(gate sched.Stepper) trace.System {
+		inst, err := pr.Instantiate(p)
+		if err != nil {
+			// Parameters were validated in resolve; a failure here is a
+			// descriptor bug, surfaced by the engine as a run error.
+			panic(err)
+		}
+		res := proto.NewRunResult(len(inst.Procs))
+		snap := shmem.NewMWSnapshot("M", gate, inst.M, nil)
+		return trace.System{
+			Machines: proto.Machines(inst.Procs, snap, res),
+			Check: func(*sched.Result) error {
+				return inst.Task.Validate(inst.Inputs, res.DoneOutputs())
+			},
+		}
+	}
+}
+
+// CheckReport is the outcome of an exhaustive exploration.
+type CheckReport struct {
+	Protocol *protocol.Protocol
+	Params   protocol.Params
+	// Explore is the raw exploration report; violations carry schedules
+	// replayable with sched.Replay.
+	Explore *trace.ExploreReport
+}
+
+// Check exhaustively explores the schedules of the selected protocol up to
+// Options.MaxDepth, validating the task on every schedule.
+func Check(opts Options) (*CheckReport, error) {
+	pr, p, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := trace.Explore(p.N, factory(pr, p), trace.ExploreOpts{
+		MaxDepth:      defaultInt(opts.MaxDepth, 20),
+		MaxRuns:       defaultInt(opts.MaxRuns, 200_000),
+		MaxViolations: defaultInt(opts.MaxViolations, 1),
+		Engine:        opts.Engine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CheckReport{Protocol: pr, Params: p, Explore: rep}, nil
+}
+
+// FuzzReport is the outcome of an adversarial schedule search.
+type FuzzReport struct {
+	Protocol *protocol.Protocol
+	Params   protocol.Params
+	// Fuzz is the raw search report: the best schedule prefix found and its
+	// score under the metric.
+	Fuzz *trace.FuzzReport
+}
+
+// Steps is the default Fuzz metric: total scheduler steps, i.e. livelock
+// pressure on obstruction-free protocols.
+func Steps(res *sched.Result) float64 { return float64(res.Steps) }
+
+// Fuzz hill-climbs over schedule prefixes of the selected protocol to
+// maximize metric (nil = Steps).
+func Fuzz(opts Options, metric func(res *sched.Result) float64) (*FuzzReport, error) {
+	pr, p, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if metric == nil {
+		metric = Steps
+	}
+	rep, err := trace.Fuzz(p.N, factory(pr, p), metric, trace.FuzzOpts{
+		Iterations:  opts.Iterations,
+		Seed:        opts.Seed,
+		ScheduleLen: opts.ScheduleLen,
+		MaxSteps:    opts.MaxSteps,
+		Engine:      opts.Engine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FuzzReport{Protocol: pr, Params: p, Fuzz: rep}, nil
+}
+
+// StressReport is the outcome of an augmented snapshot stress run.
+type StressReport struct {
+	// Schedules is the number of seeded workloads executed.
+	Schedules int
+	// BlockUpdates, Yields and Scans aggregate the operation log across all
+	// workloads.
+	BlockUpdates int
+	Yields       int
+	Scans        int
+	// Violation is the first §3 specification violation found (nil = all
+	// checks passed); FailedSeed is the seed that produced it.
+	Violation  error
+	FailedSeed int64
+}
+
+// Stress runs Options.Seeds seeded random Scan/Block-Update workloads of
+// Options.F processes on an Options.M-component augmented snapshot, checking
+// each operation log offline against the §3 specification. It stops at the
+// first violation (reported in the StressReport, not as an error).
+func Stress(opts Options) (*StressReport, error) {
+	f := defaultInt(opts.F, 4)
+	m := defaultInt(opts.M, 3)
+	ops := defaultInt(opts.Ops, 8)
+	seeds := defaultInt(opts.Seeds, 200)
+	rep := &StressReport{}
+	for i := 0; i < seeds; i++ {
+		seed := opts.Seed + int64(i)
+		a, err := StressWorkload(opts.Engine, f, m, ops, seed)
+		if err != nil {
+			return nil, fmt.Errorf("harness: stress seed %d: %w", seed, err)
+		}
+		rep.Schedules++
+		log := a.Log()
+		if err := trace.Check(log, m); err != nil {
+			rep.Violation = err
+			rep.FailedSeed = seed
+			return rep, nil
+		}
+		rep.Scans += len(log.Scans)
+		rep.BlockUpdates += len(log.BUs)
+		for _, bu := range log.BUs {
+			if bu.Yielded {
+				rep.Yields++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// StressWorkload executes one seeded random mixed Scan/Block-Update workload
+// (ops operations per each of f processes, ~1/4 Scans) on a fresh
+// m-component augmented snapshot and returns it for log inspection. It is
+// the shared workload generator behind Stress and the E3/E4 experiments.
+func StressWorkload(engine sched.EngineKind, f, m, ops int, seed int64) (*augsnap.AugSnapshot, error) {
+	runner, err := sched.NewEngine(engine, f, sched.NewRandom(seed), sched.WithMaxSteps(1<<22))
+	if err != nil {
+		return nil, err
+	}
+	a := augsnap.New(runner, f, m)
+	_, err = runner.Run(func(pid int) {
+		rng := rand.New(rand.NewSource(seed*1000 + int64(pid)))
+		for i := 0; i < ops; i++ {
+			if rng.Intn(4) == 0 {
+				a.Scan(pid)
+				continue
+			}
+			r := 1 + rng.Intn(m)
+			comps := rng.Perm(m)[:r]
+			vals := make([]augsnap.Value, r)
+			for g := range vals {
+				vals[g] = fmt.Sprintf("p%d-%d-%d", pid, i, g)
+			}
+			a.BlockUpdate(pid, comps, vals)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// IsStarved reports whether err is only the scheduler's step budget running
+// out — a liveness observation, not a failure, for subset-closed tasks.
+func IsStarved(err error) bool { return errors.Is(err, sched.ErrMaxSteps) }

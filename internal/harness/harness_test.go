@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"revisionist/internal/protocol"
+	"revisionist/internal/sched"
+)
+
+// TestRegistryCompleteness is the registry's end-to-end completeness check:
+// every registered protocol must validate its defaults, instantiate, and
+// survive a tiny-depth exhaustive exploration through the harness. Protocols
+// registered as deliberately space-starved are allowed (indeed expected) to
+// have violating schedules; everything else must have none.
+func TestRegistryCompleteness(t *testing.T) {
+	unsafe := map[string]bool{"firstvalue-consensus": true}
+	for _, pr := range protocol.Protocols() {
+		t.Run(pr.Name, func(t *testing.T) {
+			if _, err := pr.Instantiate(protocol.Params{}); err != nil {
+				t.Fatalf("defaults do not instantiate: %v", err)
+			}
+			rep, err := Check(Options{
+				Protocol:      pr.Name,
+				MaxDepth:      6,
+				MaxRuns:       3000,
+				MaxViolations: 1,
+			})
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if rep.Explore.Runs == 0 {
+				t.Fatal("explored no schedules")
+			}
+			if !unsafe[pr.Name] && len(rep.Explore.Violations) > 0 {
+				t.Fatalf("unexpected violation: %v", rep.Explore.Violations[0].Err)
+			}
+		})
+	}
+}
+
+// TestCheckFindsStarvedViolation pins the falsification result the README
+// documents: the one-register consensus stand-in has a violating schedule.
+func TestCheckFindsStarvedViolation(t *testing.T) {
+	rep, err := Check(Options{
+		Protocol: "firstvalue-consensus",
+		Params:   protocol.Params{N: 2},
+		MaxDepth: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Explore.Violations) == 0 {
+		t.Fatal("expected an agreement violation for the 1-register protocol")
+	}
+	if got := rep.Explore.Violations[0].Schedule; len(got) == 0 {
+		t.Fatal("violation carries no replayable schedule")
+	}
+}
+
+func TestRunKSet(t *testing.T) {
+	rep, err := Run(Options{
+		Protocol: "kset",
+		Params:   protocol.Params{N: 4, K: 3},
+		F:        2,
+		Seed:     1,
+		Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Config.M != 2 || rep.Config.N != 4 {
+		t.Fatalf("unexpected config %+v", rep.Config)
+	}
+	for i, d := range rep.Result.Done {
+		if !d {
+			t.Errorf("simulator %d not done (pure covering simulation is wait-free)", i)
+		}
+	}
+	if rep.TaskErr != nil {
+		t.Errorf("task validation failed: %v", rep.TaskErr)
+	}
+	if rep.SpecErr != nil {
+		t.Errorf("§3 spec check failed: %v", rep.SpecErr)
+	}
+	if !rep.Validated || rep.ReconErr != nil {
+		t.Errorf("Lemma 26/27 reconstruction failed: validated=%v err=%v", rep.Validated, rep.ReconErr)
+	}
+}
+
+// TestRunEngineAgreement checks that both engines produce the same
+// simulation through the harness front door.
+func TestRunEngineAgreement(t *testing.T) {
+	opts := Options{Protocol: "kset", Params: protocol.Params{N: 9, K: 7}, F: 3, Seed: 7}
+	opts.Engine = sched.EngineSeq
+	seq, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Engine = sched.EngineGoroutine
+	gor, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Result.Steps != gor.Result.Steps {
+		t.Errorf("step counts differ: seq %d, goroutine %d", seq.Result.Steps, gor.Result.Steps)
+	}
+	for i := range seq.Result.Outputs {
+		if seq.Result.Outputs[i] != gor.Result.Outputs[i] {
+			t.Errorf("output %d differs: seq %v, goroutine %v", i, seq.Result.Outputs[i], gor.Result.Outputs[i])
+		}
+	}
+}
+
+func TestFuzz(t *testing.T) {
+	rep, err := Fuzz(Options{
+		Protocol:   "consensus",
+		Params:     protocol.Params{N: 2},
+		Iterations: 30,
+		Seed:       3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fuzz.Evaluated != 30 {
+		t.Errorf("evaluated %d schedules, want 30", rep.Fuzz.Evaluated)
+	}
+	if rep.Fuzz.BestScore <= 0 {
+		t.Errorf("best score %v, want > 0 (steps metric)", rep.Fuzz.BestScore)
+	}
+}
+
+func TestStress(t *testing.T) {
+	rep, err := Stress(Options{F: 2, M: 2, Ops: 4, Seeds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("§3 violation on seed %d: %v", rep.FailedSeed, rep.Violation)
+	}
+	if rep.Schedules != 20 || rep.BlockUpdates == 0 || rep.Scans == 0 {
+		t.Errorf("implausible totals: %+v", rep)
+	}
+}
+
+func TestResolveErrorsAreUsage(t *testing.T) {
+	if _, err := Run(Options{Protocol: "nope"}); !IsUsage(err) {
+		t.Errorf("unknown protocol: got %v, want usage error", err)
+	}
+	if _, err := Check(Options{Protocol: "kset", Params: protocol.Params{K: 99}}); !IsUsage(err) {
+		t.Errorf("bad params: got %v, want usage error", err)
+	}
+	if _, err := sched.ParseEngine("bogus"); err == nil ||
+		!strings.Contains(err.Error(), "seq") || !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("ParseEngine should reject unknown kinds listing the valid ones, got %v", err)
+	}
+}

@@ -15,7 +15,8 @@ import (
 	"revisionist/internal/shmem"
 )
 
-// Value is a protocol value stored in snapshot components.
+// Value is a protocol value stored in snapshot components: a re-export of
+// shmem.Value, the repository's single value alias.
 type Value = shmem.Value
 
 // OpKind distinguishes the operation a process is poised to perform.

@@ -1,0 +1,227 @@
+package protocol
+
+import (
+	"fmt"
+
+	"revisionist/internal/algorithms"
+	"revisionist/internal/bounds"
+	"revisionist/internal/proto"
+	"revisionist/internal/spec"
+)
+
+// The built-in protocol zoo. Each registration is purely declarative: name,
+// doc, schema, validation, construction, task — everything a tool needs to
+// offer the protocol without protocol-specific code.
+
+func init() {
+	nSpec := func(def int, doc string) ParamSpec {
+		return ParamSpec{Name: "n", Kind: Int, Default: float64(def), Doc: doc}
+	}
+	validN := func(p Params) error {
+		if p.N < 1 {
+			return fmt.Errorf("n = %d must be positive", p.N)
+		}
+		return nil
+	}
+	setBounds := func(k, x func(Params) int) func(Params) (int, int, error) {
+		return func(p Params) (int, int, error) {
+			lb, err := bounds.SetAgreementLB(p.N, k(p), x(p))
+			if err != nil {
+				return 0, 0, err
+			}
+			ub, err := bounds.SetAgreementUB(p.N, k(p), x(p))
+			return lb, ub, err
+		}
+	}
+	paramK := func(p Params) int { return p.K }
+	one := func(Params) int { return 1 }
+	consensusBounds := setBounds(one, one)
+	aaBounds := func(p Params) (int, int, error) {
+		lb, err := bounds.ApproxAgreementSpaceLB(p.N, p.Eps)
+		// The upper bound realized here is the n-single-writer-component
+		// protocol shape of Attiya, Lynch and Shavit [9].
+		return lb, p.N, err
+	}
+
+	Register(&Protocol{
+		Name:          "consensus",
+		Doc:           "obstruction-free consensus: one shared-memory Paxos group over n components (tight, Corollary 33)",
+		Schema:        []ParamSpec{nSpec(4, "processes (= components)")},
+		Validate:      validN,
+		DefaultInputs: intInputs,
+		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
+			return algorithms.NewConsensus(p.N, inputs)
+		},
+		Task:        func(Params) spec.Task { return spec.Consensus{} },
+		SpaceBounds: consensusBounds,
+	})
+
+	Register(&Protocol{
+		Name:          "paxos",
+		Doc:           "the raw shared-memory Paxos group (consensus building block); member i owns component i",
+		Schema:        []ParamSpec{nSpec(3, "group members (= components)")},
+		Validate:      validN,
+		DefaultInputs: intInputs,
+		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
+			group := make([]int, p.N)
+			for i := range group {
+				group[i] = i
+			}
+			procs := make([]proto.Process, p.N)
+			for i := range procs {
+				procs[i] = algorithms.NewPaxos(i, group, inputs[i])
+			}
+			return procs, p.N, nil
+		},
+		Task:        func(Params) spec.Task { return spec.Consensus{} },
+		SpaceBounds: consensusBounds,
+	})
+
+	Register(&Protocol{
+		Name:          "firstvalue",
+		Doc:           "wait-free \"output the first value written\" over 1 component; solves the trivial task",
+		Schema:        []ParamSpec{nSpec(4, "processes")},
+		Validate:      validN,
+		DefaultInputs: intInputs,
+		Build:         buildFirstValue,
+		Task:          func(Params) spec.Task { return spec.Trivial{} },
+	})
+
+	Register(&Protocol{
+		Name:          "firstvalue-consensus",
+		Doc:           "the space-starved reduction protocol (E6): firstvalue checked against consensus — violates agreement under contention",
+		Schema:        []ParamSpec{nSpec(2, "processes")},
+		Validate:      validN,
+		DefaultInputs: intInputs,
+		Build:         buildFirstValue,
+		Task:          func(Params) spec.Task { return spec.Consensus{} },
+	})
+
+	Register(&Protocol{
+		Name:          "singleton",
+		Doc:           "each process outputs its own input after one scan; uses no snapshot state (k-set building block)",
+		Schema:        []ParamSpec{nSpec(3, "processes")},
+		Validate:      validN,
+		DefaultInputs: intInputs,
+		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
+			procs := make([]proto.Process, p.N)
+			for i := range procs {
+				procs[i] = algorithms.NewSingleton(inputs[i])
+			}
+			return procs, 1, nil
+		},
+		Task: func(Params) spec.Task { return spec.Trivial{} },
+	})
+
+	Register(&Protocol{
+		Name: "kset",
+		Doc:  "obstruction-free k-set agreement with n-k+1 components: k-1 singletons + one Paxos group (x = 1 upper bound)",
+		Schema: []ParamSpec{
+			nSpec(9, "processes"),
+			{Name: "k", Kind: Int, Default: 7, Doc: "agreement bound (1 <= k < n)"},
+		},
+		Validate: func(p Params) error {
+			if p.N < 2 || p.K < 1 || p.K >= p.N {
+				return fmt.Errorf("need 1 <= k < n, got n=%d k=%d", p.N, p.K)
+			}
+			return nil
+		},
+		DefaultInputs: intInputs,
+		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
+			return algorithms.NewKSetAgreement(p.N, p.K, inputs)
+		},
+		Task:        func(p Params) spec.Task { return spec.KSetAgreement{K: p.K} },
+		SpaceBounds: setBounds(paramK, one),
+	})
+
+	Register(&Protocol{
+		Name: "lane-kset",
+		Doc:  "lane-partitioned k-set agreement with n-k+x components: k-x singletons + x Paxos lanes",
+		Schema: []ParamSpec{
+			nSpec(8, "processes"),
+			{Name: "k", Kind: Int, Default: 5, Doc: "agreement bound (1 <= k < n)"},
+			{Name: "x", Kind: Int, Default: 3, Doc: "lanes / obstruction degree (1 <= x <= k)"},
+		},
+		Validate: func(p Params) error {
+			if p.N < 2 || p.K < 1 || p.K >= p.N {
+				return fmt.Errorf("need 1 <= k < n, got n=%d k=%d", p.N, p.K)
+			}
+			if p.X < 1 || p.X > p.K {
+				return fmt.Errorf("need 1 <= x <= k, got x=%d k=%d", p.X, p.K)
+			}
+			return nil
+		},
+		DefaultInputs: intInputs,
+		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
+			return algorithms.NewLaneKSetAgreement(p.N, p.K, p.X, inputs)
+		},
+		Task:        func(p Params) spec.Task { return spec.KSetAgreement{K: p.K} },
+		SpaceBounds: setBounds(paramK, func(p Params) int { return p.X }),
+	})
+
+	Register(&Protocol{
+		Name: "aa2",
+		Doc:  "2-process wait-free eps-approximate agreement by repeated halving (2 components, Corollary 34's upper-bound shape)",
+		Schema: []ParamSpec{
+			nSpec(2, "processes (fixed at 2)"),
+			{Name: "eps", Kind: Float, Default: 0.25, Doc: "agreement precision (0 < eps < 1)"},
+		},
+		Validate: func(p Params) error {
+			if p.N != 2 {
+				return fmt.Errorf("aa2 is a 2-process protocol, got n=%d", p.N)
+			}
+			if p.Eps <= 0 || p.Eps >= 1 {
+				return fmt.Errorf("need 0 < eps < 1, got eps=%g", p.Eps)
+			}
+			return nil
+		},
+		DefaultInputs: unitInputs,
+		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
+			fs, err := floatSlice(inputs)
+			if err != nil {
+				return nil, 0, err
+			}
+			return algorithms.NewApproxAgreement2([2]float64{fs[0], fs[1]}, p.Eps)
+		},
+		Task:        func(p Params) spec.Task { return spec.ApproxAgreement{Eps: p.Eps} },
+		SpaceBounds: aaBounds,
+	})
+
+	Register(&Protocol{
+		Name: "aan",
+		Doc:  "n-process wait-free eps-approximate agreement with n single-writer components (the [9]-style upper bound)",
+		Schema: []ParamSpec{
+			nSpec(4, "processes (= components)"),
+			{Name: "eps", Kind: Float, Default: 0.25, Doc: "agreement precision (0 < eps < 1)"},
+		},
+		Validate: func(p Params) error {
+			if p.N < 1 {
+				return fmt.Errorf("n = %d must be positive", p.N)
+			}
+			if p.Eps <= 0 || p.Eps >= 1 {
+				return fmt.Errorf("need 0 < eps < 1, got eps=%g", p.Eps)
+			}
+			return nil
+		},
+		DefaultInputs: unitInputs,
+		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
+			fs, err := floatSlice(inputs)
+			if err != nil {
+				return nil, 0, err
+			}
+			return algorithms.NewApproxAgreementN(fs, p.Eps)
+		},
+		Task:        func(p Params) spec.Task { return spec.ApproxAgreement{Eps: p.Eps} },
+		SpaceBounds: aaBounds,
+	})
+}
+
+// buildFirstValue is shared by firstvalue and firstvalue-consensus: n
+// FirstValue processes racing on one component.
+func buildFirstValue(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
+	procs := make([]proto.Process, p.N)
+	for i := range procs {
+		procs[i] = algorithms.NewFirstValue(0, inputs[i])
+	}
+	return procs, 1, nil
+}

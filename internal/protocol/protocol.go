@@ -1,0 +1,233 @@
+// Package protocol is the declarative registry of the protocol zoo. Every
+// protocol the repository can simulate, model-check, fuzz or measure is
+// described once, by a Protocol descriptor — name, one-line doc, typed
+// parameter schema with defaults and validation, canonical inputs, the task
+// specification its outputs are checked against, and optionally the paper's
+// space bounds — and registered in a global Registry. Tools never hand-roll
+// per-protocol wiring: they look a name up, fill parameters from the schema,
+// and call Instantiate, which returns a uniform Instance ready for any of
+// the harness verbs (see internal/harness).
+package protocol
+
+import (
+	"fmt"
+	"math"
+
+	"revisionist/internal/proto"
+	"revisionist/internal/spec"
+)
+
+// Params are the typed parameters protocols draw from. A protocol's Schema
+// names the subset that applies to it; zero-valued fields of a Params are
+// "unset" and take the schema default (zero is not a legal value for any
+// parameter, so there is no ambiguity).
+type Params struct {
+	// N is the number of processes the protocol is built for.
+	N int
+	// K is the agreement bound of k-set agreement.
+	K int
+	// X is the obstruction degree (lanes) of the lane-partitioned protocol.
+	X int
+	// Eps is the agreement precision of approximate agreement.
+	Eps float64
+}
+
+// Get returns the schema-named parameter ("n", "k", "x", "eps") as a
+// float64 (integers exactly). It panics on an unknown name: parameter names
+// come from schemas, not user input.
+func (p Params) Get(name string) float64 {
+	switch name {
+	case "n":
+		return float64(p.N)
+	case "k":
+		return float64(p.K)
+	case "x":
+		return float64(p.X)
+	case "eps":
+		return p.Eps
+	default:
+		panic(fmt.Sprintf("protocol: unknown parameter %q", name))
+	}
+}
+
+// Set stores v into the schema-named parameter; Int-kinded parameters are
+// truncated. Like Get, it panics on an unknown name.
+func (p *Params) Set(name string, v float64) {
+	switch name {
+	case "n":
+		p.N = int(v)
+	case "k":
+		p.K = int(v)
+	case "x":
+		p.X = int(v)
+	case "eps":
+		p.Eps = v
+	default:
+		panic(fmt.Sprintf("protocol: unknown parameter %q", name))
+	}
+}
+
+// Kind is the type of a parameter.
+type Kind int
+
+// Parameter kinds.
+const (
+	Int Kind = iota
+	Float
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Float {
+		return "float"
+	}
+	return "int"
+}
+
+// ParamSpec describes one schema entry: which Params field the protocol
+// reads, its default, and a short doc line for -list output.
+type ParamSpec struct {
+	Name    string // "n", "k", "x" or "eps"
+	Kind    Kind
+	Default float64 // integer-valued for Int parameters
+	Doc     string
+}
+
+// FormatDefault renders the default for listings.
+func (s ParamSpec) FormatDefault() string {
+	if s.Kind == Int {
+		return fmt.Sprintf("%d", int(s.Default))
+	}
+	return fmt.Sprintf("%g", s.Default)
+}
+
+// Instance is a concrete, runnable protocol instance: the uniform shape
+// every harness verb consumes.
+type Instance struct {
+	// Protocol is the descriptor this instance came from.
+	Protocol *Protocol
+	// Params are the fully resolved (defaulted, validated) parameters.
+	Params Params
+	// Procs are the Params.N fresh processes.
+	Procs []proto.Process
+	// M is the number of components of the multi-writer snapshot Π runs on.
+	M int
+	// Task is the colorless task the outputs are validated against.
+	Task spec.Task
+	// Inputs are the per-process input values (len Params.N).
+	Inputs []spec.Value
+}
+
+// Protocol declaratively describes one protocol of the zoo.
+type Protocol struct {
+	// Name is the registry key, e.g. "kset".
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Schema lists the parameters the protocol reads, with defaults.
+	Schema []ParamSpec
+	// Validate rejects out-of-range parameter combinations. Defaults have
+	// already been applied when it runs. May be nil.
+	Validate func(p Params) error
+	// DefaultInputs returns count canonical, pairwise distinct inputs
+	// (integers for discrete tasks, floats in [0, 1] for approximate
+	// agreement). The harness uses count = p.N for direct runs and count = f
+	// for the revisionist simulation's simulator inputs.
+	DefaultInputs func(p Params, count int) []spec.Value
+	// Build constructs the p.N processes with the given inputs (len p.N) and
+	// reports the number m of snapshot components they use.
+	Build func(p Params, inputs []spec.Value) ([]proto.Process, int, error)
+	// Task returns the task specification for the resolved parameters.
+	Task func(p Params) spec.Task
+	// SpaceBounds optionally returns the paper's lower and upper bounds (in
+	// registers) for the task at these parameters; nil when no bound is
+	// registered for the protocol.
+	SpaceBounds func(p Params) (lb, ub int, err error)
+}
+
+// Resolve applies schema defaults to unset fields of p and validates the
+// result.
+func (pr *Protocol) Resolve(p Params) (Params, error) {
+	for _, s := range pr.Schema {
+		if p.Get(s.Name) == 0 {
+			p.Set(s.Name, s.Default)
+		}
+	}
+	if pr.Validate != nil {
+		if err := pr.Validate(p); err != nil {
+			return p, fmt.Errorf("protocol %s: %w", pr.Name, err)
+		}
+	}
+	return p, nil
+}
+
+// Instantiate resolves p against the schema and builds a fresh instance with
+// the protocol's canonical inputs. Instances are single-use: processes carry
+// run state, so build a new instance per run.
+func (pr *Protocol) Instantiate(p Params) (*Instance, error) {
+	p, err := pr.Resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return pr.build(p, pr.DefaultInputs(p, p.N))
+}
+
+// InstantiateWith is Instantiate with caller-chosen inputs (len p.N after
+// resolution).
+func (pr *Protocol) InstantiateWith(p Params, inputs []spec.Value) (*Instance, error) {
+	p, err := pr.Resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return pr.build(p, inputs)
+}
+
+func (pr *Protocol) build(p Params, inputs []spec.Value) (*Instance, error) {
+	if len(inputs) != p.N {
+		return nil, fmt.Errorf("protocol %s: got %d inputs for n=%d processes", pr.Name, len(inputs), p.N)
+	}
+	procs, m, err := pr.Build(p, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("protocol %s: %w", pr.Name, err)
+	}
+	return &Instance{
+		Protocol: pr,
+		Params:   p,
+		Procs:    procs,
+		M:        m,
+		Task:     pr.Task(p),
+		Inputs:   inputs,
+	}, nil
+}
+
+// intInputs returns count distinct integer inputs 100, 101, ...
+func intInputs(_ Params, count int) []spec.Value {
+	in := make([]spec.Value, count)
+	for i := range in {
+		in[i] = 100 + i
+	}
+	return in
+}
+
+// unitInputs returns count distinct floats evenly spread over [0, 1].
+func unitInputs(_ Params, count int) []spec.Value {
+	in := make([]spec.Value, count)
+	for i := range in {
+		in[i] = float64(i) / math.Max(float64(count-1), 1)
+	}
+	return in
+}
+
+// floatSlice converts protocol inputs to the []float64 the approximate
+// agreement constructors take.
+func floatSlice(inputs []spec.Value) ([]float64, error) {
+	fs := make([]float64, len(inputs))
+	for i, v := range inputs {
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("input %d: %v (%T) is not a float64", i, v, v)
+		}
+		fs[i] = f
+	}
+	return fs, nil
+}

@@ -1,0 +1,149 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"revisionist/internal/proto"
+	"revisionist/internal/spec"
+)
+
+// TestRegistryComplete pins the registered zoo: every name the cmds document
+// must be present.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"aa2", "aan", "consensus", "firstvalue", "firstvalue-consensus",
+		"kset", "lane-kset", "paxos", "singleton",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("got %d protocols %v, want %d", len(got), got, len(want))
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], name)
+		}
+	}
+}
+
+// TestInstantiateDefaults checks that every registered protocol's schema
+// defaults validate and instantiate into a well-formed Instance.
+func TestInstantiateDefaults(t *testing.T) {
+	for _, pr := range Protocols() {
+		t.Run(pr.Name, func(t *testing.T) {
+			p, err := pr.Resolve(Params{})
+			if err != nil {
+				t.Fatalf("defaults do not validate: %v", err)
+			}
+			inst, err := pr.Instantiate(Params{})
+			if err != nil {
+				t.Fatalf("Instantiate: %v", err)
+			}
+			if len(inst.Procs) != p.N {
+				t.Errorf("got %d procs, want n=%d", len(inst.Procs), p.N)
+			}
+			if inst.M < 1 {
+				t.Errorf("m = %d, want >= 1", inst.M)
+			}
+			if inst.Task == nil || inst.Task.Name() == "" {
+				t.Errorf("missing task")
+			}
+			if len(inst.Inputs) != p.N {
+				t.Errorf("got %d inputs, want n=%d", len(inst.Inputs), p.N)
+			}
+			// Canonical inputs must be pairwise distinct (agreement tasks are
+			// vacuous otherwise) and every process must start poised to scan
+			// (Assumption 1).
+			seen := map[spec.Value]bool{}
+			for _, v := range inst.Inputs {
+				if seen[v] {
+					t.Errorf("duplicate default input %v", v)
+				}
+				seen[v] = true
+			}
+			for i, proc := range inst.Procs {
+				if op := proc.NextOp(); op.Kind != proto.OpScan {
+					t.Errorf("proc %d poised to %v, want initial scan", i, op.Kind)
+				}
+			}
+		})
+	}
+}
+
+func TestResolveAppliesDefaults(t *testing.T) {
+	pr := MustLookup("kset")
+	p, err := pr.Resolve(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 9 || p.K != 7 {
+		t.Fatalf("got defaults n=%d k=%d, want 9/7", p.N, p.K)
+	}
+	// Partial override keeps the rest at defaults.
+	p, err = pr.Resolve(Params{N: 4, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 4 || p.K != 3 {
+		t.Fatalf("got n=%d k=%d, want 4/3", p.N, p.K)
+	}
+}
+
+func TestResolveRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		protocol string
+		params   Params
+	}{
+		{"kset", Params{N: 4, K: 4}}, // k >= n
+		{"lane-kset", Params{X: 9}},  // x > k (k defaults to 5)
+		{"aa2", Params{N: 3}},        // not 2 processes
+		{"aan", Params{Eps: 1.5}},    // eps out of range
+		{"consensus", Params{N: -1}}, // negative n
+	}
+	for _, c := range cases {
+		pr := MustLookup(c.protocol)
+		if _, err := pr.Resolve(c.params); err == nil {
+			t.Errorf("%s: Resolve(%+v) accepted invalid params", c.protocol, c.params)
+		}
+		if _, err := pr.Instantiate(c.params); err == nil {
+			t.Errorf("%s: Instantiate(%+v) accepted invalid params", c.protocol, c.params)
+		}
+	}
+}
+
+func TestLookupUnknownListsNames(t *testing.T) {
+	_, err := Lookup("nope")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "kset") || !strings.Contains(err.Error(), "consensus") {
+		t.Errorf("error should list known names, got: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	pr := &Protocol{
+		Name:          "dup",
+		Doc:           "test",
+		DefaultInputs: intInputs,
+		Build: func(p Params, in []spec.Value) ([]proto.Process, int, error) {
+			return nil, 1, nil
+		},
+		Task: func(Params) spec.Task { return spec.Trivial{} },
+	}
+	r.Register(pr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	r.Register(pr)
+}
+
+func TestInstantiateWithWrongInputCount(t *testing.T) {
+	pr := MustLookup("consensus")
+	if _, err := pr.InstantiateWith(Params{N: 3}, []spec.Value{1}); err == nil {
+		t.Fatal("expected input-count error")
+	}
+}

@@ -1,0 +1,86 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Registry holds protocols by name.
+type Registry struct {
+	byName map[string]*Protocol
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*Protocol{}}
+}
+
+// Register adds pr. It panics on a duplicate name or an incomplete
+// descriptor: registration happens at init time and a bad descriptor is a
+// programming error.
+func (r *Registry) Register(pr *Protocol) {
+	switch {
+	case pr.Name == "":
+		panic("protocol: Register with empty name")
+	case pr.Doc == "" || pr.DefaultInputs == nil || pr.Build == nil || pr.Task == nil:
+		panic(fmt.Sprintf("protocol: incomplete descriptor %q (need Doc, DefaultInputs, Build, Task)", pr.Name))
+	}
+	if _, dup := r.byName[pr.Name]; dup {
+		panic(fmt.Sprintf("protocol: duplicate registration of %q", pr.Name))
+	}
+	r.byName[pr.Name] = pr
+}
+
+// Lookup returns the named protocol; the error lists the known names.
+func (r *Registry) Lookup(name string) (*Protocol, error) {
+	pr, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown protocol %q (known: %s)", name, strings.Join(r.Names(), " | "))
+	}
+	return pr, nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Protocols returns the registered protocols, sorted by name.
+func (r *Registry) Protocols() []*Protocol {
+	names := r.Names()
+	out := make([]*Protocol, len(names))
+	for i, name := range names {
+		out[i] = r.byName[name]
+	}
+	return out
+}
+
+// registry is the global registry the built-in zoo registers into.
+var registry = NewRegistry()
+
+// Register adds pr to the global registry (panics on duplicates).
+func Register(pr *Protocol) { registry.Register(pr) }
+
+// Lookup finds a protocol in the global registry.
+func Lookup(name string) (*Protocol, error) { return registry.Lookup(name) }
+
+// MustLookup is Lookup for built-in names that are known to exist.
+func MustLookup(name string) *Protocol {
+	pr, err := registry.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Names lists the global registry, sorted.
+func Names() []string { return registry.Names() }
+
+// Protocols lists the global registry's protocols, sorted by name.
+func Protocols() []*Protocol { return registry.Protocols() }

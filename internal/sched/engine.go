@@ -70,6 +70,21 @@ const (
 // DefaultEngine is the engine used when an empty EngineKind is given.
 const DefaultEngine = EngineSeq
 
+// ParseEngine validates a user-supplied engine name — for example a -engine
+// flag value — at parse time, so an unknown kind becomes a usage error
+// instead of flowing into NewEngine as a raw string. An empty name selects
+// DefaultEngine.
+func ParseEngine(name string) (EngineKind, error) {
+	switch kind := EngineKind(name); kind {
+	case "":
+		return DefaultEngine, nil
+	case EngineSeq, EngineGoroutine:
+		return kind, nil
+	default:
+		return "", fmt.Errorf("sched: unknown engine %q (want %q or %q)", name, EngineSeq, EngineGoroutine)
+	}
+}
+
 // ErrReused reports a second Run on a single-use engine.
 var ErrReused = errors.New("sched: engine is single-use: create a new engine per run")
 

@@ -14,7 +14,10 @@ import (
 	"revisionist/internal/sched"
 )
 
-// Value is the contents of a register or snapshot component. Values are
+// Value is the contents of a register or snapshot component, and the single
+// source of truth for every value type in the repository: protocol values
+// (proto.Value), augmented snapshot values (augsnap.Value) and task
+// inputs/outputs (spec.Value) are all re-exports of this alias. Values are
 // treated as immutable once written: writers must not mutate a value after
 // passing it to Write/Update, and readers must not mutate returned values.
 type Value = any

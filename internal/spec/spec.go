@@ -10,11 +10,15 @@ package spec
 import (
 	"fmt"
 	"math"
+	"sort"
+
+	"revisionist/internal/shmem"
 )
 
-// Value is a task input or output. Consensus-family tasks use comparable
+// Value is a task input or output: a re-export of shmem.Value, the
+// repository's single value alias. Consensus-family tasks use comparable
 // values; approximate agreement uses float64.
-type Value = any
+type Value = shmem.Value
 
 // Task is a colorless task.
 type Task interface {
@@ -157,10 +161,15 @@ func asFloat(v Value) (float64, error) {
 	}
 }
 
+// keys returns the map's keys in a deterministic (rendered) order, so
+// violation messages are stable across runs.
 func keys(m map[Value]bool) []Value {
 	out := make([]Value, 0, len(m))
 	for v := range m {
 		out = append(out, v)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i]) < fmt.Sprint(out[j])
+	})
 	return out
 }
