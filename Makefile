@@ -1,6 +1,8 @@
 GO ?= go
+BENCH_DATE ?= $(shell date +%Y-%m-%d)
+BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all vet build test bench bench-smoke ci protocols
+.PHONY: all vet build test race bench bench-smoke ci protocols
 
 all: ci
 
@@ -13,9 +15,16 @@ build:
 test:
 	$(GO) test ./...
 
-# Full benchmark suite; takes a while.
+# Race-check the parallel search layer (worker-pool Explore/Fuzz/Stress).
+race:
+	$(GO) test -race ./internal/trace/... ./internal/harness/...
+
+# Full benchmark suite; takes a while. Archives the go-test JSON event
+# stream as BENCH_<date>.json — one file per run is the perf trajectory.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -count=1 -json ./... > $(BENCH_OUT)
+	@grep -o '"Output":".*ns/op[^"]*"' $(BENCH_OUT) | sed -e 's/"Output":"//' -e 's/\\t/\t/g' -e 's/\\n"//' || true
+	@echo wrote $(BENCH_OUT)
 
 # One iteration of every benchmark: catches bit-rot without the cost.
 bench-smoke:
@@ -26,4 +35,4 @@ bench-smoke:
 protocols:
 	$(GO) run ./cmd/simulate -list
 
-ci: vet build test bench-smoke
+ci: vet build test race bench-smoke

@@ -8,12 +8,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
+	"time"
 
 	"revisionist/internal/algorithms"
 	"revisionist/internal/augsnap"
 	"revisionist/internal/bounds"
 	"revisionist/internal/core"
+	"revisionist/internal/harness"
 	"revisionist/internal/nst"
 	"revisionist/internal/proto"
 	"revisionist/internal/sched"
@@ -239,6 +242,140 @@ func BenchmarkExploreEngines(b *testing.B) {
 				total += rep.Runs
 			}
 			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "schedules/s")
+		})
+	}
+}
+
+// benchWorkerCounts is the worker-pool ablation dimension: sequential
+// against the full machine, with one intermediate point when the machine has
+// one.
+func benchWorkerCounts() []int {
+	n := runtime.GOMAXPROCS(0)
+	counts := []int{1}
+	if n >= 4 {
+		counts = append(counts, n/2)
+	}
+	if n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// exploreBenchFactory is the shared workload of the parallel-exploration
+// benchmarks: 3-process consensus, a branching-3 prefix tree.
+func exploreBenchFactory(gate sched.Stepper) trace.System {
+	procs, m, err := algorithms.NewConsensus(3, []proto.Value{0, 1, 2})
+	if err != nil {
+		panic(err)
+	}
+	res := proto.NewRunResult(3)
+	snap := shmem.NewMWSnapshot("M", gate, m, nil)
+	return trace.System{
+		Machines: proto.Machines(procs, snap, res),
+		Check:    func(*sched.Result) error { return nil },
+	}
+}
+
+// BenchmarkExploreParallel measures exhaustive-exploration throughput
+// (schedules/second) per worker-pool size: the prefix tree is sharded across
+// workers and the reports merge back byte-identical to the sequential ones.
+// The "speedup" sub-benchmark reports the workers=GOMAXPROCS over workers=1
+// throughput ratio directly.
+func BenchmarkExploreParallel(b *testing.B) {
+	const runsPerExplore = 4000
+	opts := trace.ExploreOpts{MaxDepth: 22, MaxRuns: runsPerExplore}
+	explore := func(b *testing.B, workers int) int {
+		opts := opts
+		opts.Workers = workers
+		total := 0
+		for i := 0; i < b.N; i++ {
+			rep, err := trace.Explore(3, exploreBenchFactory, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += rep.Runs
+		}
+		return total
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			total := explore(b, w)
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "schedules/s")
+		})
+	}
+	b.Run("speedup", func(b *testing.B) {
+		start := time.Now()
+		explore(b, 1)
+		seq := time.Since(start)
+		start = time.Now()
+		explore(b, runtime.GOMAXPROCS(0))
+		par := time.Since(start)
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
+		b.ReportMetric(0, "ns/op")
+	})
+}
+
+// BenchmarkFuzzParallel measures adversarial-search throughput
+// (evaluations/second) per worker-pool size on the step-maximization metric;
+// the population structure is worker-independent, so every pool size
+// produces the identical report.
+func BenchmarkFuzzParallel(b *testing.B) {
+	factory := func(gate sched.Stepper) trace.System {
+		procs, m, err := algorithms.NewKSetAgreement(4, 3, []proto.Value{0, 1, 2, 3})
+		if err != nil {
+			panic(err)
+		}
+		res := proto.NewRunResult(4)
+		snap := shmem.NewMWSnapshot("M", gate, m, nil)
+		return trace.System{Machines: proto.Machines(procs, snap, res)}
+	}
+	metric := func(res *sched.Result) float64 { return float64(res.Steps) }
+	const iters = 200
+	fuzz := func(b *testing.B, workers int) int {
+		total := 0
+		for i := 0; i < b.N; i++ {
+			rep, err := trace.Fuzz(4, factory, metric, trace.FuzzOpts{
+				Iterations: iters, Seed: int64(i), ScheduleLen: 48, MaxSteps: 1 << 16, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += rep.Evaluated
+		}
+		return total
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			total := fuzz(b, w)
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "evals/s")
+		})
+	}
+	b.Run("speedup", func(b *testing.B) {
+		start := time.Now()
+		fuzz(b, 1)
+		seq := time.Since(start)
+		start = time.Now()
+		fuzz(b, runtime.GOMAXPROCS(0))
+		par := time.Since(start)
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
+		b.ReportMetric(0, "ns/op")
+	})
+}
+
+// BenchmarkStressParallel measures the harness stress verb per worker-pool
+// size: seeded workloads fan out, outcomes merge in seed order.
+func BenchmarkStressParallel(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := harness.Stress(harness.Options{F: 4, M: 3, Ops: 6, Seeds: 50, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Violation != nil {
+					b.Fatalf("§3 violation on seed %d: %v", rep.FailedSeed, rep.Violation)
+				}
+			}
 		})
 	}
 }

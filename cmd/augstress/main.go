@@ -36,11 +36,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("augstress", flag.ContinueOnError)
 	var (
-		f      = fs.Int("f", 4, "processes")
-		m      = fs.Int("m", 3, "components")
-		ops    = fs.Int("ops", 8, "operations per process")
-		seeds  = fs.Int("seeds", 200, "number of seeded schedules")
-		engine = harness.EngineFlag(fs)
+		f       = fs.Int("f", 4, "processes")
+		m       = fs.Int("m", 3, "components")
+		ops     = fs.Int("ops", 8, "operations per process")
+		seeds   = fs.Int("seeds", 200, "number of seeded schedules")
+		engine  = harness.EngineFlag(fs)
+		workers = harness.WorkersFlag(fs)
 	)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
@@ -52,11 +53,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rep, err := harness.Stress(harness.Options{
-		Engine: kind,
-		F:      *f,
-		M:      *m,
-		Ops:    *ops,
-		Seeds:  *seeds,
+		Engine:  kind,
+		Workers: *workers,
+		F:       *f,
+		M:       *m,
+		Ops:     *ops,
+		Seeds:   *seeds,
 	})
 	if err != nil {
 		return err

@@ -21,6 +21,7 @@ import (
 	"math"
 	"os"
 
+	"revisionist/internal/augsnap"
 	"revisionist/internal/bounds"
 	"revisionist/internal/core"
 	"revisionist/internal/harness"
@@ -47,14 +48,16 @@ func main() {
 
 // exps carries the flag-level configuration through the experiment funcs.
 type exps struct {
-	out    io.Writer
-	engine sched.EngineKind
+	out     io.Writer
+	engine  sched.EngineKind
+	workers int
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	section := fs.String("section", "all", "which section to print")
 	engine := harness.EngineFlag(fs)
+	workers := harness.WorkersFlag(fs)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
 	}
@@ -63,7 +66,7 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return &harness.UsageError{Err: err}
 	}
-	e := &exps{out: out, engine: kind}
+	e := &exps{out: out, engine: kind, workers: *workers}
 	sections := []struct {
 		name string
 		fn   func() error
@@ -186,6 +189,27 @@ func mustLB3(n int, l3 float64) int {
 	return lb
 }
 
+// stressLogs runs the workloads of seeds 0..n-1 across the -workers pool and
+// returns their operation logs in seed order, so aggregating over them stays
+// deterministic for any worker count.
+func (e *exps) stressLogs(f, m, ops, n int) ([]*augsnap.Log, error) {
+	logs := make([]*augsnap.Log, n)
+	errs := make([]error, n)
+	trace.RunOnPool(trace.ResolveWorkers(e.workers), n, func(i int) {
+		if a, err := harness.StressWorkload(e.engine, f, m, ops, int64(i)); err != nil {
+			errs[i] = err
+		} else {
+			logs[i] = a.Log()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return logs, nil
+}
+
 func (e *exps) e3StepCounts() error {
 	fmt.Fprintln(e.out, "== E3: Lemma 2 — step counts on the single-writer snapshot H ==")
 	fmt.Fprintf(e.out, "%3s %3s | %10s %12s | %10s %12s %9s\n", "f", "m", "BU steps", "(atomic=6)", "Scan max", "bound 2k+3", "checked")
@@ -193,12 +217,11 @@ func (e *exps) e3StepCounts() error {
 		m := 3
 		buOK, scanMax, scanBound := true, 0, 0
 		var nBU, nScan int
-		for seed := int64(0); seed < 30; seed++ {
-			a, err := harness.StressWorkload(e.engine, f, m, 6, seed)
-			if err != nil {
-				return err
-			}
-			log := a.Log()
+		logs, err := e.stressLogs(f, m, 6, 30)
+		if err != nil {
+			return err
+		}
+		for _, log := range logs {
 			if err := trace.Check(log, m); err != nil {
 				return err
 			}
@@ -241,15 +264,15 @@ func (e *exps) e4YieldConditions() error {
 	for _, f := range []int{2, 4, 6} {
 		var bus, yields, byQ0 int
 		allOK := true
-		for seed := int64(0); seed < 40; seed++ {
-			a, err := harness.StressWorkload(e.engine, f, 3, 6, seed)
-			if err != nil {
-				return err
-			}
-			if err := trace.Check(a.Log(), 3); err != nil {
+		logs, err := e.stressLogs(f, 3, 6, 40)
+		if err != nil {
+			return err
+		}
+		for _, log := range logs {
+			if err := trace.Check(log, 3); err != nil {
 				allOK = false
 			}
-			for _, bu := range a.Log().BUs {
+			for _, bu := range log.BUs {
 				bus++
 				if bu.Yielded {
 					yields++

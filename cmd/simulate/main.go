@@ -63,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		Protocol: shared.Protocol,
 		Params:   shared.Params,
 		Engine:   shared.Engine,
+		Workers:  shared.Workers,
 		Seed:     *seed,
 		F:        *f,
 		D:        *d,

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 
 	"revisionist/internal/harness"
 	"revisionist/internal/protocol"
+	"revisionist/internal/trace"
 )
 
 func main() {
@@ -66,12 +68,24 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var unbounded []string
+	var bounded []*protocol.Protocol
 	for _, pr := range protos {
 		if pr.SpaceBounds == nil {
 			unbounded = append(unbounded, pr.Name)
 			continue
 		}
-		printTable(out, pr, *nmax)
+		bounded = append(bounded, pr)
+	}
+	// Sweep each protocol's table on the worker pool; buffers print in
+	// registry order, so the output never depends on -workers.
+	tables := make([]bytes.Buffer, len(bounded))
+	trace.RunOnPool(trace.ResolveWorkers(shared.Workers), len(bounded), func(i int) {
+		printTable(&tables[i], bounded[i], *nmax)
+	})
+	for i := range tables {
+		if _, err := tables[i].WriteTo(out); err != nil {
+			return err
+		}
 	}
 	if len(unbounded) > 0 {
 		fmt.Fprintf(out, "no registered space bounds: %s\n", strings.Join(unbounded, ", "))

@@ -47,15 +47,18 @@ func ParseFlags(fs *flag.FlagSet, args []string) error {
 // Options directly.
 type Flags struct {
 	// Protocol is the resolved -protocol value, Engine the parse-validated
-	// -engine value, List the -list value.
+	// -engine value, List the -list value, Workers the validated -workers
+	// value (0 = GOMAXPROCS).
 	Protocol string
 	Engine   sched.EngineKind
 	List     bool
+	Workers  int
 	// Params carries the -n/-k/-x/-eps values; 0 means "schema default".
 	Params protocol.Params
 
 	protocolF, engineF *string
 	listF              *bool
+	workersF           *int
 	nF, kF, xF         *int
 	epsF               *float64
 }
@@ -84,6 +87,7 @@ func bindListFlags(fs *flag.FlagSet, def string) *Flags {
 	f.protocolF = fs.String("protocol", def,
 		"protocol from the registry (see -list): "+strings.Join(protocol.Names(), " | "))
 	f.listF = fs.Bool("list", false, "list the protocol registry and exit")
+	f.workersF = WorkersFlag(fs)
 	return f
 }
 
@@ -91,6 +95,13 @@ func bindListFlags(fs *flag.FlagSet, def string) *Flags {
 func EngineFlag(fs *flag.FlagSet) *string {
 	return fs.String("engine", string(sched.DefaultEngine),
 		fmt.Sprintf("execution engine: %s | %s", sched.EngineSeq, sched.EngineGoroutine))
+}
+
+// WorkersFlag registers just the -workers flag — the shared worker-pool size
+// of the parallel searches. Results never depend on its value, only
+// wall-clock does.
+func WorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 }
 
 // Resolve validates the parsed flag values; call it after fs.Parse. An
@@ -105,6 +116,12 @@ func (f *Flags) Resolve() error {
 	}
 	f.Protocol = *f.protocolF
 	f.List = *f.listF
+	if f.workersF != nil {
+		if *f.workersF < 0 {
+			return &UsageError{Err: fmt.Errorf("harness: -workers must be >= 0, got %d", *f.workersF)}
+		}
+		f.Workers = *f.workersF
+	}
 	if f.nF != nil {
 		f.Params = protocol.Params{N: *f.nF, K: *f.kF, X: *f.xF, Eps: *f.epsF}
 	}

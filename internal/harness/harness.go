@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"revisionist/internal/augsnap"
 	"revisionist/internal/core"
@@ -43,6 +44,12 @@ type Options struct {
 	Params protocol.Params
 	// Engine selects the execution engine ("" = sched.DefaultEngine).
 	Engine sched.EngineKind
+	// Workers sets the search worker-pool size for Check, Fuzz and Stress
+	// (0 = GOMAXPROCS, 1 = sequential). Reports are identical for any value:
+	// Check merges subtree results back into canonical schedule order, Fuzz's
+	// population structure is worker-independent, and Stress merges seed
+	// outcomes in seed order.
+	Workers int
 	// Seed seeds the schedule (Run), the search (Fuzz), or the first
 	// workload (Stress).
 	Seed int64
@@ -230,6 +237,7 @@ func Check(opts Options) (*CheckReport, error) {
 		MaxRuns:       defaultInt(opts.MaxRuns, 200_000),
 		MaxViolations: defaultInt(opts.MaxViolations, 1),
 		Engine:        opts.Engine,
+		Workers:       opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -266,6 +274,7 @@ func Fuzz(opts Options, metric func(res *sched.Result) float64) (*FuzzReport, er
 		ScheduleLen: opts.ScheduleLen,
 		MaxSteps:    opts.MaxSteps,
 		Engine:      opts.Engine,
+		Workers:     opts.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -288,36 +297,88 @@ type StressReport struct {
 	FailedSeed int64
 }
 
+// seedOutcome is one seeded workload's contribution to a StressReport, kept
+// per seed so parallel outcomes can merge back in seed order.
+type seedOutcome struct {
+	scans, bus, yields int
+	violation          error
+	err                error
+}
+
+// runStressSeed executes and checks one seeded workload.
+func runStressSeed(opts Options, f, m, ops int, seed int64) seedOutcome {
+	a, err := StressWorkload(opts.Engine, f, m, ops, seed)
+	if err != nil {
+		return seedOutcome{err: fmt.Errorf("harness: stress seed %d: %w", seed, err)}
+	}
+	log := a.Log()
+	if cerr := trace.Check(log, m); cerr != nil {
+		return seedOutcome{violation: cerr}
+	}
+	o := seedOutcome{scans: len(log.Scans), bus: len(log.BUs)}
+	for _, bu := range log.BUs {
+		if bu.Yielded {
+			o.yields++
+		}
+	}
+	return o
+}
+
 // Stress runs Options.Seeds seeded random Scan/Block-Update workloads of
 // Options.F processes on an Options.M-component augmented snapshot, checking
 // each operation log offline against the §3 specification. It stops at the
-// first violation (reported in the StressReport, not as an error).
+// first violation in seed order (reported in the StressReport, not as an
+// error). With Options.Workers != 1 the seeds fan out across a worker pool;
+// outcomes merge back in seed order, so the report is identical for any
+// worker count.
 func Stress(opts Options) (*StressReport, error) {
 	f := defaultInt(opts.F, 4)
 	m := defaultInt(opts.M, 3)
 	ops := defaultInt(opts.Ops, 8)
 	seeds := defaultInt(opts.Seeds, 200)
-	rep := &StressReport{}
-	for i := 0; i < seeds; i++ {
-		seed := opts.Seed + int64(i)
-		a, err := StressWorkload(opts.Engine, f, m, ops, seed)
-		if err != nil {
-			return nil, fmt.Errorf("harness: stress seed %d: %w", seed, err)
-		}
-		rep.Schedules++
-		log := a.Log()
-		if err := trace.Check(log, m); err != nil {
-			rep.Violation = err
-			rep.FailedSeed = seed
-			return rep, nil
-		}
-		rep.Scans += len(log.Scans)
-		rep.BlockUpdates += len(log.BUs)
-		for _, bu := range log.BUs {
-			if bu.Yielded {
-				rep.Yields++
+	workers := min(trace.ResolveWorkers(opts.Workers), seeds)
+	outcomes := make([]seedOutcome, seeds)
+	if workers <= 1 {
+		for i := 0; i < seeds; i++ {
+			outcomes[i] = runStressSeed(opts, f, m, ops, opts.Seed+int64(i))
+			if outcomes[i].err != nil || outcomes[i].violation != nil {
+				break // merging below never looks past the first failure
 			}
 		}
+	} else {
+		var cut atomic.Int64
+		cut.Store(int64(seeds))
+		trace.RunOnPool(workers, seeds, func(i int) {
+			if int64(i) > cut.Load() {
+				return // past the first known failure; never merged
+			}
+			o := runStressSeed(opts, f, m, ops, opts.Seed+int64(i))
+			outcomes[i] = o
+			if o.err != nil || o.violation != nil {
+				for {
+					c := cut.Load()
+					if c <= int64(i) || cut.CompareAndSwap(c, int64(i)) {
+						break
+					}
+				}
+			}
+		})
+	}
+	rep := &StressReport{}
+	for i := 0; i < seeds; i++ {
+		o := outcomes[i]
+		if o.err != nil {
+			return nil, o.err
+		}
+		rep.Schedules++
+		if o.violation != nil {
+			rep.Violation = o.violation
+			rep.FailedSeed = opts.Seed + int64(i)
+			return rep, nil
+		}
+		rep.Scans += o.scans
+		rep.BlockUpdates += o.bus
+		rep.Yields += o.yields
 	}
 	return rep, nil
 }

@@ -1,11 +1,13 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"revisionist/internal/protocol"
 	"revisionist/internal/sched"
+	"revisionist/internal/trace"
 )
 
 // TestRegistryCompleteness is the registry's end-to-end completeness check:
@@ -153,5 +155,111 @@ func TestResolveErrorsAreUsage(t *testing.T) {
 	if _, err := sched.ParseEngine("bogus"); err == nil ||
 		!strings.Contains(err.Error(), "seq") || !strings.Contains(err.Error(), "goroutine") {
 		t.Errorf("ParseEngine should reject unknown kinds listing the valid ones, got %v", err)
+	}
+}
+
+// checkReportsEqual compares the fields of two exploration reports that the
+// workers=1-vs-workers=N determinism contract pins.
+func checkReportsEqual(t *testing.T, tag string, a, b *trace.ExploreReport) {
+	t.Helper()
+	if a.Runs != b.Runs || a.Truncated != b.Truncated || a.Exhausted != b.Exhausted ||
+		len(a.Violations) != len(b.Violations) {
+		t.Fatalf("%s: reports diverge: %+v vs %+v", tag, a, b)
+	}
+	for i := range a.Violations {
+		if fmt.Sprint(a.Violations[i].Schedule) != fmt.Sprint(b.Violations[i].Schedule) ||
+			a.Violations[i].Err.Error() != b.Violations[i].Err.Error() {
+			t.Fatalf("%s: violation %d diverges: %v vs %v", tag, i, a.Violations[i], b.Violations[i])
+		}
+	}
+}
+
+// TestCheckWorkersDeterministic explores a violating and a correct protocol
+// with 1 and 8 workers and requires identical reports, including the
+// violation schedules and their order.
+func TestCheckWorkersDeterministic(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		opts Options
+	}{
+		{"violating", Options{Protocol: "firstvalue-consensus", Params: protocol.Params{N: 2},
+			MaxDepth: 12, MaxViolations: 5}},
+		{"correct-capped", Options{Protocol: "consensus", Params: protocol.Params{N: 2},
+			MaxDepth: 18, MaxRuns: 700}},
+	} {
+		c.opts.Workers = 1
+		seq, err := Check(c.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.opts.Workers = 8
+		par, err := Check(c.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkReportsEqual(t, c.name, seq.Explore, par.Explore)
+	}
+}
+
+// TestFuzzWorkersDeterministic requires the same best schedule and score for
+// a fixed seed whatever the worker count.
+func TestFuzzWorkersDeterministic(t *testing.T) {
+	opts := Options{Protocol: "kset", Params: protocol.Params{N: 4, K: 3},
+		Iterations: 60, Seed: 11, Workers: 1}
+	seq, err := Fuzz(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	par, err := Fuzz(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Fuzz.BestScore != par.Fuzz.BestScore || seq.Fuzz.Evaluated != par.Fuzz.Evaluated ||
+		fmt.Sprint(seq.Fuzz.BestSchedule) != fmt.Sprint(par.Fuzz.BestSchedule) {
+		t.Fatalf("fuzz diverges across worker counts: %+v vs %+v", seq.Fuzz, par.Fuzz)
+	}
+}
+
+// TestStressWorkersDeterministic requires identical aggregate stress reports
+// for 1 and 8 workers: seed outcomes merge in seed order.
+func TestStressWorkersDeterministic(t *testing.T) {
+	seq, err := Stress(Options{F: 3, M: 2, Ops: 4, Seeds: 24, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Stress(Options{F: 3, M: 2, Ops: 4, Seeds: 24, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *seq != *par {
+		t.Fatalf("stress reports diverge: %+v vs %+v", *seq, *par)
+	}
+}
+
+// TestCheckViolationsReplay replays every violation Check reports through
+// the same registry factory and requires each to reproduce.
+func TestCheckViolationsReplay(t *testing.T) {
+	opts := Options{Protocol: "firstvalue-consensus", Params: protocol.Params{N: 2},
+		MaxDepth: 12, MaxViolations: 5, Workers: 8}
+	rep, err := Check(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Explore.Violations) == 0 {
+		t.Fatal("no violations to replay")
+	}
+	pr, p, err := opts.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rep.Explore.Violations {
+		violErr, runErr := trace.ReplayViolation(p.N, factory(pr, p), opts.Engine, v)
+		if runErr != nil {
+			t.Fatalf("violation %d: replay failed: %v", i, runErr)
+		}
+		if violErr == nil {
+			t.Fatalf("violation %d on schedule %v did not reproduce", i, v.Schedule)
+		}
 	}
 }

@@ -305,3 +305,40 @@ func TestStepAfterRunPanics(t *testing.T) {
 	}()
 	r.Step(0, Op{Object: "X", Kind: OpRead, Comp: -1})
 }
+
+func TestSplitSeedStreamsAreIndependent(t *testing.T) {
+	// Derivation is pure: same (base, stream) gives the same seed.
+	if SplitSeed(7, 3) != SplitSeed(7, 3) {
+		t.Fatal("SplitSeed is not a pure function")
+	}
+	// Adjacent streams (and adjacent bases) must decorrelate: the derived
+	// Random strategies should not pick identical sequences.
+	seen := map[int64]bool{}
+	for stream := int64(0); stream < 100; stream++ {
+		s := SplitSeed(42, stream)
+		if seen[s] {
+			t.Fatalf("stream %d collides with an earlier stream", stream)
+		}
+		seen[s] = true
+	}
+	a, b := NewRandom(SplitSeed(42, 0)), NewRandom(SplitSeed(42, 1))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.IntN(1000) == b.IntN(1000) {
+			same++
+		}
+	}
+	if same > 16 {
+		t.Fatalf("adjacent split streams agree on %d/64 draws; they should be independent", same)
+	}
+}
+
+func TestRandomIntNMatchesStream(t *testing.T) {
+	// IntN and Pick consume one shared stream, reproducible from the seed.
+	r1, r2 := NewRandom(9), NewRandom(9)
+	for i := 0; i < 32; i++ {
+		if r1.IntN(17) != r2.IntN(17) {
+			t.Fatal("IntN is not reproducible from the seed")
+		}
+	}
+}

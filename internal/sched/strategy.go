@@ -51,6 +51,24 @@ func (r *Random) Pick(_ int, enabled []int) int {
 	return enabled[r.rng.IntN(len(enabled))]
 }
 
+// IntN exposes the strategy's seeded stream for callers that need uniform
+// choices beyond scheduling picks — e.g. the schedule fuzzer's prefix
+// mutations — so one split seed drives one reproducible stream.
+func (r *Random) IntN(n int) int { return r.rng.IntN(n) }
+
+// SplitSeed derives the stream-th independent seed from base by a SplitMix64
+// finalization step. Parallel searches use it to give every worker, climber
+// and evaluation its own reproducible PCG stream: derived streams are
+// decorrelated even for adjacent stream indices, and the derivation is a pure
+// function of (base, stream), so a parallel search is replayable from its
+// root seed alone.
+func SplitSeed(base, stream int64) int64 {
+	z := uint64(base) + (uint64(stream)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Solo schedules with Fallback until step After, then runs only process PID
 // (the obstruction-freedom adversary). If PID finishes or is not enabled, it
 // halts the run: the remaining processes are considered crashed.

@@ -25,6 +25,12 @@ type ExploreOpts struct {
 	// run, which makes exploration an order of magnitude faster than the
 	// goroutine gate.
 	Engine sched.EngineKind
+	// Workers sets the search worker-pool size: the DFS prefix tree is
+	// sharded into disjoint subtrees (see parallel.go) drained by this many
+	// workers, and the per-subtree results are merged back in canonical DFS
+	// order, so the report is byte-identical to the sequential one for any
+	// worker count. 0 selects GOMAXPROCS; 1 runs the legacy sequential loop.
+	Workers int
 }
 
 // Violation is one failing schedule.
@@ -54,11 +60,19 @@ type System struct {
 	// Check is called after the run with the scheduler result; returning an
 	// error marks the schedule as violating.
 	Check func(res *sched.Result) error
+	// Score, when non-nil, overrides the Fuzz metric for this system. A
+	// metric that inspects per-run state (operation logs, outputs) must be
+	// captured here, per system, rather than in a closure shared across
+	// evaluations: with Workers > 1 several systems are evaluated at once.
+	Score func(res *sched.Result) float64
 }
 
 // Factory builds one fresh system wired to the given step gate. Explore and
 // Fuzz construct a new engine (and through the factory a new system) for
-// every schedule they execute.
+// every schedule they execute. With Workers > 1 the factory is called from
+// several workers concurrently, so consecutive calls must not share mutable
+// state: everything a system touches — shared objects, processes, check
+// state — must be built fresh per call.
 type Factory func(gate sched.Stepper) System
 
 // recStrategy replays a prefix, then always picks the first enabled process,
@@ -122,11 +136,23 @@ func (s *recStrategy) Pick(step int, enabled []int) int {
 // Explore enumerates schedules of the nprocs-process system produced by
 // factory, depth-first over scheduler choices, until the space is exhausted
 // or a bound is hit. Each schedule runs on a fresh engine of opts.Engine
-// (sequential by default: no per-schedule goroutine system is built).
+// (sequential by default: no per-schedule goroutine system is built). With
+// opts.Workers != 1 the DFS tree is sharded across a worker pool; the report
+// is byte-identical to the sequential one regardless of worker count.
 func Explore(nprocs int, factory Factory, opts ExploreOpts) (*ExploreReport, error) {
 	if opts.MaxDepth <= 0 {
 		return nil, fmt.Errorf("trace: MaxDepth must be positive")
 	}
+	if workers := ResolveWorkers(opts.Workers); workers > 1 && nprocs > 1 {
+		return exploreParallel(nprocs, factory, opts, workers)
+	}
+	return exploreSequential(nprocs, factory, opts)
+}
+
+// exploreSequential is the single-core DFS loop: one schedule at a time,
+// backtracking in place. The parallel path runs this same loop per subtree
+// (see exploreSubtree) and merges, which is what keeps the two byte-identical.
+func exploreSequential(nprocs int, factory Factory, opts ExploreOpts) (*ExploreReport, error) {
 	maxViol := opts.MaxViolations
 	if maxViol <= 0 {
 		maxViol = 1
@@ -166,7 +192,7 @@ func Explore(nprocs int, factory Factory, opts ExploreOpts) (*ExploreReport, err
 			}
 		}
 		// Backtrack: find the deepest decision with an unexplored sibling.
-		next := strat.backtrack()
+		next := strat.backtrack(0)
 		if next == nil {
 			report.Exhausted = true
 			return report, nil
@@ -175,9 +201,11 @@ func Explore(nprocs int, factory Factory, opts ExploreOpts) (*ExploreReport, err
 	}
 }
 
-// backtrack returns the next prefix in DFS order, or nil when exhausted.
-func (s *recStrategy) backtrack() []int {
-	for d := len(s.picks) - 1; d >= 0; d-- {
+// backtrack returns the next prefix in DFS order, never unwinding decisions
+// above floor (the subtree-root length when exploring a shard, 0 for the
+// whole tree), or nil when the (sub)tree is exhausted.
+func (s *recStrategy) backtrack(floor int) []int {
+	for d := len(s.picks) - 1; d >= floor; d-- {
 		opts := s.enabledAt(d)
 		idx := -1
 		for i, pid := range opts {

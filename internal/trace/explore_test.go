@@ -122,7 +122,7 @@ func TestBacktrackOrder(t *testing.T) {
 		s.picks = picks
 		return s
 	}
-	next := mk([][]int{{0, 1}, {0, 1}, {1}}, []int{0, 0, 1}).backtrack()
+	next := mk([][]int{{0, 1}, {0, 1}, {1}}, []int{0, 0, 1}).backtrack(0)
 	want := []int{0, 1}
 	if len(next) != len(want) {
 		t.Fatalf("next = %v", next)
@@ -133,7 +133,12 @@ func TestBacktrackOrder(t *testing.T) {
 		}
 	}
 	// Fully explored space returns nil.
-	if mk([][]int{{0}}, []int{0}).backtrack() != nil {
+	if mk([][]int{{0}}, []int{0}).backtrack(0) != nil {
 		t.Fatal("expected nil for exhausted space")
+	}
+	// A floor keeps subtree exploration from unwinding into sibling
+	// subtrees: the same state with floor 1 has no sibling below the root.
+	if mk([][]int{{0, 1}, {1}}, []int{0, 1}).backtrack(1) != nil {
+		t.Fatal("expected nil when the only sibling is above the floor")
 	}
 }

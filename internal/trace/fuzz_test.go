@@ -96,9 +96,11 @@ func TestFuzzFindsContention(t *testing.T) {
 }
 
 func TestFuzzMaximizesYields(t *testing.T) {
-	var a *augsnap.AugSnapshot
+	// The yield count lives in the per-run operation log, so the metric is a
+	// per-system Score (evaluations run concurrently under Workers > 1; a
+	// closure over one shared snapshot would race).
 	factory := func(runner sched.Stepper) System {
-		a = augsnap.New(runner, 3, 2)
+		a := augsnap.New(runner, 3, 2)
 		return System{
 			Body: func(pid int) {
 				for i := 0; i < 4; i++ {
@@ -108,18 +110,18 @@ func TestFuzzMaximizesYields(t *testing.T) {
 			Check: func(*sched.Result) error {
 				return Check(a.Log(), 2)
 			},
+			Score: func(*sched.Result) float64 {
+				n := 0.0
+				for _, bu := range a.Log().BUs {
+					if bu.Yielded {
+						n++
+					}
+				}
+				return n
+			},
 		}
 	}
-	yields := func(*sched.Result) float64 {
-		n := 0.0
-		for _, bu := range a.Log().BUs {
-			if bu.Yielded {
-				n++
-			}
-		}
-		return n
-	}
-	rep, err := Fuzz(3, factory, yields, FuzzOpts{Iterations: 120, Seed: 3, ScheduleLen: 64})
+	rep, err := Fuzz(3, factory, nil, FuzzOpts{Iterations: 120, Seed: 3, ScheduleLen: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,409 @@
+// Parallel schedule search: the worker-pool Explore path. Exhaustive
+// exploration is embarrassingly parallel over independent fresh-engine runs,
+// so the DFS prefix tree is split into disjoint subtrees — a coordinator
+// expands the first few decision levels into a frontier of prefixes in
+// canonical DFS order — and a pool of workers drains them, each running the
+// same per-subtree DFS loop as the sequential explorer. Per-subtree results
+// carry enough per-run detail (violation ordinals, truncation bits) that the
+// merge can re-cut the search at exactly the run where the sequential loop
+// would have stopped, so the final report is byte-identical to the
+// sequential one for any worker count: violations in canonical schedule
+// order, Runs/Truncated/Exhausted exact, MaxRuns and MaxViolations enforced
+// through an atomic budget handoff between subtrees.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"revisionist/internal/sched"
+)
+
+// ResolveWorkers maps a Workers option value to a concrete pool size:
+// 0 (the default) selects GOMAXPROCS, everything below 1 is clamped to 1.
+func ResolveWorkers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return max(n, 1)
+}
+
+// RunOnPool runs fn(0..n-1) on a pool of workers claiming indices from a
+// shared counter; with one worker it degenerates to a plain loop. It is the
+// shared fan-out shape of every parallel search in the repository — callers
+// keep results deterministic by writing fn's outcome to a per-index slot and
+// merging in index order afterwards.
+func RunOnPool(workers, n int, fn func(i int)) {
+	workers = min(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// frontierTarget is how many subtrees the coordinator aims to expand per
+// worker: enough slack that an uneven subtree cannot idle the pool, small
+// enough that probe runs and merge state stay negligible.
+const frontierTarget = 4
+
+// maxFrontier caps the frontier size regardless of worker count, which also
+// caps the per-run cost of the budget lower bound (a prefix sum over the
+// subtree run counters).
+const maxFrontier = 512
+
+// expandFrontier splits the DFS tree into disjoint subtree-root prefixes, in
+// canonical DFS order, by probing: one run with prefix p (first-enabled
+// beyond it) reveals the enabled set at decision level len(p), whose members
+// are p's children. Expansion proceeds level by level until the frontier
+// reaches target, probing is no longer making progress, or the probe budget
+// is spent. Probe runs are discarded — each one is re-executed as its
+// subtree's first run — so probe errors are deliberately ignored here: the
+// owning worker hits the same error at its canonical position.
+func expandFrontier(nprocs int, factory Factory, opts ExploreOpts, target int) [][]int {
+	frontier := [][]int{{}}
+	strat := &recStrategy{maxDepth: opts.MaxDepth}
+	probes := 0
+	probeBudget := 8 * target
+	for depth := 0; depth < opts.MaxDepth && len(frontier) < target && probes < probeBudget; depth++ {
+		next := make([][]int, 0, len(frontier))
+		for _, p := range frontier {
+			if len(p) < depth || probes >= probeBudget {
+				next = append(next, p) // already a leaf (or out of probes)
+				continue
+			}
+			probes++
+			strat.reset(p)
+			eng, err := sched.NewEngine(opts.Engine, nprocs, strat)
+			if err != nil {
+				return [][]int{{}} // invalid engine: let the caller's first run surface it
+			}
+			sys := factory(eng)
+			if sys.Machines != nil {
+				_, err = eng.RunMachines(sys.Machines)
+			} else {
+				_, err = eng.Run(sys.Body)
+			}
+			if err != nil || len(strat.picks) <= depth {
+				// The run failed, or ended without a decision at this level:
+				// the prefix is a complete (single-run) subtree.
+				next = append(next, p)
+				continue
+			}
+			for _, c := range strat.enabledAt(depth) {
+				child := make([]int, depth+1)
+				copy(child, p)
+				child[depth] = c
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+// subViolation is one violation found inside a subtree, positioned by its
+// run ordinal so the merge can apply MaxViolations at the exact run where
+// the sequential loop would have stopped.
+type subViolation struct {
+	ord      int // run ordinal within the subtree
+	truncCum int // truncated runs among ordinals [0, ord], inclusive
+	v        Violation
+}
+
+// subtreeResult is one worker's report for one subtree: aggregate counts
+// plus the per-run detail (violation ordinals, truncation bits, the failing
+// run) the deterministic merge needs to re-cut the search exactly.
+type subtreeResult struct {
+	runs      int
+	truncated int
+	exhausted bool // the subtree's whole space was covered
+	viols     []subViolation
+
+	// truncBits records, per run ordinal, whether the run was truncated;
+	// only tracked under a MaxRuns budget, where the merge may need the
+	// truncated count of an arbitrary run prefix.
+	truncBits  []uint64
+	trackTrunc bool
+
+	// runErr is a failed run (engine error), wrapped exactly as the
+	// sequential loop wraps it; errOrd positions it, errTruncCum is the
+	// truncated count through it (the failing run counts its truncation).
+	runErr      error
+	errOrd      int
+	errTruncCum int
+}
+
+func (sr *subtreeResult) setTruncBit(ord int) {
+	if !sr.trackTrunc {
+		return
+	}
+	w := ord >> 6
+	for len(sr.truncBits) <= w {
+		sr.truncBits = append(sr.truncBits, 0)
+	}
+	sr.truncBits[w] |= 1 << (ord & 63)
+}
+
+// truncCount returns the number of truncated runs among ordinals [0, n).
+func (sr *subtreeResult) truncCount(n int) int {
+	c := 0
+	for w := 0; w*64 < n; w++ {
+		var word uint64
+		if w < len(sr.truncBits) {
+			word = sr.truncBits[w]
+		}
+		if (w+1)*64 > n {
+			word &= 1<<(uint(n)&63) - 1
+		}
+		c += bits.OnesCount64(word)
+	}
+	return c
+}
+
+// exploreShared is the coordination state of one parallel exploration.
+type exploreShared struct {
+	frontier [][]int
+	next     atomic.Int64 // next unclaimed subtree index
+	// counters[i] counts runs started in subtree i. A prefix sum over j < i
+	// is a monotone lower bound on the runs the merge will credit before
+	// subtree i — the atomic budget handoff: worker i stops as soon as that
+	// bound plus its own runs reaches MaxRuns, which is provably at or past
+	// the sequential cutoff, and the merge trims the overshoot.
+	counters []atomic.Int64
+	// stopAfter is the smallest subtree index known to end the search (a
+	// MaxRuns, MaxViolations or run-error cutoff); subtrees beyond it are
+	// skipped or abandoned, and the merge never reads them.
+	stopAfter atomic.Int64
+	maxRuns   int
+	maxViol   int
+}
+
+func (sh *exploreShared) cutAt(i int) {
+	for {
+		cur := sh.stopAfter.Load()
+		if cur <= int64(i) || sh.stopAfter.CompareAndSwap(cur, int64(i)) {
+			return
+		}
+	}
+}
+
+// baseLower returns the current lower bound on runs preceding subtree i in
+// canonical order.
+func (sh *exploreShared) baseLower(i int) int {
+	sum := 0
+	for j := 0; j < i; j++ {
+		sum += int(sh.counters[j].Load())
+	}
+	return sum
+}
+
+// exploreSubtree runs the sequential DFS loop restricted to the subtree
+// rooted at frontier[i] — backtracking never unwinds above the root prefix —
+// recording the per-run detail the merge needs. The loop body mirrors
+// exploreSequential step for step (budget check before the run, truncation
+// and error accounting after it, violation check, backtrack), with the
+// global counters replaced by their atomic lower bounds.
+func (sh *exploreShared) exploreSubtree(i, nprocs int, factory Factory, opts ExploreOpts) *subtreeResult {
+	root := sh.frontier[i]
+	sr := &subtreeResult{errOrd: -1, trackTrunc: sh.maxRuns > 0}
+	strat := &recStrategy{maxDepth: opts.MaxDepth}
+	prefix := root
+	if sh.maxRuns > 0 && sh.baseLower(i) >= sh.maxRuns {
+		sh.cutAt(i)
+		return sr // earlier subtrees alone exhaust the budget
+	}
+	for {
+		if int64(i) > sh.stopAfter.Load() {
+			return sr // an earlier subtree already ends the search
+		}
+		sh.counters[i].Add(1)
+		strat.reset(prefix)
+		eng, err := sched.NewEngine(opts.Engine, nprocs, strat)
+		if err != nil {
+			// Unreachable: the engine kind was validated before the pool
+			// started; surface it like a failed first run regardless.
+			sr.runErr, sr.errOrd, sr.errTruncCum = err, sr.runs, sr.truncated
+			sr.runs++
+			sh.cutAt(i)
+			return sr
+		}
+		sys := factory(eng)
+		var res *sched.Result
+		if sys.Machines != nil {
+			res, err = eng.RunMachines(sys.Machines)
+		} else {
+			res, err = eng.Run(sys.Body)
+		}
+		ord := sr.runs
+		sr.runs++
+		if strat.trunc {
+			sr.truncated++
+			sr.setTruncBit(ord)
+		}
+		if err != nil {
+			sr.runErr = fmt.Errorf("trace: run failed on schedule %v: %w", strat.picks, err)
+			sr.errOrd, sr.errTruncCum = ord, sr.truncated
+			sh.cutAt(i)
+			return sr
+		}
+		if cerr := sys.Check(res); cerr != nil {
+			sch := make([]int, len(strat.picks))
+			copy(sch, strat.picks)
+			sr.viols = append(sr.viols, subViolation{ord: ord, truncCum: sr.truncated,
+				v: Violation{Schedule: sch, Err: cerr}})
+			if len(sr.viols) >= sh.maxViol {
+				sh.cutAt(i)
+				return sr
+			}
+		}
+		next := strat.backtrack(len(root))
+		if next == nil {
+			sr.exhausted = true
+			return sr
+		}
+		prefix = next
+		// The sequential loop checks the budget at the loop top — after the
+		// previous run's backtrack — so the check sits here too: a worker
+		// that stops on budget has already learned whether its subtree was
+		// exhausted, which the merge needs for the exact Exhausted flag.
+		if sh.maxRuns > 0 && sh.baseLower(i)+sr.runs >= sh.maxRuns {
+			sh.cutAt(i)
+			return sr
+		}
+	}
+}
+
+// exploreParallel shards the DFS tree across a worker pool and merges the
+// per-subtree results back into the canonical sequential report.
+func exploreParallel(nprocs int, factory Factory, opts ExploreOpts, workers int) (*ExploreReport, error) {
+	// Validate the engine kind once, before the pool exists, so workers
+	// cannot fail on construction.
+	if _, err := sched.NewEngine(opts.Engine, nprocs, sched.Lowest{}); err != nil {
+		return nil, err
+	}
+	target := min(frontierTarget*workers, maxFrontier)
+	if opts.MaxRuns > 0 {
+		target = min(target, opts.MaxRuns)
+	}
+	frontier := expandFrontier(nprocs, factory, opts, max(target, 1))
+	if len(frontier) <= 1 {
+		return exploreSequential(nprocs, factory, opts)
+	}
+	maxViol := opts.MaxViolations
+	if maxViol <= 0 {
+		maxViol = 1
+	}
+	sh := &exploreShared{
+		frontier: frontier,
+		counters: make([]atomic.Int64, len(frontier)),
+		maxRuns:  opts.MaxRuns,
+		maxViol:  maxViol,
+	}
+	sh.stopAfter.Store(math.MaxInt64)
+	results := make([]*subtreeResult, len(frontier))
+	var wg sync.WaitGroup
+	for w := 0; w < min(workers, len(frontier)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(sh.next.Add(1) - 1)
+				if i >= len(sh.frontier) || int64(i) > sh.stopAfter.Load() {
+					return
+				}
+				results[i] = sh.exploreSubtree(i, nprocs, factory, opts)
+			}
+		}()
+	}
+	wg.Wait()
+	return mergeSubtrees(frontier, results, opts.MaxRuns, maxViol)
+}
+
+// mergeSubtrees folds per-subtree results, in canonical DFS order, into the
+// report the sequential loop would have produced: it credits each subtree's
+// runs against the MaxRuns budget, re-applies the MaxViolations and
+// run-error cutoffs at their exact run ordinals, and trims the speculative
+// overshoot past the first cutoff.
+func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol int) (*ExploreReport, error) {
+	rep := &ExploreReport{}
+	for i, sr := range results {
+		budgetRem := math.MaxInt
+		if maxRuns > 0 {
+			budgetRem = maxRuns - rep.Runs
+			if budgetRem <= 0 {
+				return rep, nil // sequential loop-top stop: budget spent
+			}
+		}
+		if sr == nil {
+			return nil, fmt.Errorf("trace: internal: subtree %v was never explored", frontier[i])
+		}
+		violRem := maxViol - len(rep.Violations)
+		// MaxViolations cutoff inside this subtree? (Violation ordinals
+		// always precede a run error's, since the worker stops on error.)
+		if len(sr.viols) >= violRem && sr.viols[violRem-1].ord+1 <= budgetRem {
+			v := sr.viols[violRem-1]
+			rep.Runs += v.ord + 1
+			rep.Truncated += v.truncCum
+			for _, sv := range sr.viols[:violRem] {
+				rep.Violations = append(rep.Violations, sv.v)
+			}
+			return rep, nil
+		}
+		// Run-error cutoff?
+		if sr.errOrd >= 0 && sr.errOrd+1 <= budgetRem {
+			rep.Runs += sr.errOrd + 1
+			rep.Truncated += sr.errTruncCum
+			for _, sv := range sr.viols {
+				rep.Violations = append(rep.Violations, sv.v)
+			}
+			return rep, sr.runErr
+		}
+		// MaxRuns cutoff inside this subtree? (The boundary case — budget
+		// spent exactly at the subtree's recorded runs without exhausting it
+		// — is the sequential loop stopping at its loop-top check with more
+		// prefixes left to explore.)
+		if budgetRem < sr.runs || (budgetRem == sr.runs && !sr.exhausted) {
+			rep.Runs += budgetRem
+			rep.Truncated += sr.truncCount(budgetRem)
+			for _, sv := range sr.viols {
+				if sv.ord < budgetRem {
+					rep.Violations = append(rep.Violations, sv.v)
+				}
+			}
+			return rep, nil
+		}
+		// No cutoff here: credit the whole subtree.
+		if !sr.exhausted {
+			return nil, fmt.Errorf("trace: internal: partial subtree %v survived merging", frontier[i])
+		}
+		rep.Runs += sr.runs
+		rep.Truncated += sr.truncated
+		for _, sv := range sr.viols {
+			rep.Violations = append(rep.Violations, sv.v)
+		}
+	}
+	rep.Exhausted = true
+	return rep, nil
+}
