@@ -7,6 +7,7 @@ package revisionist
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -611,4 +612,98 @@ func BenchmarkSimulationSubstrateAblation(b *testing.B) {
 			b.ReportMetric(float64(steps)/float64(b.N), "H-steps/run")
 		})
 	}
+}
+
+// prunedBenchSystem wires the stateful-exploration hooks (fingerprint +
+// recursive fork) over a protocol instance, mirroring the harness factory.
+func prunedBenchSystem(snap *shmem.MWSnapshot, res *proto.RunResult, machines []sched.Machine) trace.System {
+	return trace.System{
+		Machines: machines,
+		Check:    func(*sched.Result) error { return nil },
+		Fingerprint: func(h *maphash.Hash) {
+			snap.AppendFingerprint(h)
+			for _, m := range machines {
+				m.(sched.Fingerprinter).AppendFingerprint(h)
+			}
+		},
+		Fork: func(gate sched.Stepper) trace.System {
+			snap2 := snap.Fork(gate)
+			res2 := res.Clone()
+			return prunedBenchSystem(snap2, res2, proto.ForkMachines(machines, snap2, res2))
+		},
+	}
+}
+
+// prunedBenchFactory is the stateful-exploration benchmark workload: n
+// FirstValue processes racing on one component — the maximally symmetric
+// protocol, where interleavings collapse onto few configurations.
+func prunedBenchFactory(n int) trace.Factory {
+	return func(gate sched.Stepper) trace.System {
+		procs := make([]proto.Process, n)
+		for i := range procs {
+			procs[i] = algorithms.NewFirstValue(0, 100+i)
+		}
+		res := proto.NewRunResult(n)
+		snap := shmem.NewMWSnapshot("M", gate, 1, nil)
+		return prunedBenchSystem(snap, res, proto.Machines(procs, snap, res))
+	}
+}
+
+// BenchmarkExplorePruned is the stateful-exploration ablation: exhaustive
+// exploration of 4-process firstvalue with state-fingerprint pruning and
+// subtree checkpointing toggled independently, reporting runs-explored and
+// states-distinct per exploration. The "speedup" sub-benchmark reports the
+// plain-over-pruned+checkpointed wall-clock ratio directly — the headline
+// metric of the PR 4 perf work (the pruned search executes ~17x fewer runs
+// on this workload).
+func BenchmarkExplorePruned(b *testing.B) {
+	const n = 4
+	base := trace.ExploreOpts{MaxDepth: 20}
+	explore := func(b *testing.B, prune, checkpoint bool) {
+		b.Helper()
+		runs, distinct := 0, 0
+		for i := 0; i < b.N; i++ {
+			opts := base
+			opts.Prune, opts.Checkpoint = prune, checkpoint
+			rep, err := trace.Explore(n, prunedBenchFactory(n), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Exhausted {
+				b.Fatal("benchmark space not exhausted")
+			}
+			runs += rep.Runs
+			distinct += rep.Distinct
+		}
+		b.ReportMetric(float64(runs)/float64(b.N), "runs-explored")
+		b.ReportMetric(float64(distinct)/float64(b.N), "states-distinct")
+	}
+	for _, c := range []struct {
+		name              string
+		prune, checkpoint bool
+	}{
+		{"prune=off/checkpoint=off", false, false},
+		{"prune=off/checkpoint=on", false, true},
+		{"prune=on/checkpoint=off", true, false},
+		{"prune=on/checkpoint=on", true, true},
+	} {
+		b.Run(c.name, func(b *testing.B) { explore(b, c.prune, c.checkpoint) })
+	}
+	b.Run("speedup", func(b *testing.B) {
+		run := func(prune, checkpoint bool) time.Duration {
+			start := time.Now()
+			opts := base
+			opts.Prune, opts.Checkpoint = prune, checkpoint
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.Explore(n, prunedBenchFactory(n), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return time.Since(start)
+		}
+		plain := run(false, false)
+		pruned := run(true, true)
+		b.ReportMetric(plain.Seconds()/pruned.Seconds(), "speedup")
+		b.ReportMetric(0, "ns/op")
+	})
 }

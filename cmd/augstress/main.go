@@ -42,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		seeds   = fs.Int("seeds", 200, "number of seeded schedules")
 		engine  = harness.EngineFlag(fs)
 		workers = harness.WorkersFlag(fs)
+		prune   = harness.PruneFlag(fs)
 	)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
@@ -55,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	rep, err := harness.Stress(harness.Options{
 		Engine:  kind,
 		Workers: *workers,
+		Prune:   *prune, // seed-enumerated stress has no DFS to prune; accepted for a uniform flag surface
 		F:       *f,
 		M:       *m,
 		Ops:     *ops,

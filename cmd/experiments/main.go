@@ -8,9 +8,12 @@
 // All protocol instances come from the registry (internal/protocol) and all
 // simulation runs go through the harness (internal/harness).
 //
+// E9 measures stateful exploration: state-fingerprint pruning + subtree
+// checkpointing against the plain exhaustive search.
+//
 // Usage:
 //
-//	experiments [-section all|f1|t1|t2|e3|e4|e5|e5b|e6|e7|e8]
+//	experiments [-section all|f1|t1|t2|e3|e4|e5|e5b|e6|e7|e8|e9]
 package main
 
 import (
@@ -20,6 +23,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
+	"strings"
 
 	"revisionist/internal/augsnap"
 	"revisionist/internal/bounds"
@@ -58,6 +63,9 @@ func run(args []string, out io.Writer) error {
 	section := fs.String("section", "all", "which section to print")
 	engine := harness.EngineFlag(fs)
 	workers := harness.WorkersFlag(fs)
+	// -prune is part of the shared cmd surface; E9 measures pruned and plain
+	// exploration side by side regardless of the flag.
+	harness.PruneFlag(fs)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
 	}
@@ -81,6 +89,7 @@ func run(args []string, out io.Writer) error {
 		{"e6", e.e6Falsification},
 		{"e7", e.e7Conversion},
 		{"e8", e.e8UpperBounds},
+		{"e9", e.e9StatePruning},
 	}
 	known := *section == "all"
 	for _, s := range sections {
@@ -516,4 +525,66 @@ func (e *exps) e8UpperBounds() error {
 	}
 	fmt.Fprintln(e.out, "(m used always equals UB = n-k+x and never falls below LB; consensus and (n-1)-set are tight)")
 	return nil
+}
+
+// e9StatePruning compares stateful exploration (state-fingerprint pruning +
+// subtree checkpointing, the -prune path) against the plain exhaustive
+// search on symmetric protocols: the violation sets and Exhausted flags must
+// agree while the pruned search executes a fraction of the runs.
+func (e *exps) e9StatePruning() error {
+	fmt.Fprintln(e.out, "== E9: stateful exploration — state-fingerprint pruning + subtree checkpointing ==")
+	fmt.Fprintf(e.out, "%-22s %6s | %10s %10s %7s | %8s %10s %6s\n",
+		"protocol", "depth", "plain runs", "pruned", "ratio", "distinct", "violations", "agree")
+	for _, c := range []struct {
+		protocol string
+		params   protocol.Params
+		depth    int
+	}{
+		{"firstvalue", protocol.Params{N: 3}, 20},
+		{"firstvalue", protocol.Params{N: 4}, 20},
+		{"kset", protocol.Params{N: 4, K: 3}, 14},
+		{"firstvalue-consensus", protocol.Params{N: 2}, 12},
+	} {
+		opts := harness.Options{
+			Protocol: c.protocol,
+			Params:   c.params,
+			Engine:   e.engine,
+			Workers:  e.workers,
+			MaxDepth: c.depth,
+			MaxRuns:  2_000_000,
+		}
+		plain, err := harness.Check(opts)
+		if err != nil {
+			return err
+		}
+		opts.Prune = true
+		pruned, err := harness.Check(opts)
+		if err != nil {
+			return err
+		}
+		pe, pl := pruned.Explore, plain.Explore
+		agree := pe.Exhausted == pl.Exhausted && violationSet(pe) == violationSet(pl)
+		ratio := float64(pl.Runs) / math.Max(float64(pe.Runs), 1)
+		fmt.Fprintf(e.out, "%-22s %6d | %10d %10d %6.1fx | %8d %6d/%-3d %6s\n",
+			c.protocol, c.depth, pl.Runs, pe.Runs, ratio, pe.Distinct,
+			len(pe.Violations), len(pl.Violations), ok(agree))
+	}
+	fmt.Fprintln(e.out, "(pruning cuts subtrees whose root configuration was already fully explored; the violation")
+	fmt.Fprintln(e.out, " set and Exhausted flag are preserved because the task checks are functions of the state)")
+	return nil
+}
+
+// violationSet canonicalizes a report's violations to the set of distinct
+// check errors (state pruning preserves the set, not the multiset).
+func violationSet(rep *trace.ExploreReport) string {
+	seen := map[string]bool{}
+	for _, v := range rep.Violations {
+		seen[v.Err.Error()] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
 }

@@ -64,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		Params:        shared.Params,
 		Engine:        shared.Engine,
 		Workers:       shared.Workers,
+		Prune:         shared.Prune,
 		Seed:          *seed,
 		MaxDepth:      *depth,
 		MaxRuns:       *maxRuns,
@@ -88,6 +89,10 @@ func run(args []string, out io.Writer) error {
 	ex := rep.Explore
 	fmt.Fprintf(out, "%s n=%d: %d schedules explored (depth <= %d, %d truncated, exhausted=%v)\n",
 		rep.Protocol.Name, rep.Params.N, ex.Runs, *depth, ex.Truncated, ex.Exhausted)
+	if shared.Prune {
+		fmt.Fprintf(out, "state pruning: %d subtrees cut, %d configurations closed\n",
+			ex.Pruned, ex.Distinct)
+	}
 	if len(ex.Violations) == 0 {
 		fmt.Fprintln(out, "no violations found")
 		return nil

@@ -64,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		Params:   shared.Params,
 		Engine:   shared.Engine,
 		Workers:  shared.Workers,
+		Prune:    shared.Prune,
 		Seed:     *seed,
 		F:        *f,
 		D:        *d,

@@ -41,6 +41,9 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("spacebounds", flag.ContinueOnError)
+	// The shared flag surface includes -workers (parallelizes the sweep) and
+	// -prune (uniform across the cmds; the bounds tables are closed-form, so
+	// there is no exploration to prune here).
 	shared := harness.BindListFlags(fs, "")
 	nmax := fs.Int("nmax", 32, "largest n in the sweep")
 	if err := harness.ParseFlags(fs, args); err != nil {

@@ -1,0 +1,65 @@
+package augsnap
+
+import (
+	"hash/maphash"
+
+	"revisionist/internal/sched"
+	"revisionist/internal/shmem"
+)
+
+// Fingerprints for the augmented snapshot (sched.Fingerprinter and
+// shmem.ValueFingerprinter): the object's semantic state is the published
+// state of H plus the per-process Block-Update counters. The operation log
+// is offline-checking bookkeeping, not state, and is never fingerprinted —
+// which also means systems whose checkers read the log (trace.Check) must
+// not be pruned on these fingerprints; they exist for cross-engine
+// configuration comparison and for protocol-level systems whose checkers are
+// functions of the reachable state.
+
+// appendTimestamp appends a vector timestamp.
+func appendTimestamp(h *maphash.Hash, t Timestamp) {
+	maphash.WriteComparable(h, len(t))
+	for _, v := range t {
+		maphash.WriteComparable(h, v)
+	}
+}
+
+// AppendValueFingerprint implements shmem.ValueFingerprinter: an HComp is
+// the value of one component of H, so fingerprinting H's store visits it.
+func (c HComp) AppendValueFingerprint(h *maphash.Hash) {
+	h.WriteByte(0x30)
+	maphash.WriteComparable(h, len(c.Triples))
+	for _, tr := range c.Triples {
+		maphash.WriteComparable(h, tr.Comp)
+		shmem.AppendValue(h, tr.Val)
+		appendTimestamp(h, tr.TS)
+	}
+	maphash.WriteComparable(h, c.NumBU)
+	maphash.WriteComparable(h, len(c.Help))
+	for _, rec := range c.Help {
+		maphash.WriteComparable(h, rec.Dst)
+		maphash.WriteComparable(h, rec.Idx)
+		maphash.WriteComparable(h, len(rec.H))
+		for _, hc := range rec.H {
+			hc.AppendValueFingerprint(h)
+		}
+	}
+}
+
+// AppendFingerprint implements sched.Fingerprinter by composing the
+// underlying store's fingerprint (both shmem stores implement the contract)
+// with the augmented snapshot's own counters.
+func (a *AugSnapshot) AppendFingerprint(h *maphash.Hash) {
+	h.WriteByte(0x31)
+	maphash.WriteComparable(h, a.f)
+	maphash.WriteComparable(h, a.m)
+	for _, c := range a.buCount {
+		maphash.WriteComparable(h, c)
+	}
+	a.h.(sched.Fingerprinter).AppendFingerprint(h)
+}
+
+var (
+	_ shmem.ValueFingerprinter = HComp{}
+	_ sched.Fingerprinter      = (*AugSnapshot)(nil)
+)

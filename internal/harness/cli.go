@@ -48,16 +48,17 @@ func ParseFlags(fs *flag.FlagSet, args []string) error {
 type Flags struct {
 	// Protocol is the resolved -protocol value, Engine the parse-validated
 	// -engine value, List the -list value, Workers the validated -workers
-	// value (0 = GOMAXPROCS).
+	// value (0 = GOMAXPROCS), Prune the -prune value.
 	Protocol string
 	Engine   sched.EngineKind
 	List     bool
 	Workers  int
+	Prune    bool
 	// Params carries the -n/-k/-x/-eps values; 0 means "schema default".
 	Params protocol.Params
 
 	protocolF, engineF *string
-	listF              *bool
+	listF, pruneF      *bool
 	workersF           *int
 	nF, kF, xF         *int
 	epsF               *float64
@@ -88,6 +89,7 @@ func bindListFlags(fs *flag.FlagSet, def string) *Flags {
 		"protocol from the registry (see -list): "+strings.Join(protocol.Names(), " | "))
 	f.listF = fs.Bool("list", false, "list the protocol registry and exit")
 	f.workersF = WorkersFlag(fs)
+	f.pruneF = PruneFlag(fs)
 	return f
 }
 
@@ -102,6 +104,15 @@ func EngineFlag(fs *flag.FlagSet) *string {
 // wall-clock does.
 func WorkersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+}
+
+// PruneFlag registers just the -prune flag — the shared switch for stateful
+// exploration (state-fingerprint pruning + subtree checkpointing). It only
+// affects exhaustive exploration (Options.Prune, the Check verb); verbs that
+// enumerate seeds or run single schedules accept and ignore it, keeping the
+// flag surface uniform across the cmds.
+func PruneFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("prune", false, "prune exhaustive exploration via state fingerprints + subtree checkpointing (Check-style verbs only)")
 }
 
 // Resolve validates the parsed flag values; call it after fs.Parse. An
@@ -121,6 +132,9 @@ func (f *Flags) Resolve() error {
 			return &UsageError{Err: fmt.Errorf("harness: -workers must be >= 0, got %d", *f.workersF)}
 		}
 		f.Workers = *f.workersF
+	}
+	if f.pruneF != nil {
+		f.Prune = *f.pruneF
 	}
 	if f.nF != nil {
 		f.Params = protocol.Params{N: *f.nF, K: *f.kF, X: *f.xF, Eps: *f.epsF}

@@ -22,6 +22,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"math/rand"
 	"sync/atomic"
 
@@ -50,6 +51,14 @@ type Options struct {
 	// population structure is worker-independent, and Stress merges seed
 	// outcomes in seed order.
 	Workers int
+	// Prune enables stateful exploration for Check: state-fingerprint pruning
+	// of converging interleavings plus, on the sequential engine, subtree
+	// checkpointing (the DFS forks runs from the deepest common prefix). The
+	// violation set and Exhausted flag match the unpruned search — the task
+	// validators are functions of the reachable configuration — while the
+	// run count shrinks by the protocol's symmetry. The report is identical
+	// for any Workers value. Other verbs ignore it.
+	Prune bool
 	// Seed seeds the schedule (Run), the search (Fuzz), or the first
 	// workload (Stress).
 	Seed int64
@@ -207,12 +216,34 @@ func factory(pr *protocol.Protocol, p protocol.Params) trace.Factory {
 		}
 		res := proto.NewRunResult(len(inst.Procs))
 		snap := shmem.NewMWSnapshot("M", gate, inst.M, nil)
-		return trace.System{
-			Machines: proto.Machines(inst.Procs, snap, res),
-			Check: func(*sched.Result) error {
-				return inst.Task.Validate(inst.Inputs, res.DoneOutputs())
-			},
-		}
+		return protoSystem(inst, snap, res, proto.Machines(inst.Procs, snap, res))
+	}
+}
+
+// protoSystem assembles the System for a protocol instance, wiring the
+// stateful-exploration hooks: the configuration fingerprint composes the
+// snapshot's state with every machine's (enabling ExploreOpts.Prune — sound
+// here because the task check is a function of the recorded outputs, i.e. of
+// the configuration), and Fork deep-copies the whole system — cloned
+// snapshot, cloned result, cloned machines — recursively, so forks of forks
+// work (checkpointed exploration resumes by forking a frozen fork).
+func protoSystem(inst *protocol.Instance, snap *shmem.MWSnapshot, res *proto.RunResult, machines []sched.Machine) trace.System {
+	return trace.System{
+		Machines: machines,
+		Check: func(*sched.Result) error {
+			return inst.Task.Validate(inst.Inputs, res.DoneOutputs())
+		},
+		Fingerprint: func(h *maphash.Hash) {
+			snap.AppendFingerprint(h)
+			for _, m := range machines {
+				m.(sched.Fingerprinter).AppendFingerprint(h)
+			}
+		},
+		Fork: func(gate sched.Stepper) trace.System {
+			snap2 := snap.Fork(gate)
+			res2 := res.Clone()
+			return protoSystem(inst, snap2, res2, proto.ForkMachines(machines, snap2, res2))
+		},
 	}
 }
 
@@ -232,12 +263,20 @@ func Check(opts Options) (*CheckReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine := opts.Engine
+	if engine == "" {
+		engine = sched.DefaultEngine
+	}
 	rep, err := trace.Explore(p.N, factory(pr, p), trace.ExploreOpts{
 		MaxDepth:      defaultInt(opts.MaxDepth, 20),
 		MaxRuns:       defaultInt(opts.MaxRuns, 200_000),
 		MaxViolations: defaultInt(opts.MaxViolations, 1),
-		Engine:        opts.Engine,
+		Engine:        engine,
 		Workers:       opts.Workers,
+		Prune:         opts.Prune,
+		// Checkpointing needs forkable machine state, which only the
+		// sequential engine can resume; the goroutine engine still prunes.
+		Checkpoint: opts.Prune && engine == sched.EngineSeq,
 	})
 	if err != nil {
 		return nil, err

@@ -159,10 +159,12 @@ func TestResolveErrorsAreUsage(t *testing.T) {
 }
 
 // checkReportsEqual compares the fields of two exploration reports that the
-// workers=1-vs-workers=N determinism contract pins.
+// workers=1-vs-workers=N determinism contract pins — the pruning counters
+// included.
 func checkReportsEqual(t *testing.T, tag string, a, b *trace.ExploreReport) {
 	t.Helper()
 	if a.Runs != b.Runs || a.Truncated != b.Truncated || a.Exhausted != b.Exhausted ||
+		a.Pruned != b.Pruned || a.Distinct != b.Distinct ||
 		len(a.Violations) != len(b.Violations) {
 		t.Fatalf("%s: reports diverge: %+v vs %+v", tag, a, b)
 	}
@@ -261,5 +263,127 @@ func TestCheckViolationsReplay(t *testing.T) {
 		if violErr == nil {
 			t.Fatalf("violation %d on schedule %v did not reproduce", i, v.Schedule)
 		}
+	}
+}
+
+// smallCheckParams returns per-protocol parameters small enough that a
+// pruned exhaustive exploration at modest depth finishes quickly; protocols
+// not listed use their schema defaults.
+func smallCheckParams(name string) protocol.Params {
+	switch name {
+	case "consensus", "paxos", "firstvalue-consensus", "aan":
+		return protocol.Params{N: 2}
+	case "firstvalue", "singleton":
+		return protocol.Params{N: 3}
+	case "kset":
+		return protocol.Params{N: 3, K: 2}
+	case "lane-kset":
+		return protocol.Params{N: 3, K: 2, X: 1}
+	default:
+		return protocol.Params{}
+	}
+}
+
+// TestCheckPrunedWorkersDeterministic is the determinism contract of pruned
+// exploration: for every registered protocol at small bounds, Workers=1 and
+// Workers=8 must report the identical Violations slice and Pruned/Distinct
+// counts. The stateful explorer guarantees this by sharing closed states
+// only across canonical waves of fixed width, never across racing workers.
+// It runs under -race in CI (make race covers this package).
+func TestCheckPrunedWorkersDeterministic(t *testing.T) {
+	for _, pr := range protocol.Protocols() {
+		t.Run(pr.Name, func(t *testing.T) {
+			opts := Options{
+				Protocol:      pr.Name,
+				Params:        smallCheckParams(pr.Name),
+				MaxDepth:      10,
+				MaxRuns:       4000,
+				MaxViolations: 3,
+				Prune:         true,
+				Workers:       1,
+			}
+			seq, err := Check(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Workers = 8
+			par, err := Check(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkReportsEqual(t, pr.Name, seq.Explore, par.Explore)
+		})
+	}
+}
+
+// TestCheckPrunedMatchesUnpruned pins the stateful explorer's soundness and
+// its payoff on the symmetric protocols: at exhaustive bounds the pruned
+// search must report the same violation set and Exhausted flag as the
+// unpruned one while executing at least 2x fewer runs.
+func TestCheckPrunedMatchesUnpruned(t *testing.T) {
+	violSet := func(rep *trace.ExploreReport) map[string]bool {
+		s := map[string]bool{}
+		for _, v := range rep.Violations {
+			s[v.Err.Error()] = true
+		}
+		return s
+	}
+	for _, c := range []struct {
+		name  string
+		opts  Options
+		viols bool
+	}{
+		{"firstvalue", Options{Protocol: "firstvalue", Params: protocol.Params{N: 4},
+			MaxDepth: 20, MaxRuns: 2_000_000}, false},
+		{"kset", Options{Protocol: "kset", Params: protocol.Params{N: 4, K: 3},
+			MaxDepth: 12, MaxRuns: 2_000_000}, false},
+		{"firstvalue-consensus", Options{Protocol: "firstvalue-consensus",
+			Params: protocol.Params{N: 2}, MaxDepth: 12, MaxViolations: 5}, true},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			plain, err := Check(c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := c.opts
+			opts.Prune = true
+			pruned, err := Check(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, pe := plain.Explore, pruned.Explore
+			if pl.Exhausted != pe.Exhausted {
+				t.Fatalf("Exhausted diverges: unpruned %v, pruned %v", pl.Exhausted, pe.Exhausted)
+			}
+			if !c.viols && 2*pe.Runs > pl.Runs {
+				t.Fatalf("pruning saved too little: %d unpruned vs %d pruned runs", pl.Runs, pe.Runs)
+			}
+			if pe.Pruned == 0 != (pe.Runs == pl.Runs) && !c.viols {
+				t.Fatalf("inconsistent pruning counters: %+v", pe)
+			}
+			got, want := violSet(pe), violSet(pl)
+			if len(got) != len(want) {
+				t.Fatalf("violation sets diverge: pruned %v, unpruned %v", got, want)
+			}
+			for e := range want {
+				if !got[e] {
+					t.Fatalf("pruned search lost violation %q", e)
+				}
+			}
+			// Every pruned-found violation replays through a fresh system.
+			pr, p, err := opts.resolve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range pe.Violations {
+				violErr, runErr := trace.ReplayViolation(p.N, factory(pr, p), opts.Engine, v)
+				if runErr != nil {
+					t.Fatalf("violation %d: replay failed: %v", i, runErr)
+				}
+				if violErr == nil {
+					t.Fatalf("violation %d did not reproduce on replay", i)
+				}
+			}
+		})
 	}
 }

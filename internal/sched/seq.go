@@ -27,9 +27,16 @@ type SeqEngine struct {
 	n      int
 	onStep func(StepRecord)
 
-	trace   []StepRecord
-	stepsBy []int
-	parked  []bool
+	trace       []StepRecord
+	stepsBy     []int
+	parked      []bool
+	finished    []bool
+	numFinished int
+
+	// resumeFrom, when non-nil, preloads the run state from a mid-run
+	// checkpoint: RunMachines skips the run-to-first-gate phase and continues
+	// granting steps where the checkpointed engine left off.
+	resumeFrom *SeqCheckpoint
 
 	// Coroutine bridge state (Run only): yields[pid] is the live yield
 	// function of pid's coroutine; poised[pid] is the op pid is parked on.
@@ -149,12 +156,7 @@ func (e *SeqEngine) RunMachines(machines []Machine) (*Result, error) {
 	if len(machines) != e.n {
 		return nil, fmt.Errorf("sched: got %d machines for %d processes", len(machines), e.n)
 	}
-	e.trace = make([]StepRecord, 0, traceCap(e.core.maxSteps))
-	e.stepsBy = make([]int, e.n)
-	e.parked = make([]bool, e.n)
-	finished := make([]bool, e.n)
 	var panics []any
-	numFinished := 0
 	aborting := false
 	halted := false
 	var runErr error
@@ -167,30 +169,47 @@ func (e *SeqEngine) RunMachines(machines []Machine) (*Result, error) {
 		aborting = true
 	}
 
-	// Start every machine: run it to its first gate (or completion), the
-	// direct-dispatch counterpart of the runner's goroutine startup drain.
-	for pid := 0; pid < e.n; pid++ {
-		parked, v, panicked := e.resume(machines[pid], pid, false)
-		switch {
-		case panicked:
-			numFinished++
-			recordPanic(pid, v)
-		case parked:
-			e.parked[pid] = true
-		default:
-			finished[pid] = true
-			numFinished++
+	if cp := e.resumeFrom; cp != nil {
+		// Resuming from a checkpoint: the machines are forks of the system
+		// state at the checkpoint, already poised on their next operations, so
+		// the run-to-first-gate phase is skipped entirely.
+		e.trace = append(make([]StepRecord, 0, len(cp.trace)+traceCap(e.core.maxSteps)), cp.trace...)
+		e.stepsBy = append([]int(nil), cp.stepsBy...)
+		e.parked = append([]bool(nil), cp.parked...)
+		e.finished = append([]bool(nil), cp.finished...)
+		e.numFinished = cp.numFinished
+		e.core.step = cp.step
+	} else {
+		e.trace = make([]StepRecord, 0, traceCap(e.core.maxSteps))
+		e.stepsBy = make([]int, e.n)
+		e.parked = make([]bool, e.n)
+		e.finished = make([]bool, e.n)
+
+		// Start every machine: run it to its first gate (or completion), the
+		// direct-dispatch counterpart of the runner's goroutine startup drain.
+		for pid := 0; pid < e.n; pid++ {
+			parked, v, panicked := e.resume(machines[pid], pid, false)
+			switch {
+			case panicked:
+				e.numFinished++
+				recordPanic(pid, v)
+			case parked:
+				e.parked[pid] = true
+			default:
+				e.finished[pid] = true
+				e.numFinished++
+			}
 		}
 	}
 
-	for numFinished < e.n {
+	for e.numFinished < e.n {
 		if aborting {
 			for pid := 0; pid < e.n; pid++ {
 				if !e.parked[pid] {
 					continue
 				}
 				e.parked[pid] = false
-				numFinished++
+				e.numFinished++
 				if v, panicked := e.abort(machines[pid]); panicked {
 					recordPanic(pid, v)
 				}
@@ -214,13 +233,13 @@ func (e *SeqEngine) RunMachines(machines []Machine) (*Result, error) {
 		parked, v, panicked := e.resume(machines[pick], pick, true)
 		switch {
 		case panicked:
-			numFinished++
+			e.numFinished++
 			recordPanic(pick, v)
 		case parked:
 			e.parked[pick] = true
 		default:
-			finished[pick] = true
-			numFinished++
+			e.finished[pick] = true
+			e.numFinished++
 		}
 	}
 
@@ -229,11 +248,65 @@ func (e *SeqEngine) RunMachines(machines []Machine) (*Result, error) {
 		Trace:     e.trace,
 		Steps:     len(e.trace),
 		StepsBy:   e.stepsBy,
-		Finished:  finished,
+		Finished:  e.finished,
 		Halted:    halted,
 		PanicVals: panics,
 	}
 	return res, runErr
+}
+
+// SeqCheckpoint is a frozen mid-run snapshot of a SeqEngine's scheduling
+// state: the granted-step count, the trace prefix, and which processes are
+// parked or finished. Together with a deep copy of the system state at the
+// same point (trace.System.Fork) it lets exhaustive exploration resume runs
+// from the deepest common schedule prefix instead of replaying every
+// schedule from scratch. A checkpoint is immutable and may seed any number
+// of resumed engines.
+type SeqCheckpoint struct {
+	step        int
+	maxSteps    int
+	trace       []StepRecord
+	stepsBy     []int
+	parked      []bool
+	finished    []bool
+	numFinished int
+}
+
+// Depth returns the number of granted steps at the checkpoint.
+func (cp *SeqCheckpoint) Depth() int { return cp.step }
+
+// Checkpoint captures the engine's current scheduling state. It must be
+// called while the engine is quiescent — every live process parked at its
+// gate — which in practice means from within Strategy.Pick, the engines'
+// decision point.
+func (e *SeqEngine) Checkpoint() *SeqCheckpoint {
+	return &SeqCheckpoint{
+		step:        e.core.step,
+		maxSteps:    e.core.maxSteps,
+		trace:       append([]StepRecord(nil), e.trace...),
+		stepsBy:     append([]int(nil), e.stepsBy...),
+		parked:      append([]bool(nil), e.parked...),
+		finished:    append([]bool(nil), e.finished...),
+		numFinished: e.numFinished,
+	}
+}
+
+// ResumeSeqEngine returns a fresh sequential engine that continues a run
+// from cp under strat: RunMachines must be called with machines forked from
+// the system state at the checkpoint (same pids; entries for finished
+// processes may be nil). The step budget is inherited from the checkpointed
+// engine; options may still install a step hook. Like every engine, the
+// returned engine is single-use.
+func ResumeSeqEngine(cp *SeqCheckpoint, strat Strategy, opts ...Option) *SeqEngine {
+	c := newEngineConfig(opts)
+	e := &SeqEngine{
+		core:       newSchedCore(len(cp.parked), strat, cp.maxSteps),
+		n:          len(cp.parked),
+		onStep:     c.onStep,
+		cur:        -1,
+		resumeFrom: cp,
+	}
+	return e
 }
 
 // Run executes body(pid) for every pid by bridging each body onto a
@@ -243,6 +316,9 @@ func (e *SeqEngine) RunMachines(machines []Machine) (*Result, error) {
 // simulators — on the sequential engine without rewriting them as explicit
 // state machines.
 func (e *SeqEngine) Run(body func(pid int)) (*Result, error) {
+	if e.resumeFrom != nil {
+		return nil, fmt.Errorf("sched: a resumed engine requires RunMachines with forked machines; coroutine-bridged bodies cannot resume from a checkpoint")
+	}
 	e.yields = make([]func(Op) bool, e.n)
 	e.poised = make([]Op, e.n)
 	e.hasPoised = make([]bool, e.n)

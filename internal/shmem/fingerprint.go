@@ -1,0 +1,192 @@
+package shmem
+
+import (
+	"fmt"
+	"hash/maphash"
+
+	"revisionist/internal/sched"
+)
+
+// This file implements the fingerprint contract (sched.Fingerprinter) for
+// every base object: the object's semantic state — the values a future
+// operation could observe — is appended to a running configuration hash.
+// Operation counters (OpCounts) are statistics, not state, and are never
+// appended. Each object leads with a distinct tag byte and length-prefixes
+// its components so concatenated fingerprints stay unambiguous.
+
+// Object tag bytes. Values get their own tag space in AppendValue.
+const (
+	fpRegister byte = 0x10 + iota
+	fpSWSnapshot
+	fpMWSnapshot
+	fpMaxSnapshot
+	fpFetchInc
+	fpRegSW
+	fpRegMW
+)
+
+// ValueFingerprinter is implemented by value types stored in registers or
+// snapshot components that want a fast, collision-safe fingerprint path.
+// Types that do not implement it fall back to a reflected rendering (see
+// AppendValue), which is slower and must not contain pointers or maps.
+type ValueFingerprinter interface {
+	AppendValueFingerprint(h *maphash.Hash)
+}
+
+// AppendValue appends one component value to the fingerprint. Built-in
+// scalar and slice shapes are dispatched directly; composite protocol values
+// implement ValueFingerprinter; anything else takes the %#v fallback, which
+// is deterministic only for pointer-free, map-free values.
+func AppendValue(h *maphash.Hash, v Value) {
+	switch x := v.(type) {
+	case nil:
+		h.WriteByte(0x00)
+	case ValueFingerprinter:
+		h.WriteByte(0x01)
+		x.AppendValueFingerprint(h)
+	case bool:
+		h.WriteByte(0x02)
+		maphash.WriteComparable(h, x)
+	case int:
+		h.WriteByte(0x03)
+		maphash.WriteComparable(h, x)
+	case int64:
+		h.WriteByte(0x04)
+		maphash.WriteComparable(h, x)
+	case float64:
+		h.WriteByte(0x05)
+		maphash.WriteComparable(h, x)
+	case string:
+		h.WriteByte(0x06)
+		maphash.WriteComparable(h, len(x))
+		h.WriteString(x)
+	case []Value:
+		h.WriteByte(0x07)
+		maphash.WriteComparable(h, len(x))
+		for _, e := range x {
+			AppendValue(h, e)
+		}
+	case []float64:
+		h.WriteByte(0x08)
+		maphash.WriteComparable(h, len(x))
+		for _, e := range x {
+			maphash.WriteComparable(h, e)
+		}
+	case []int:
+		h.WriteByte(0x09)
+		maphash.WriteComparable(h, len(x))
+		for _, e := range x {
+			maphash.WriteComparable(h, e)
+		}
+	default:
+		h.WriteByte(0x0f)
+		fmt.Fprintf(h, "%T%#v", v, v)
+	}
+}
+
+// AppendFingerprint implements sched.Fingerprinter.
+func (r *Register) AppendFingerprint(h *maphash.Hash) {
+	h.WriteByte(fpRegister)
+	AppendValue(h, r.v)
+}
+
+// AppendFingerprint implements sched.Fingerprinter.
+func (s *SWSnapshot) AppendFingerprint(h *maphash.Hash) {
+	h.WriteByte(fpSWSnapshot)
+	maphash.WriteComparable(h, len(s.comps))
+	for _, v := range s.comps {
+		AppendValue(h, v)
+	}
+}
+
+// AppendFingerprint implements sched.Fingerprinter.
+func (s *MWSnapshot) AppendFingerprint(h *maphash.Hash) {
+	h.WriteByte(fpMWSnapshot)
+	maphash.WriteComparable(h, len(s.comps))
+	for _, v := range s.comps {
+		AppendValue(h, v)
+	}
+}
+
+// AppendFingerprint implements sched.Fingerprinter.
+func (s *MaxSnapshot) AppendFingerprint(h *maphash.Hash) {
+	h.WriteByte(fpMaxSnapshot)
+	maphash.WriteComparable(h, len(s.comps))
+	for _, v := range s.comps {
+		AppendValue(h, v)
+	}
+}
+
+// AppendFingerprint implements sched.Fingerprinter.
+func (f *FetchInc) AppendFingerprint(h *maphash.Hash) {
+	h.WriteByte(fpFetchInc)
+	maphash.WriteComparable(h, f.v)
+}
+
+// AppendFingerprint implements sched.Fingerprinter: the register-built
+// snapshot's state is the state of its underlying registers, including the
+// per-writer sequence numbers and embedded views of the Afek et al.
+// construction (they steer future scans, so they are semantic state).
+func (s *RegSWSnapshot) AppendFingerprint(h *maphash.Hash) {
+	h.WriteByte(fpRegSW)
+	maphash.WriteComparable(h, len(s.regs))
+	for _, r := range s.regs {
+		r.AppendFingerprint(h)
+	}
+}
+
+// AppendFingerprint implements sched.Fingerprinter.
+func (s *RegMWSnapshot) AppendFingerprint(h *maphash.Hash) {
+	h.WriteByte(fpRegMW)
+	maphash.WriteComparable(h, len(s.regs))
+	for _, r := range s.regs {
+		r.AppendFingerprint(h)
+	}
+	for _, sq := range s.seq {
+		maphash.WriteComparable(h, sq)
+	}
+}
+
+// AppendValueFingerprint implements ValueFingerprinter for the single-writer
+// register record.
+func (r swRec) AppendValueFingerprint(h *maphash.Hash) {
+	h.WriteByte(0x20)
+	maphash.WriteComparable(h, r.Seq)
+	AppendValue(h, r.Val)
+	AppendValue(h, r.View)
+}
+
+// AppendValueFingerprint implements ValueFingerprinter for the multi-writer
+// register record.
+func (r mwRec) AppendValueFingerprint(h *maphash.Hash) {
+	h.WriteByte(0x21)
+	maphash.WriteComparable(h, r.Writer)
+	maphash.WriteComparable(h, r.Seq)
+	AppendValue(h, r.Val)
+	AppendValue(h, r.View)
+}
+
+// Fork returns a deep copy of the snapshot's current state wired to st, with
+// no recorder installed: forks exist for checkpointed exploration, where
+// recorders (per-run observers) do not carry over. Component values are
+// immutable once written, so copying the slice headers is a deep copy.
+func (s *MWSnapshot) Fork(st Stepper) *MWSnapshot {
+	return &MWSnapshot{
+		name:    s.name,
+		stepper: st,
+		comps:   append([]Value(nil), s.comps...),
+		updates: s.updates,
+		scans:   s.scans,
+	}
+}
+
+// Compile-time checks that every base object implements the contract.
+var (
+	_ sched.Fingerprinter = (*Register)(nil)
+	_ sched.Fingerprinter = (*SWSnapshot)(nil)
+	_ sched.Fingerprinter = (*MWSnapshot)(nil)
+	_ sched.Fingerprinter = (*MaxSnapshot)(nil)
+	_ sched.Fingerprinter = (*FetchInc)(nil)
+	_ sched.Fingerprinter = (*RegSWSnapshot)(nil)
+	_ sched.Fingerprinter = (*RegMWSnapshot)(nil)
+)

@@ -1,0 +1,92 @@
+package shmem
+
+import (
+	"hash/maphash"
+	"testing"
+
+	"revisionist/internal/sched"
+)
+
+// fpOf hashes one fingerprint appender with the shared seed.
+func fpOf(f func(h *maphash.Hash)) uint64 {
+	h := sched.NewFingerprintHash()
+	f(&h)
+	return h.Sum64()
+}
+
+// TestFingerprintEquality: equal object states hash equal, across distinct
+// object instances (the property pruning relies on).
+func TestFingerprintEquality(t *testing.T) {
+	mk := func() *MWSnapshot {
+		s := NewMWSnapshot("M", Free{}, 3, nil)
+		s.Update(0, 1, "x")
+		s.Update(1, 2, 42)
+		return s
+	}
+	a, b := mk(), mk()
+	if fpOf(a.AppendFingerprint) != fpOf(b.AppendFingerprint) {
+		t.Fatal("equal states produced different fingerprints")
+	}
+	b.Update(2, 0, "y")
+	if fpOf(a.AppendFingerprint) == fpOf(b.AppendFingerprint) {
+		t.Fatal("different states produced equal fingerprints")
+	}
+	// Operation counters are statistics, not state: a redundant re-write of
+	// the same value must not change the fingerprint.
+	before := fpOf(a.AppendFingerprint)
+	a.Update(0, 1, "x")
+	if fpOf(a.AppendFingerprint) != before {
+		t.Fatal("fingerprint depends on operation counters")
+	}
+}
+
+// TestAppendValueUnambiguous: the tagged, length-prefixed value encoding
+// must not let adjacent values alias across boundaries or kinds.
+func TestAppendValueUnambiguous(t *testing.T) {
+	seq := func(vs ...Value) uint64 {
+		return fpOf(func(h *maphash.Hash) {
+			for _, v := range vs {
+				AppendValue(h, v)
+			}
+		})
+	}
+	cases := [][]Value{
+		{"ab", ""},
+		{"a", "b"},
+		{"", "ab"},
+		{nil, nil},
+		{0},
+		{0.0},
+		{false},
+		{[]Value{"a"}, "b"},
+		{[]Value{"a", "b"}},
+		{[]int{1, 2}},
+		{[]float64{1, 2}},
+	}
+	seen := map[uint64][]Value{}
+	for _, c := range cases {
+		fp := seq(c...)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("value sequences %v and %v collide", prev, c)
+		}
+		seen[fp] = c
+	}
+}
+
+// TestForkIsDeep: a forked snapshot shares no mutable state with its origin
+// and preserves the fingerprint at the fork point.
+func TestForkIsDeep(t *testing.T) {
+	s := NewMWSnapshot("M", Free{}, 2, nil)
+	s.Update(0, 0, "v0")
+	f := s.Fork(Free{})
+	if fpOf(s.AppendFingerprint) != fpOf(f.AppendFingerprint) {
+		t.Fatal("fork changed the fingerprint")
+	}
+	s.Update(0, 1, "v1")
+	if fpOf(s.AppendFingerprint) == fpOf(f.AppendFingerprint) {
+		t.Fatal("fork shares component storage with its origin")
+	}
+	if got := f.Scan(0)[1]; got != nil {
+		t.Fatalf("fork saw the origin's later write: %v", got)
+	}
+}

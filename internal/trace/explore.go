@@ -5,6 +5,7 @@ package trace
 
 import (
 	"fmt"
+	"hash/maphash"
 
 	"revisionist/internal/sched"
 )
@@ -31,6 +32,23 @@ type ExploreOpts struct {
 	// order, so the report is byte-identical to the sequential one for any
 	// worker count. 0 selects GOMAXPROCS; 1 runs the legacy sequential loop.
 	Workers int
+	// Prune enables state-fingerprint pruning (see stateful.go): the
+	// configuration hash after each decision is looked up in a visited-state
+	// cache and the subtree is cut when that configuration was already fully
+	// explored with at least as much remaining depth. Sound for safety
+	// checking when System.Check is a function of the reachable state (the
+	// task validators are); the violation set and Exhausted flag match the
+	// unpruned search, while Runs, Truncated and the violation multiset may
+	// shrink (a violation reachable only through already-covered states is
+	// reported once, not once per schedule). Requires System.Fingerprint.
+	// The report is identical for any Workers value.
+	Prune bool
+	// Checkpoint enables subtree checkpointing: the sequential engine and
+	// system state are snapshotted at each decision on the current path, and
+	// the DFS forks the next run from the deepest common prefix instead of
+	// replaying the whole schedule. Requires System.Fork, System.Machines and
+	// the sequential engine. Reports are identical with and without it.
+	Checkpoint bool
 }
 
 // Violation is one failing schedule.
@@ -45,6 +63,16 @@ type ExploreReport struct {
 	Truncated  int // runs cut off at MaxDepth
 	Violations []Violation
 	Exhausted  bool // the whole schedule space within MaxDepth was covered
+	// Pruned counts runs cut by the visited-state cache (ExploreOpts.Prune):
+	// the run reached a configuration already fully explored with at least as
+	// much remaining depth and its subtree was skipped. Distinct counts the
+	// configurations recorded as fully explored: exact for an exhausted
+	// search; when a bound cut the search short it is the deterministic
+	// per-subtree sum, which counts a configuration closed independently by
+	// sibling subtrees of one wave once per subtree. Both are zero without
+	// pruning.
+	Pruned   int
+	Distinct int
 }
 
 // System is one freshly constructed system instance to execute and check.
@@ -65,6 +93,17 @@ type System struct {
 	// captured here, per system, rather than in a closure shared across
 	// evaluations: with Workers > 1 several systems are evaluated at once.
 	Score func(res *sched.Result) float64
+	// Fingerprint, when non-nil, appends the system's full configuration —
+	// every shared object's state and every process's state, in a fixed
+	// order — to h, following the contract of sched.Fingerprinter. Required
+	// by ExploreOpts.Prune; called only at scheduler decision points, where
+	// the system is quiescent.
+	Fingerprint func(h *maphash.Hash)
+	// Fork, when non-nil, returns a deep copy of the system in its current
+	// state, wired to gate: cloned processes and machines, cloned shared
+	// objects, and Check/Fingerprint/Fork hooks bound to the copy. Required
+	// by ExploreOpts.Checkpoint; called only at decision points.
+	Fork func(gate sched.Stepper) System
 }
 
 // Factory builds one fresh system wired to the given step gate. Explore and
@@ -86,6 +125,7 @@ type recStrategy struct {
 	offs     []int // offs[d]..offs[d+1] frames depth d's enabled set in flat
 	picks    []int
 	trunc    bool
+	diverged error // replay divergence: a prefix pick was not enabled
 }
 
 // reset prepares the strategy for the next schedule, keeping the arenas.
@@ -95,6 +135,7 @@ func (s *recStrategy) reset(prefix []int) {
 	s.offs = s.offs[:0]
 	s.picks = s.picks[:0]
 	s.trunc = false
+	s.diverged = nil
 }
 
 // enabledAt returns the recorded enabled set of decision depth d.
@@ -110,18 +151,13 @@ func (s *recStrategy) Pick(step int, enabled []int) int {
 	pick := enabled[0]
 	if step < len(s.prefix) {
 		pick = s.prefix[step]
-		found := false
-		for _, pid := range enabled {
-			if pid == pick {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if !pidEnabled(enabled, pick) {
 			// Deterministic systems replay identically; reaching here means
 			// the factory is nondeterministic, which the explorer cannot
-			// handle. Fall back to the first enabled process.
-			pick = enabled[0]
+			// handle: exploring on would silently visit a different tree.
+			// Record the divergence and halt; the run surfaces it as an error.
+			s.diverged = replayDivergence(step, pick, enabled)
+			return sched.Halt
 		}
 	}
 	if len(s.offs) == 0 {
@@ -133,17 +169,39 @@ func (s *recStrategy) Pick(step int, enabled []int) int {
 	return pick
 }
 
+// pidEnabled reports whether pick appears in the sorted enabled set.
+func pidEnabled(enabled []int, pick int) bool {
+	for _, pid := range enabled {
+		if pid == pick {
+			return true
+		}
+	}
+	return false
+}
+
+// replayDivergence builds the error reported when a replayed prefix pick is
+// not enabled — the signature of a nondeterministic factory.
+func replayDivergence(step, pick int, enabled []int) error {
+	return fmt.Errorf("trace: schedule replay diverged at step %d: recorded pick %d is not in the enabled set %v; Explore requires the factory to build deterministic systems (consecutive calls must produce identical behaviour)", step, pick, enabled)
+}
+
 // Explore enumerates schedules of the nprocs-process system produced by
 // factory, depth-first over scheduler choices, until the space is exhausted
 // or a bound is hit. Each schedule runs on a fresh engine of opts.Engine
 // (sequential by default: no per-schedule goroutine system is built). With
 // opts.Workers != 1 the DFS tree is sharded across a worker pool; the report
-// is byte-identical to the sequential one regardless of worker count.
+// is byte-identical to the sequential one regardless of worker count. With
+// opts.Prune or opts.Checkpoint the stateful explorer (stateful.go) runs
+// instead of the plain schedule enumerator.
 func Explore(nprocs int, factory Factory, opts ExploreOpts) (*ExploreReport, error) {
 	if opts.MaxDepth <= 0 {
 		return nil, fmt.Errorf("trace: MaxDepth must be positive")
 	}
-	if workers := ResolveWorkers(opts.Workers); workers > 1 && nprocs > 1 {
+	workers := ResolveWorkers(opts.Workers)
+	if opts.Prune || opts.Checkpoint {
+		return exploreStateful(nprocs, factory, opts, workers)
+	}
+	if workers > 1 && nprocs > 1 {
 		return exploreParallel(nprocs, factory, opts, workers)
 	}
 	return exploreSequential(nprocs, factory, opts)
@@ -175,6 +233,9 @@ func exploreSequential(nprocs int, factory Factory, opts ExploreOpts) (*ExploreR
 			res, err = eng.RunMachines(sys.Machines)
 		} else {
 			res, err = eng.Run(sys.Body)
+		}
+		if err == nil && strat.diverged != nil {
+			err = strat.diverged
 		}
 		report.Runs++
 		if strat.trunc {

@@ -105,9 +105,9 @@ func expandFrontier(nprocs int, factory Factory, opts ExploreOpts, target int) [
 			} else {
 				_, err = eng.Run(sys.Body)
 			}
-			if err != nil || len(strat.picks) <= depth {
-				// The run failed, or ended without a decision at this level:
-				// the prefix is a complete (single-run) subtree.
+			if err != nil || strat.diverged != nil || len(strat.picks) <= depth {
+				// The run failed (or diverged), or ended without a decision at
+				// this level: the prefix is a complete (single-run) subtree.
 				next = append(next, p)
 				continue
 			}
@@ -129,7 +129,13 @@ func expandFrontier(nprocs int, factory Factory, opts ExploreOpts, target int) [
 type subViolation struct {
 	ord      int // run ordinal within the subtree
 	truncCum int // truncated runs among ordinals [0, ord], inclusive
-	v        Violation
+	// prunedCum and distinctCum position the stateful explorer's counters at
+	// this violation: cut runs among ordinals [0, ord] (the violating run is
+	// never cut) and states closed before the violating run's backtrack (a
+	// violation cutoff stops the loop before closures).
+	prunedCum   int
+	distinctCum int
+	v           Violation
 }
 
 // subtreeResult is one worker's report for one subtree: aggregate counts
@@ -141,38 +147,48 @@ type subtreeResult struct {
 	exhausted bool // the subtree's whole space was covered
 	viols     []subViolation
 
-	// truncBits records, per run ordinal, whether the run was truncated;
-	// only tracked under a MaxRuns budget, where the merge may need the
-	// truncated count of an arbitrary run prefix.
+	// pruned and distinct are the stateful explorer's counters (zero for the
+	// plain schedule enumerator).
+	pruned   int
+	distinct int
+
+	// truncBits and pruneBits record, per run ordinal, whether the run was
+	// truncated or cut; distCums[i] is the closed-state count through run i's
+	// backtrack. All three are only tracked under a MaxRuns budget, where the
+	// merge may need the counters of an arbitrary run prefix.
 	truncBits  []uint64
+	pruneBits  []uint64
+	distCums   []int32
 	trackTrunc bool
 
 	// runErr is a failed run (engine error), wrapped exactly as the
 	// sequential loop wraps it; errOrd positions it, errTruncCum is the
-	// truncated count through it (the failing run counts its truncation).
-	runErr      error
-	errOrd      int
-	errTruncCum int
+	// truncated count through it (the failing run counts its truncation), and
+	// errPrunedCum/errDistinctCum position the stateful counters like a
+	// violation's.
+	runErr         error
+	errOrd         int
+	errTruncCum    int
+	errPrunedCum   int
+	errDistinctCum int
 }
 
-func (sr *subtreeResult) setTruncBit(ord int) {
-	if !sr.trackTrunc {
-		return
-	}
+// setBit marks run ordinal ord in a per-run bitset.
+func setBit(bits *[]uint64, ord int) {
 	w := ord >> 6
-	for len(sr.truncBits) <= w {
-		sr.truncBits = append(sr.truncBits, 0)
+	for len(*bits) <= w {
+		*bits = append(*bits, 0)
 	}
-	sr.truncBits[w] |= 1 << (ord & 63)
+	(*bits)[w] |= 1 << (ord & 63)
 }
 
-// truncCount returns the number of truncated runs among ordinals [0, n).
-func (sr *subtreeResult) truncCount(n int) int {
+// countBits returns the number of marked ordinals in [0, n).
+func countBits(bs []uint64, n int) int {
 	c := 0
 	for w := 0; w*64 < n; w++ {
 		var word uint64
-		if w < len(sr.truncBits) {
-			word = sr.truncBits[w]
+		if w < len(bs) {
+			word = bs[w]
 		}
 		if (w+1)*64 > n {
 			word &= 1<<(uint(n)&63) - 1
@@ -181,6 +197,29 @@ func (sr *subtreeResult) truncCount(n int) int {
 	}
 	return c
 }
+
+func (sr *subtreeResult) setTruncBit(ord int) {
+	if sr.trackTrunc {
+		setBit(&sr.truncBits, ord)
+	}
+}
+
+func (sr *subtreeResult) setPruneBit(ord int) {
+	if sr.trackTrunc {
+		setBit(&sr.pruneBits, ord)
+	}
+}
+
+// recordDistCum records the closed-state count after the latest run's
+// backtrack; the stateful loop calls it once per run, in ordinal order.
+func (sr *subtreeResult) recordDistCum() {
+	if sr.trackTrunc {
+		sr.distCums = append(sr.distCums, int32(sr.distinct))
+	}
+}
+
+// truncCount returns the number of truncated runs among ordinals [0, n).
+func (sr *subtreeResult) truncCount(n int) int { return countBits(sr.truncBits, n) }
 
 // exploreShared is the coordination state of one parallel exploration.
 type exploreShared struct {
@@ -255,6 +294,9 @@ func (sh *exploreShared) exploreSubtree(i, nprocs int, factory Factory, opts Exp
 			res, err = eng.RunMachines(sys.Machines)
 		} else {
 			res, err = eng.Run(sys.Body)
+		}
+		if err == nil && strat.diverged != nil {
+			err = strat.diverged
 		}
 		ord := sr.runs
 		sr.runs++
@@ -366,6 +408,8 @@ func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol 
 			v := sr.viols[violRem-1]
 			rep.Runs += v.ord + 1
 			rep.Truncated += v.truncCum
+			rep.Pruned += v.prunedCum
+			rep.Distinct += v.distinctCum
 			for _, sv := range sr.viols[:violRem] {
 				rep.Violations = append(rep.Violations, sv.v)
 			}
@@ -375,6 +419,8 @@ func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol 
 		if sr.errOrd >= 0 && sr.errOrd+1 <= budgetRem {
 			rep.Runs += sr.errOrd + 1
 			rep.Truncated += sr.errTruncCum
+			rep.Pruned += sr.errPrunedCum
+			rep.Distinct += sr.errDistinctCum
 			for _, sv := range sr.viols {
 				rep.Violations = append(rep.Violations, sv.v)
 			}
@@ -387,6 +433,10 @@ func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol 
 		if budgetRem < sr.runs || (budgetRem == sr.runs && !sr.exhausted) {
 			rep.Runs += budgetRem
 			rep.Truncated += sr.truncCount(budgetRem)
+			rep.Pruned += countBits(sr.pruneBits, budgetRem)
+			if len(sr.distCums) >= budgetRem && budgetRem > 0 {
+				rep.Distinct += int(sr.distCums[budgetRem-1])
+			}
 			for _, sv := range sr.viols {
 				if sv.ord < budgetRem {
 					rep.Violations = append(rep.Violations, sv.v)
@@ -400,6 +450,8 @@ func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol 
 		}
 		rep.Runs += sr.runs
 		rep.Truncated += sr.truncated
+		rep.Pruned += sr.pruned
+		rep.Distinct += sr.distinct
 		for _, sv := range sr.viols {
 			rep.Violations = append(rep.Violations, sv.v)
 		}
