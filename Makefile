@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all vet build test race bench bench-smoke ci protocols
+.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke
 
 all: ci
 
@@ -15,9 +15,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the parallel search layer (worker-pool Explore/Fuzz/Stress).
+# Race-check the parallel search layer (worker-pool Explore/Fuzz/Stress)
+# and the distributed coordinator/worker protocol.
 race:
-	$(GO) test -race ./internal/trace/... ./internal/harness/...
+	$(GO) test -race ./internal/trace/... ./internal/harness/... ./internal/dist/...
 
 # Full benchmark suite; takes a while. Archives the go-test JSON event
 # stream as BENCH_<date>.json — one file per run is the perf trajectory.
@@ -34,5 +35,12 @@ bench-smoke:
 # side effects are wired.
 protocols:
 	$(GO) run ./cmd/simulate -list
+
+# Distributed-search smoke: one coordinator + two localhost TCP workers on
+# the acceptance pair, byte-compared against the single-process report.
+# Like `protocols`, a separate CI step rather than part of `ci`.
+dist-smoke:
+	$(GO) run ./cmd/distcheck -smoke -protocol firstvalue -n 4 -prune
+	$(GO) run ./cmd/distcheck -smoke -protocol kset -n 4 -k 3 -prune
 
 ci: vet build test race bench-smoke

@@ -1,0 +1,174 @@
+// Command distcheck is the distributed model checker: the exhaustive
+// schedule exploration of modelcheck sharded across machines. One process
+// coordinates (-serve), probing the schedule tree into disjoint subtree
+// prefixes and leasing them to workers; any number of processes join as
+// workers (-connect), running leased subtrees on their local pool and
+// streaming results (and, under -prune, visited-state closures) back. The
+// merged report is byte-identical to the single-process modelcheck run for
+// any worker count, arrival order, or mid-run worker death — dead workers'
+// subtrees are simply re-leased.
+//
+// Usage:
+//
+//	distcheck -serve :9464 -protocol kset -n 4 -k 3 -prune     # coordinator
+//	distcheck -connect host:9464 -workers 8                    # each worker
+//	distcheck -smoke -protocol firstvalue -n 4 -prune          # self-check
+//
+// Workers take the protocol and bounds from the coordinator, so only the
+// coordinator needs the job flags. -smoke runs both roles in one process —
+// a coordinator plus two TCP-loopback workers — and fails unless the
+// distributed report is byte-identical to the single-process one.
+//
+// SIGINT on the coordinator prints the partial merged report (subtrees
+// completed so far) instead of dying silently.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+
+	"revisionist/internal/harness"
+	"revisionist/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "distcheck:", err)
+		if harness.IsUsage(err) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("distcheck", flag.ContinueOnError)
+	shared := harness.BindFlags(fs, "consensus")
+	var (
+		depth   = fs.Int("depth", 20, "max schedule depth")
+		maxRuns = fs.Int("maxruns", 200_000, "max schedules")
+		maxViol = fs.Int("maxviol", 3, "stop after this many violations")
+		serve   = fs.String("serve", "", "coordinate on this TCP listen address (e.g. :9464)")
+		connect = fs.String("connect", "", "join the coordinator at this address as a worker")
+		smoke   = fs.Bool("smoke", false, "loopback self-check: coordinator + two local TCP workers vs the single-process run")
+	)
+	if err := harness.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if err := shared.Resolve(); err != nil {
+		fs.Usage()
+		return err
+	}
+	if shared.List {
+		harness.WriteRegistry(out)
+		return nil
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+
+	opts := harness.Options{
+		Protocol:      shared.Protocol,
+		Params:        shared.Params,
+		Engine:        shared.Engine,
+		Workers:       shared.Workers,
+		Prune:         shared.Prune,
+		MaxDepth:      *depth,
+		MaxRuns:       *maxRuns,
+		MaxViolations: *maxViol,
+		Serve:         *serve,
+		Connect:       *connect,
+		Interrupted:   func() bool { return ctx.Err() != nil },
+	}
+
+	modes := 0
+	for _, on := range []bool{*serve != "", *connect != "", *smoke} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fs.Usage()
+		return &harness.UsageError{Err: fmt.Errorf("pick exactly one of -serve ADDR, -connect ADDR, -smoke")}
+	}
+	switch {
+	case *connect != "":
+		fmt.Fprintf(out, "worker: joining coordinator at %s with %d slot(s)\n", *connect, trace.ResolveWorkers(opts.Workers))
+		if err := harness.ConnectCheck(ctx, opts, nil); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "worker: released by coordinator")
+		return nil
+	case *serve != "":
+		job, err := harness.CheckJob(opts) // resolves the protocol: fail before listening
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "coordinator: serving %s n=%d on %s\n", job.Protocol, job.Params.N, ln.Addr())
+		rep, err := harness.ServeCheck(ctx, opts, ln)
+		return harness.CheckOutcome(out, rep, err, *depth, shared.Prune)
+	default:
+		return smokeCheck(ctx, out, opts, *depth, shared.Prune)
+	}
+}
+
+// smokeCheck is the `make dist-smoke` payload: run the single-process Check,
+// then the same job through a real TCP-loopback coordinator with two
+// workers, and fail unless the two rendered reports are byte-identical.
+func smokeCheck(ctx context.Context, out io.Writer, opts harness.Options, depth int, prune bool) error {
+	single, err := harness.Check(opts)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			harness.ConnectCheck(ctx, opts, conn)
+		}()
+	}
+	distRep, derr := harness.ServeCheck(ctx, opts, ln)
+	wg.Wait()
+	if derr != nil {
+		// Includes trace.ErrInterrupted: a ^C mid-smoke aborts the check
+		// rather than comparing a partial report and misreporting divergence.
+		return derr
+	}
+
+	var want, got bytes.Buffer
+	harness.WriteCheckReport(&want, single, depth, prune)
+	harness.WriteCheckReport(&got, distRep, depth, prune)
+	fmt.Fprintf(out, "smoke: coordinator + 2 TCP-loopback workers on %s n=%d\n", single.Protocol.Name, single.Params.N)
+	out.Write(got.Bytes())
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		return fmt.Errorf("distributed report diverges from single-process:\n--- single ---\n%s--- distributed ---\n%s", want.String(), got.String())
+	}
+	fmt.Fprintln(out, "smoke: distributed report byte-identical to single-process run")
+	return nil
+}

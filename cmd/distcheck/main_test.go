@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeMode runs the loopback self-check end to end on a small instance:
+// one coordinator, two real TCP workers, byte-compared against the
+// single-process run.
+func TestSmokeMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-protocol", "consensus", "-n", "2", "-depth", "10"}, &out); err != nil {
+		t.Fatalf("smoke failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "byte-identical") {
+		t.Fatalf("missing verdict:\n%s", out.String())
+	}
+}
+
+// TestSmokeModePruned covers the visited-state publication path over TCP.
+func TestSmokeModePruned(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-protocol", "firstvalue", "-n", "4", "-prune"}, &out); err != nil {
+		t.Fatalf("pruned smoke failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "state pruning:") {
+		t.Fatalf("missing pruning counters:\n%s", out.String())
+	}
+}
+
+// TestModeValidation requires exactly one of the three modes.
+func TestModeValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-protocol", "consensus"}, &out); err == nil {
+		t.Fatal("mode-less invocation accepted")
+	}
+	if err := run([]string{"-smoke", "-serve", ":0"}, &out); err == nil {
+		t.Fatal("two modes accepted")
+	}
+}

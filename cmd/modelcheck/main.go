@@ -12,14 +12,23 @@
 //	modelcheck -protocol firstvalue-consensus -n 2 -depth 12
 //	modelcheck -protocol aan -n 3 -eps 0.25 -depth 26
 //	modelcheck -protocol consensus -n 2 -fuzz 200
+//	modelcheck -protocol firstvalue-consensus -n 2 -depth 12 -witness v.json
+//	modelcheck -replay v.json
+//
+// Violating schedules can be dumped to a JSON witness file (-witness) and
+// re-executed later (-replay). SIGINT during a long exploration prints the
+// partial report gathered so far instead of dying silently. For a
+// multi-machine search, see distcheck.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"revisionist/internal/harness"
 )
@@ -46,6 +55,8 @@ func run(args []string, out io.Writer) error {
 		maxViol = fs.Int("maxviol", 3, "stop after this many violations")
 		fuzz    = fs.Int("fuzz", 0, "fuzz iterations; > 0 switches to adversarial schedule search (-depth/-maxruns/-maxviol do not apply)")
 		seed    = fs.Int64("seed", 1, "fuzz search seed")
+		witness = fs.String("witness", "", "write the violating schedules to FILE as a JSON witness")
+		replay  = fs.String("replay", "", "re-execute the schedules of a JSON witness FILE instead of exploring")
 	)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
@@ -58,6 +69,15 @@ func run(args []string, out io.Writer) error {
 		harness.WriteRegistry(out)
 		return nil
 	}
+	if *replay != "" {
+		return harness.ReplayWitness(out, *replay)
+	}
+
+	// SIGINT turns a long exploration into a partial report instead of a
+	// silent death: the explorer polls the cancelled context between
+	// schedules and returns what it merged so far.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	opts := harness.Options{
 		Protocol:      shared.Protocol,
@@ -70,8 +90,12 @@ func run(args []string, out io.Writer) error {
 		MaxRuns:       *maxRuns,
 		MaxViolations: *maxViol,
 		Iterations:    *fuzz,
+		Interrupted:   func() bool { return ctx.Err() != nil },
 	}
 	if *fuzz > 0 {
+		if *witness != "" {
+			return &harness.UsageError{Err: fmt.Errorf("-witness records exhaustive-check violations; it does not apply to -fuzz")}
+		}
 		rep, err := harness.Fuzz(opts, nil)
 		if err != nil {
 			return err
@@ -83,22 +107,15 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rep, err := harness.Check(opts)
-	if err != nil {
-		return err
+	exit := harness.CheckOutcome(out, rep, err, *depth, shared.Prune)
+	if rep == nil {
+		return exit
 	}
-	ex := rep.Explore
-	fmt.Fprintf(out, "%s n=%d: %d schedules explored (depth <= %d, %d truncated, exhausted=%v)\n",
-		rep.Protocol.Name, rep.Params.N, ex.Runs, *depth, ex.Truncated, ex.Exhausted)
-	if shared.Prune {
-		fmt.Fprintf(out, "state pruning: %d subtrees cut, %d configurations closed\n",
-			ex.Pruned, ex.Distinct)
+	if *witness != "" {
+		if werr := harness.WriteWitness(*witness, rep, shared.Engine, *depth); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(out, "wrote %d violation(s) to %s\n", len(rep.Explore.Violations), *witness)
 	}
-	if len(ex.Violations) == 0 {
-		fmt.Fprintln(out, "no violations found")
-		return nil
-	}
-	for _, v := range ex.Violations {
-		fmt.Fprintf(out, "VIOLATION on schedule %v:\n  %v\n", v.Schedule, v.Err)
-	}
-	return fmt.Errorf("%d violating schedule(s) found", len(ex.Violations))
+	return exit
 }

@@ -49,6 +49,36 @@ func TestCorrectProtocolClean(t *testing.T) {
 	}
 }
 
+// TestWitnessRoundTrip dumps the falsification run's violating schedules to
+// a witness file and replays them: every recorded schedule must reproduce
+// its violation.
+func TestWitnessRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "witness.json")
+	var out bytes.Buffer
+	err := run([]string{"-protocol", "firstvalue-consensus", "-n", "2", "-depth", "12", "-witness", path}, &out)
+	if err == nil {
+		t.Fatal("expected a violations error for the 1-register protocol")
+	}
+	if !bytes.Contains(out.Bytes(), []byte("wrote 3 violation(s)")) {
+		t.Fatalf("witness write not reported:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-replay", path}, &out); err != nil {
+		t.Fatalf("replay failed: %v\n%s", err, out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("all 3 violation(s) reproduced")) {
+		t.Fatalf("replay verdict missing:\n%s", out.String())
+	}
+}
+
+// TestReplayMissingWitness keeps the failure loud.
+func TestReplayMissingWitness(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-replay", filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+		t.Fatal("missing witness accepted")
+	}
+}
+
 func TestFuzzMode(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-protocol", "consensus", "-n", "2", "-fuzz", "20"}, &out); err != nil {

@@ -1,0 +1,186 @@
+// Package wire is the message format of the distributed schedule search:
+// length-prefixed JSON over any stream transport (an in-process pipe in
+// tests, TCP between machines). Every frame is a 4-byte big-endian length
+// followed by that many bytes of one JSON-encoded Msg envelope.
+//
+// The conversation is deliberately small:
+//
+//	worker -> coordinator   hello   {version, slots}
+//	coordinator -> worker   job     {protocol, params, explore options}
+//	coordinator -> worker   lease   {subtree id, root prefix, budget base,
+//	                                 visited-state delta}
+//	worker -> coordinator   result  {subtree id, complete outcome}
+//	worker -> coordinator   fail    {error}            (job unresolvable)
+//	coordinator -> worker   shutdown
+//
+// Results carry complete subtree outcomes only — a worker that dies mid-
+// subtree contributes nothing, and the coordinator re-leases the subtree —
+// so every message is idempotent and the merged report cannot depend on
+// worker count, arrival order, or failures.
+//
+// The same JSON types double as the on-disk witness format: a Witness file
+// records a protocol instance plus its violating schedules, replayable with
+// trace.ReplayViolation (modelcheck -witness / -replay).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"revisionist/internal/protocol"
+	"revisionist/internal/trace"
+)
+
+// Version is the protocol version; a coordinator rejects workers speaking a
+// different one (the search's determinism depends on both sides running the
+// same subtree semantics).
+const Version = 1
+
+// MaxFrame caps one frame's length (64 MiB): a corrupt or hostile length
+// prefix must not allocate unboundedly.
+const MaxFrame = 1 << 26
+
+// Message kinds.
+const (
+	KindHello    = "hello"
+	KindJob      = "job"
+	KindLease    = "lease"
+	KindResult   = "result"
+	KindFail     = "fail"
+	KindShutdown = "shutdown"
+)
+
+// Hello is the worker's opening message: protocol version and how many
+// subtree leases it can run concurrently on its local pool.
+type Hello struct {
+	Version int
+	Slots   int
+}
+
+// Job describes the exploration to every worker: which registry protocol to
+// instantiate, with which parameters, under which exploration options. Both
+// sides build the factory from their own registry, so only names and numbers
+// cross the wire. (ExploreOpts.Interrupted is a local closure and is
+// excluded from the encoding.)
+type Job struct {
+	Protocol string
+	Params   protocol.Params
+	Opts     trace.ExploreOpts
+}
+
+// Lease hands one subtree to a worker. Table is the visited-state delta —
+// the closure entries published at wave barriers since this worker's last
+// lease — bringing the worker's mirror exactly to the table frozen at this
+// subtree's wave start. Base is the frozen budget base: a lower bound on the
+// runs the merge will credit before this subtree.
+type Lease struct {
+	ID    int
+	Root  []int
+	Base  int
+	Table []trace.FpEntry `json:",omitempty"`
+}
+
+// Result returns one complete subtree outcome.
+type Result struct {
+	ID      int
+	Outcome *trace.SubtreeOutcome
+}
+
+// Fail aborts the run: the worker could not resolve or validate the job
+// (unknown protocol, version skew). Distinct from a run error inside a
+// subtree, which is a legitimate outcome the merge reproduces.
+type Fail struct {
+	Err string
+}
+
+// Msg is the frame envelope: Kind selects which body field is set.
+type Msg struct {
+	Kind   string
+	Hello  *Hello  `json:",omitempty"`
+	Job    *Job    `json:",omitempty"`
+	Lease  *Lease  `json:",omitempty"`
+	Result *Result `json:",omitempty"`
+	Fail   *Fail   `json:",omitempty"`
+}
+
+// Conn frames messages over one stream. Sends are serialized by an internal
+// mutex (a worker's pool goroutines send results concurrently); Recv must be
+// called from one goroutine at a time.
+type Conn struct {
+	rw  io.ReadWriter
+	wmu sync.Mutex
+}
+
+// NewConn wraps a stream.
+func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+
+// Send writes one frame.
+func (c *Conn) Send(m *Msg) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: encode %s: %w", m.Kind, err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: %s frame of %d bytes exceeds the %d-byte cap", m.Kind, len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = c.rw.Write(body)
+	return err
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (*Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte cap", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, body); err != nil {
+		return nil, err
+	}
+	m := &Msg{}
+	if err := json.Unmarshal(body, m); err != nil {
+		return nil, fmt.Errorf("wire: decode frame: %w", err)
+	}
+	return m, nil
+}
+
+// Violation is one violating schedule in witness form: the scheduler picks
+// plus the check error's message.
+type Violation struct {
+	Schedule []int
+	Err      string
+}
+
+// Witness is the on-disk record of a Check run's violations: enough context
+// to re-instantiate the protocol and replay every schedule. It is the wire
+// format's first file consumer (modelcheck -witness / -replay).
+type Witness struct {
+	Protocol   string
+	Params     protocol.Params
+	Engine     string
+	MaxDepth   int
+	Violations []Violation
+}
+
+// WitnessOf records rep's violating schedules.
+func WitnessOf(protocolName string, params protocol.Params, engine string, maxDepth int, viols []trace.Violation) *Witness {
+	w := &Witness{Protocol: protocolName, Params: params, Engine: engine, MaxDepth: maxDepth}
+	for _, v := range viols {
+		w.Violations = append(w.Violations, Violation{Schedule: v.Schedule, Err: v.Err.Error()})
+	}
+	return w
+}

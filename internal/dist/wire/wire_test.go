@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+
+	"revisionist/internal/protocol"
+	"revisionist/internal/trace"
+)
+
+// TestFrameRoundTrip sends every message kind through the framing and
+// requires it back intact.
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []*Msg{
+		{Kind: KindHello, Hello: &Hello{Version: Version, Slots: 4}},
+		{Kind: KindJob, Job: &Job{Protocol: "kset", Params: protocol.Params{N: 4, K: 3},
+			Opts: trace.ExploreOpts{MaxDepth: 20, MaxRuns: 1000, Prune: true, Checkpoint: true, Engine: "seq"}}},
+		{Kind: KindLease, Lease: &Lease{ID: 7, Root: []int{0, 2, 1}, Base: 420,
+			Table: []trace.FpEntry{{Fp: 1 << 63, Rem: 9}, {Fp: 42, Rem: 1}}}},
+		{Kind: KindResult, Result: &Result{ID: 7, Outcome: &trace.SubtreeOutcome{
+			Runs: 12, Truncated: 3, Exhausted: true, Pruned: 2, Distinct: 5,
+			Violations: []trace.SubtreeViolation{{Ord: 4, TruncCum: 1, Schedule: []int{0, 1, 0}, Err: "disagreement"}},
+			TruncBits:  []uint64{0b1010}, ErrOrd: -1,
+			Closures: []trace.FpEntry{{Fp: 3, Rem: 2}},
+		}}},
+		{Kind: KindFail, Fail: &Fail{Err: "unknown protocol"}},
+		{Kind: KindShutdown},
+	}
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			t.Fatalf("send %s: %v", m.Kind, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Kind, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round trip of %s diverged:\nsent %+v\ngot  %+v", want.Kind, want, got)
+		}
+	}
+}
+
+// TestFrameCap rejects oversized frames on both sides instead of allocating.
+func TestFrameCap(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := NewConn(&buf).Recv(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestInterruptedNeverCrossesTheWire pins the json:"-" contract: the local
+// Interrupted closure must not break (or leak into) the job encoding.
+func TestInterruptedNeverCrossesTheWire(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	job := &Job{Protocol: "consensus", Opts: trace.ExploreOpts{
+		MaxDepth:    8,
+		Interrupted: func() bool { return true },
+	}}
+	errc := make(chan error, 1)
+	go func() { errc <- NewConn(client).Send(&Msg{Kind: KindJob, Job: job}) }()
+	got, err := NewConn(server).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if got.Job.Opts.Interrupted != nil {
+		t.Fatal("Interrupted closure crossed the wire")
+	}
+}
+
+// TestWitnessOf flattens trace violations to their wire form.
+func TestWitnessOf(t *testing.T) {
+	w := WitnessOf("firstvalue-consensus", protocol.Params{N: 2}, "seq", 12,
+		[]trace.Violation{{Schedule: []int{0, 0, 1}, Err: errString("boom")}})
+	if len(w.Violations) != 1 || w.Violations[0].Err != "boom" ||
+		len(w.Violations[0].Schedule) != 3 {
+		t.Fatalf("bad witness: %+v", w)
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/trace"
+)
+
+// Work serves one coordinator over conn: it announces slots lease capacity
+// (0 selects GOMAXPROCS), resolves the coordinator's job from the local
+// registry, and runs leased subtrees concurrently on a pool of slots
+// goroutines until the coordinator shuts the connection down. Each lease's
+// visited-state delta is applied to the worker's mirror table before the
+// lease is dispatched — the read loop is sequential and the coordinator only
+// ships deltas at wave barriers, so a running subtree always prunes against
+// the table frozen at its wave start, exactly like an in-process worker.
+//
+// Work returns nil on an orderly shutdown, ctx.Err() if ctx ended the
+// session, and the transport or job error otherwise. A worker that dies
+// mid-subtree (process kill, connection loss) needs no cleanup protocol:
+// only complete outcomes are ever reported, and the coordinator re-leases
+// whatever was outstanding.
+func Work(ctx context.Context, conn net.Conn, slots int, resolve Resolver) error {
+	defer conn.Close()
+	// stopping aborts in-flight subtrees: once the session ends (shutdown,
+	// connection loss, ctx cancellation), running DFS loops see it at their
+	// next poll and bail out instead of exploring abandoned leases to the
+	// bitter end. Their stopped outcomes are discarded, never reported.
+	var stopping atomic.Bool
+	if ctx != nil {
+		stop := context.AfterFunc(ctx, func() {
+			stopping.Store(true)
+			conn.Close()
+		})
+		defer stop()
+	}
+	slots = trace.ResolveWorkers(slots)
+	c := wire.NewConn(conn)
+	if err := c.Send(&wire.Msg{Kind: wire.KindHello, Hello: &wire.Hello{Version: wire.Version, Slots: slots}}); err != nil {
+		return fmt.Errorf("dist: hello: %w", err)
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return fmt.Errorf("dist: waiting for job: %w", err)
+	}
+	if msg.Kind == wire.KindShutdown {
+		return nil
+	}
+	if msg.Kind != wire.KindJob || msg.Job == nil {
+		return fmt.Errorf("dist: expected a job, got %q", msg.Kind)
+	}
+	job := *msg.Job
+	job.Opts.Interrupted = func() bool { return stopping.Load() }
+	nprocs, factory, err := resolve(job)
+	if err != nil {
+		c.Send(&wire.Msg{Kind: wire.KindFail, Fail: &wire.Fail{Err: err.Error()}})
+		return fmt.Errorf("dist: unresolvable job: %w", err)
+	}
+
+	// mirror is this worker's copy of the coordinator's visited-state table,
+	// advanced by lease deltas. Closure entries max-merge commutatively, so
+	// applying a delta is idempotent; the lock only orders barrier updates
+	// against lookups from running subtrees.
+	var mu sync.RWMutex
+	mirror := map[uint64]int{}
+	frozen := func(fp uint64) (int, bool) {
+		mu.RLock()
+		defer mu.RUnlock()
+		rem, ok := mirror[fp]
+		return rem, ok
+	}
+
+	// The local pool: the coordinator never has more than slots leases
+	// outstanding, so the buffered channel never blocks the read loop.
+	leases := make(chan wire.Lease, slots)
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lease := range leases {
+				outcome, err := trace.RunSubtree(nprocs, factory, job.Opts, lease.Root, lease.Base, frozen)
+				if err != nil {
+					c.Send(&wire.Msg{Kind: wire.KindFail, Fail: &wire.Fail{Err: err.Error()}})
+					conn.Close()
+					return
+				}
+				if outcome.Stopped {
+					return // abandoned mid-subtree: incomplete, never reported
+				}
+				if err := c.Send(&wire.Msg{Kind: wire.KindResult, Result: &wire.Result{ID: lease.ID, Outcome: outcome}}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		stopping.Store(true)
+		close(leases)
+		wg.Wait()
+	}()
+
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dist: connection lost: %w", err)
+		}
+		switch msg.Kind {
+		case wire.KindLease:
+			if msg.Lease == nil {
+				return fmt.Errorf("dist: empty lease")
+			}
+			mu.Lock()
+			for _, e := range msg.Lease.Table {
+				if cur, ok := mirror[e.Fp]; !ok || e.Rem > cur {
+					mirror[e.Fp] = e.Rem
+				}
+			}
+			mu.Unlock()
+			leases <- *msg.Lease
+		case wire.KindShutdown:
+			return nil
+		default:
+			return fmt.Errorf("dist: unexpected %q from coordinator", msg.Kind)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"revisionist/internal/core"
 	"revisionist/internal/protocol"
 	"revisionist/internal/sched"
+	"revisionist/internal/trace"
 )
 
 // UsageError marks a command-line error (bad flag value, unknown protocol or
@@ -152,6 +153,53 @@ func WriteRegistry(w io.Writer) {
 		for _, s := range pr.Schema {
 			fmt.Fprintf(w, "    -%-4s %-5s default %-5s %s\n", s.Name, s.Kind, s.FormatDefault(), s.Doc)
 		}
+	}
+}
+
+// CheckOutcome is the shared post-Check epilogue of modelcheck and
+// distcheck: it writes the interrupted banner and the rendered report, and
+// returns the process outcome — err itself when the check failed outright,
+// a "violating schedule(s) found" error, an "interrupted" error (an
+// unfinished check must not exit 0: "no violations found" covers only the
+// schedules explored), or nil on a clean completed check. Centralizing it
+// keeps the two cmds byte-comparable (the dist smoke literally diffs their
+// reports).
+func CheckOutcome(w io.Writer, rep *CheckReport, err error, maxDepth int, prune bool) error {
+	interrupted := errors.Is(err, trace.ErrInterrupted)
+	if err != nil && !interrupted {
+		return err
+	}
+	if interrupted {
+		fmt.Fprintln(w, "interrupted: partial results follow")
+	}
+	WriteCheckReport(w, rep, maxDepth, prune)
+	if n := len(rep.Explore.Violations); n > 0 {
+		return fmt.Errorf("%d violating schedule(s) found", n)
+	}
+	if interrupted {
+		return fmt.Errorf("interrupted before the search completed")
+	}
+	return nil
+}
+
+// WriteCheckReport renders an exploration report — the shared output of
+// modelcheck and the distributed distcheck, which keeps the two byte-
+// comparable (the dist smoke check literally diffs them). maxDepth is the
+// bound the caller explored under; prune adds the stateful counters.
+func WriteCheckReport(w io.Writer, rep *CheckReport, maxDepth int, prune bool) {
+	ex := rep.Explore
+	fmt.Fprintf(w, "%s n=%d: %d schedules explored (depth <= %d, %d truncated, exhausted=%v)\n",
+		rep.Protocol.Name, rep.Params.N, ex.Runs, maxDepth, ex.Truncated, ex.Exhausted)
+	if prune {
+		fmt.Fprintf(w, "state pruning: %d subtrees cut, %d configurations closed\n",
+			ex.Pruned, ex.Distinct)
+	}
+	if len(ex.Violations) == 0 {
+		fmt.Fprintln(w, "no violations found")
+		return
+	}
+	for _, v := range ex.Violations {
+		fmt.Fprintf(w, "VIOLATION on schedule %v:\n  %v\n", v.Schedule, v.Err)
 	}
 }
 

@@ -1,0 +1,89 @@
+// Distributed Check: the harness front door to internal/dist. The
+// coordinator and every worker resolve the same wire job through the
+// protocol registry (Resolve), so a deployment ships only the binary — no
+// protocol code crosses the network, and the merged report is byte-identical
+// to the single-process Check whatever the worker fleet looks like.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+
+	"revisionist/internal/dist"
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/protocol"
+	"revisionist/internal/trace"
+)
+
+// Resolve is the registry-backed dist.Resolver: it instantiates the wire
+// job's protocol from the global registry, exactly as the local Check verb
+// does, so coordinator and workers explore identical systems.
+func Resolve(job wire.Job) (int, trace.Factory, error) {
+	pr, err := protocol.Lookup(job.Protocol)
+	if err != nil {
+		return 0, nil, err
+	}
+	p, err := pr.Resolve(job.Params)
+	if err != nil {
+		return 0, nil, err
+	}
+	return p.N, factory(pr, p), nil
+}
+
+// CheckJob resolves Options into the wire job a distributed Check explores:
+// the registry protocol name, its fully resolved parameters and the
+// exploration bounds (Interrupted stays local; it never crosses the wire).
+func CheckJob(opts Options) (wire.Job, error) {
+	pr, p, err := opts.resolve()
+	if err != nil {
+		return wire.Job{}, err
+	}
+	return wire.Job{Protocol: pr.Name, Params: p, Opts: exploreOpts(opts)}, nil
+}
+
+// ServeCheck runs Check as the distributed coordinator on ln (nil = listen
+// on the Options.Serve TCP address): subtrees of the schedule tree are
+// leased to connecting workers, results merge deterministically, and dead
+// workers' leases are re-issued. It blocks until the search completes or ctx
+// is cancelled — then the partial report comes back with
+// trace.ErrInterrupted, like an interrupted local Check.
+func ServeCheck(ctx context.Context, opts Options, ln net.Listener) (*CheckReport, error) {
+	pr, p, err := opts.resolve()
+	if err != nil {
+		return nil, err
+	}
+	job := wire.Job{Protocol: pr.Name, Params: p, Opts: exploreOpts(opts)}
+	if ln == nil {
+		if opts.Serve == "" {
+			return nil, &UsageError{Err: fmt.Errorf("harness: ServeCheck needs a listener or Options.Serve address")}
+		}
+		ln, err = net.Listen("tcp", opts.Serve)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep, err := dist.Serve(ctx, ln, job, Resolve)
+	if err != nil && !(errors.Is(err, trace.ErrInterrupted) && rep != nil) {
+		return nil, err
+	}
+	return &CheckReport{Protocol: pr, Params: p, Explore: rep}, err
+}
+
+// ConnectCheck joins a distributed Check as a worker over conn (nil = dial
+// the Options.Connect TCP address), running leased subtrees on
+// Options.Workers local slots until the coordinator shuts down.
+func ConnectCheck(ctx context.Context, opts Options, conn net.Conn) error {
+	if conn == nil {
+		if opts.Connect == "" {
+			return &UsageError{Err: fmt.Errorf("harness: ConnectCheck needs a connection or Options.Connect address")}
+		}
+		var err error
+		conn, err = net.Dial("tcp", opts.Connect)
+		if err != nil {
+			return err
+		}
+	}
+	return dist.Work(ctx, conn, opts.Workers, Resolve)
+}

@@ -63,6 +63,21 @@ type Options struct {
 	// workload (Stress).
 	Seed int64
 
+	// Serve and Connect select the distributed Check mode (see
+	// internal/dist). Serve is a TCP listen address: ServeCheck coordinates
+	// the exploration, leasing schedule subtrees to connecting workers and
+	// merging their results into the exact single-process report. Connect is
+	// a coordinator address: ConnectCheck joins as a worker, running leased
+	// subtrees on Workers local slots. Both empty = in-process search.
+	Serve   string
+	Connect string
+
+	// Interrupted, when non-nil, is polled between schedules by Check-style
+	// verbs; returning true stops the search, which then reports the partial
+	// results gathered so far alongside trace.ErrInterrupted (the cmds wire
+	// SIGINT to this).
+	Interrupted func() bool
+
 	// Run: F simulators (default 3), D of them direct, and whether to
 	// reconstruct and replay the simulated execution (Lemmas 26-27).
 	F        int
@@ -256,18 +271,14 @@ type CheckReport struct {
 	Explore *trace.ExploreReport
 }
 
-// Check exhaustively explores the schedules of the selected protocol up to
-// Options.MaxDepth, validating the task on every schedule.
-func Check(opts Options) (*CheckReport, error) {
-	pr, p, err := opts.resolve()
-	if err != nil {
-		return nil, err
-	}
+// exploreOpts resolves Options into the exploration bounds Check — local or
+// distributed — runs under.
+func exploreOpts(opts Options) trace.ExploreOpts {
 	engine := opts.Engine
 	if engine == "" {
 		engine = sched.DefaultEngine
 	}
-	rep, err := trace.Explore(p.N, factory(pr, p), trace.ExploreOpts{
+	return trace.ExploreOpts{
 		MaxDepth:      defaultInt(opts.MaxDepth, 20),
 		MaxRuns:       defaultInt(opts.MaxRuns, 200_000),
 		MaxViolations: defaultInt(opts.MaxViolations, 1),
@@ -276,12 +287,25 @@ func Check(opts Options) (*CheckReport, error) {
 		Prune:         opts.Prune,
 		// Checkpointing needs forkable machine state, which only the
 		// sequential engine can resume; the goroutine engine still prunes.
-		Checkpoint: opts.Prune && engine == sched.EngineSeq,
-	})
+		Checkpoint:  opts.Prune && engine == sched.EngineSeq,
+		Interrupted: opts.Interrupted,
+	}
+}
+
+// Check exhaustively explores the schedules of the selected protocol up to
+// Options.MaxDepth, validating the task on every schedule. On interruption
+// (Options.Interrupted) the partial report is returned alongside
+// trace.ErrInterrupted.
+func Check(opts Options) (*CheckReport, error) {
+	pr, p, err := opts.resolve()
 	if err != nil {
 		return nil, err
 	}
-	return &CheckReport{Protocol: pr, Params: p, Explore: rep}, nil
+	rep, err := trace.Explore(p.N, factory(pr, p), exploreOpts(opts))
+	if err != nil && !(errors.Is(err, trace.ErrInterrupted) && rep != nil) {
+		return nil, err
+	}
+	return &CheckReport{Protocol: pr, Params: p, Explore: rep}, err
 }
 
 // FuzzReport is the outcome of an adversarial schedule search.

@@ -49,6 +49,15 @@ type ExploreOpts struct {
 	// replaying the whole schedule. Requires System.Fork, System.Machines and
 	// the sequential engine. Reports are identical with and without it.
 	Checkpoint bool
+	// Interrupted, when non-nil, is polled between schedules (at every DFS
+	// loop top, on every worker). When it returns true the search stops after
+	// the current run and Explore returns the partial report accumulated so
+	// far — runs, truncations and violations already found, merged across
+	// whatever subtrees completed — alongside ErrInterrupted. The partial
+	// report is best-effort: unlike a completed search it may depend on
+	// worker scheduling. Excluded from the wire encoding of the distributed
+	// search (a remote worker cannot poll a local closure).
+	Interrupted func() bool `json:"-"`
 }
 
 // Violation is one failing schedule.
@@ -219,6 +228,9 @@ func exploreSequential(nprocs int, factory Factory, opts ExploreOpts) (*ExploreR
 	strat := &recStrategy{maxDepth: opts.MaxDepth}
 	prefix := []int{}
 	for {
+		if opts.Interrupted != nil && opts.Interrupted() {
+			return report, ErrInterrupted
+		}
 		if opts.MaxRuns > 0 && report.Runs >= opts.MaxRuns {
 			return report, nil
 		}

@@ -171,6 +171,10 @@ type subtreeResult struct {
 	errTruncCum    int
 	errPrunedCum   int
 	errDistinctCum int
+
+	// stopped marks a subtree abandoned by ExploreOpts.Interrupted: the merge
+	// credits whatever it completed and returns ErrInterrupted.
+	stopped bool
 }
 
 // setBit marks run ordinal ord in a per-run bitset.
@@ -237,6 +241,10 @@ type exploreShared struct {
 	stopAfter atomic.Int64
 	maxRuns   int
 	maxViol   int
+	// base offsets every budget lower bound: runs already credited before the
+	// first frontier entry. Zero for a whole-tree exploration; a distributed
+	// worker running one leased subtree gets the coordinator's frozen base.
+	base int
 }
 
 func (sh *exploreShared) cutAt(i int) {
@@ -251,7 +259,7 @@ func (sh *exploreShared) cutAt(i int) {
 // baseLower returns the current lower bound on runs preceding subtree i in
 // canonical order.
 func (sh *exploreShared) baseLower(i int) int {
-	sum := 0
+	sum := sh.base
 	for j := 0; j < i; j++ {
 		sum += int(sh.counters[j].Load())
 	}
@@ -276,6 +284,11 @@ func (sh *exploreShared) exploreSubtree(i, nprocs int, factory Factory, opts Exp
 	for {
 		if int64(i) > sh.stopAfter.Load() {
 			return sr // an earlier subtree already ends the search
+		}
+		if opts.Interrupted != nil && opts.Interrupted() {
+			sr.stopped = true
+			sh.cutAt(i)
+			return sr
 		}
 		sh.counters[i].Add(1)
 		strat.reset(prefix)
@@ -380,15 +393,18 @@ func exploreParallel(nprocs int, factory Factory, opts ExploreOpts, workers int)
 		}()
 	}
 	wg.Wait()
-	return mergeSubtrees(frontier, results, opts.MaxRuns, maxViol)
+	return mergeSubtrees(frontier, results, opts.MaxRuns, maxViol, false)
 }
 
 // mergeSubtrees folds per-subtree results, in canonical DFS order, into the
 // report the sequential loop would have produced: it credits each subtree's
 // runs against the MaxRuns budget, re-applies the MaxViolations and
 // run-error cutoffs at their exact run ordinals, and trims the speculative
-// overshoot past the first cutoff.
-func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol int) (*ExploreReport, error) {
+// overshoot past the first cutoff. With interrupted set (the caller's
+// context was cancelled mid-search), missing or partial subtrees terminate
+// the merge with the report so far and ErrInterrupted instead of being
+// internal errors.
+func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol int, interrupted bool) (*ExploreReport, error) {
 	rep := &ExploreReport{}
 	for i, sr := range results {
 		budgetRem := math.MaxInt
@@ -399,7 +415,16 @@ func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol 
 			}
 		}
 		if sr == nil {
+			if interrupted {
+				return rep, ErrInterrupted
+			}
 			return nil, fmt.Errorf("trace: internal: subtree %v was never explored", frontier[i])
+		}
+		// A subtree abandoned by ExploreOpts.Interrupted: credit what it
+		// completed and stop — the partial report is best-effort.
+		if sr.stopped {
+			credit(rep, sr)
+			return rep, ErrInterrupted
 		}
 		violRem := maxViol - len(rep.Violations)
 		// MaxViolations cutoff inside this subtree? (Violation ordinals
@@ -446,16 +471,26 @@ func mergeSubtrees(frontier [][]int, results []*subtreeResult, maxRuns, maxViol 
 		}
 		// No cutoff here: credit the whole subtree.
 		if !sr.exhausted {
+			if interrupted {
+				credit(rep, sr)
+				return rep, ErrInterrupted
+			}
 			return nil, fmt.Errorf("trace: internal: partial subtree %v survived merging", frontier[i])
 		}
-		rep.Runs += sr.runs
-		rep.Truncated += sr.truncated
-		rep.Pruned += sr.pruned
-		rep.Distinct += sr.distinct
-		for _, sv := range sr.viols {
-			rep.Violations = append(rep.Violations, sv.v)
-		}
+		credit(rep, sr)
 	}
 	rep.Exhausted = true
 	return rep, nil
+}
+
+// credit adds one whole subtree result — counters and violations — to the
+// merged report.
+func credit(rep *ExploreReport, sr *subtreeResult) {
+	rep.Runs += sr.runs
+	rep.Truncated += sr.truncated
+	rep.Pruned += sr.pruned
+	rep.Distinct += sr.distinct
+	for _, sv := range sr.viols {
+		rep.Violations = append(rep.Violations, sv.v)
+	}
 }

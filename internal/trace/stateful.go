@@ -106,10 +106,24 @@ func (t *fpTable) size() int {
 	return n
 }
 
+// fpSource is a read-only view of previously closed states. The in-process
+// explorer reads an fpTable frozen at the wave barrier; a distributed worker
+// reads its mirror of the coordinator's table, frozen the same way (deltas
+// are only applied between leases of different waves).
+type fpSource interface {
+	lookup(fp uint64) (int, bool)
+}
+
+// fpFunc adapts a plain lookup function (the exported RunSubtree surface) to
+// fpSource.
+type fpFunc func(fp uint64) (int, bool)
+
+func (f fpFunc) lookup(fp uint64) (int, bool) { return f(fp) }
+
 // stateCache is one subtree's view of the visited states: the global table
 // (frozen for the duration of the wave) plus the subtree's private closures.
 type stateCache struct {
-	global *fpTable // nil for a single-subtree exploration
+	global fpSource // nil for a single-subtree exploration
 	local  map[uint64]int
 }
 
@@ -350,6 +364,11 @@ func (ex *stExplorer) explore() *subtreeResult {
 		if int64(ex.i) > ex.sh.stopAfter.Load() {
 			return sr // an earlier subtree already ends the search
 		}
+		if ex.opts.Interrupted != nil && ex.opts.Interrupted() {
+			sr.stopped = true
+			ex.sh.cutAt(ex.i)
+			return sr
+		}
 		ex.sh.counters[ex.i].Add(1)
 		strat, sys, res, err := ex.runOnce(prefix, from)
 		ord := sr.runs
@@ -412,33 +431,44 @@ func (ex *stExplorer) explore() *subtreeResult {
 	}
 }
 
-// exploreStateful is the Prune/Checkpoint entry point: it validates the
-// capability contracts, expands a worker-independent frontier, processes it
-// in canonical waves over the worker pool, and merges the per-subtree
-// results with the same deterministic merge as the plain parallel explorer.
-func exploreStateful(nprocs int, factory Factory, opts ExploreOpts, workers int) (*ExploreReport, error) {
+// validateStateful checks the capability contracts of a Prune/Checkpoint
+// exploration against a probe system: the fingerprint for pruning, the
+// fork/machine contract for checkpointing. Shared by the in-process entry
+// point and the distributed worker's RunSubtree.
+func validateStateful(nprocs int, factory Factory, opts ExploreOpts) error {
 	kind := opts.Engine
 	if kind == "" {
 		kind = sched.DefaultEngine
 	}
 	probe, err := sched.NewEngine(kind, nprocs, sched.Lowest{})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	caps := factory(probe)
 	if opts.Prune && caps.Fingerprint == nil {
-		return nil, fmt.Errorf("trace: ExploreOpts.Prune requires System.Fingerprint (the factory's systems expose no configuration fingerprint)")
+		return fmt.Errorf("trace: ExploreOpts.Prune requires System.Fingerprint (the factory's systems expose no configuration fingerprint)")
 	}
 	if opts.Checkpoint {
 		if kind != sched.EngineSeq {
-			return nil, fmt.Errorf("trace: ExploreOpts.Checkpoint requires the sequential engine, got %q", kind)
+			return fmt.Errorf("trace: ExploreOpts.Checkpoint requires the sequential engine, got %q", kind)
 		}
 		if caps.Fork == nil {
-			return nil, fmt.Errorf("trace: ExploreOpts.Checkpoint requires System.Fork (the factory's systems expose no deep copy)")
+			return fmt.Errorf("trace: ExploreOpts.Checkpoint requires System.Fork (the factory's systems expose no deep copy)")
 		}
 		if caps.Machines == nil {
-			return nil, fmt.Errorf("trace: ExploreOpts.Checkpoint requires machine-based systems (System.Machines); coroutine-bridged bodies cannot fork")
+			return fmt.Errorf("trace: ExploreOpts.Checkpoint requires machine-based systems (System.Machines); coroutine-bridged bodies cannot fork")
 		}
+	}
+	return nil
+}
+
+// exploreStateful is the Prune/Checkpoint entry point: it validates the
+// capability contracts, expands a worker-independent frontier, processes it
+// in canonical waves over the worker pool, and merges the per-subtree
+// results with the same deterministic merge as the plain parallel explorer.
+func exploreStateful(nprocs int, factory Factory, opts ExploreOpts, workers int) (*ExploreReport, error) {
+	if err := validateStateful(nprocs, factory, opts); err != nil {
+		return nil, err
 	}
 	maxViol := opts.MaxViolations
 	if maxViol <= 0 {
@@ -533,7 +563,7 @@ func exploreStateful(nprocs int, factory Factory, opts ExploreOpts, workers int)
 			})
 		}
 	}
-	rep, err := mergeSubtrees(frontier, results, opts.MaxRuns, maxViol)
+	rep, err := mergeSubtrees(frontier, results, opts.MaxRuns, maxViol, false)
 	if err == nil && table != nil && rep.Exhausted {
 		// An exhausted search published every wave, so the table holds the
 		// union of all closures: the exact distinct-configuration count. The
