@@ -42,5 +42,7 @@ protocols:
 dist-smoke:
 	$(GO) run ./cmd/distcheck -smoke -protocol firstvalue -n 4 -prune
 	$(GO) run ./cmd/distcheck -smoke -protocol kset -n 4 -k 3 -prune
+	$(GO) run ./cmd/distcheck -smoke -protocol firstvalue -n 4 -prune -symmetry
+	$(GO) run ./cmd/distcheck -smoke -protocol kset -n 4 -k 3 -prune -symmetry
 
 ci: vet build test race bench-smoke

@@ -84,6 +84,7 @@ func run(args []string, out io.Writer) error {
 		Engine:        shared.Engine,
 		Workers:       shared.Workers,
 		Prune:         shared.Prune,
+		Symmetry:      shared.Symmetry,
 		MaxDepth:      *depth,
 		MaxRuns:       *maxRuns,
 		MaxViolations: *maxViol,
@@ -121,16 +122,16 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "coordinator: serving %s n=%d on %s\n", job.Protocol, job.Params.N, ln.Addr())
 		rep, err := harness.ServeCheck(ctx, opts, ln)
-		return harness.CheckOutcome(out, rep, err, *depth, shared.Prune)
+		return harness.CheckOutcome(out, rep, err, *depth, shared.Prune, shared.Symmetry, nil)
 	default:
-		return smokeCheck(ctx, out, opts, *depth, shared.Prune)
+		return smokeCheck(ctx, out, opts, *depth, shared.Prune, shared.Symmetry)
 	}
 }
 
 // smokeCheck is the `make dist-smoke` payload: run the single-process Check,
 // then the same job through a real TCP-loopback coordinator with two
 // workers, and fail unless the two rendered reports are byte-identical.
-func smokeCheck(ctx context.Context, out io.Writer, opts harness.Options, depth int, prune bool) error {
+func smokeCheck(ctx context.Context, out io.Writer, opts harness.Options, depth int, prune, symmetry bool) error {
 	single, err := harness.Check(opts)
 	if err != nil {
 		return err
@@ -162,8 +163,8 @@ func smokeCheck(ctx context.Context, out io.Writer, opts harness.Options, depth 
 	}
 
 	var want, got bytes.Buffer
-	harness.WriteCheckReport(&want, single, depth, prune)
-	harness.WriteCheckReport(&got, distRep, depth, prune)
+	harness.WriteCheckReport(&want, single, depth, prune, symmetry, nil)
+	harness.WriteCheckReport(&got, distRep, depth, prune, symmetry, nil)
 	fmt.Fprintf(out, "smoke: coordinator + 2 TCP-loopback workers on %s n=%d\n", single.Protocol.Name, single.Params.N)
 	out.Write(got.Bytes())
 	if !bytes.Equal(want.Bytes(), got.Bytes()) {

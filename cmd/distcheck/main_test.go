@@ -30,6 +30,19 @@ func TestSmokeModePruned(t *testing.T) {
 	}
 }
 
+// TestSmokeModeSymmetry covers symmetry-reduced pruning over TCP: the job's
+// Symmetry option crosses the wire, workers canonicalize identically, and the
+// merged report stays byte-identical to the single-process one.
+func TestSmokeModeSymmetry(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-protocol", "firstvalue", "-n", "4", "-prune", "-symmetry"}, &out); err != nil {
+		t.Fatalf("symmetry smoke failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "state pruning (symmetry-reduced):") {
+		t.Fatalf("missing symmetry-reduced pruning counters:\n%s", out.String())
+	}
+}
+
 // TestModeValidation requires exactly one of the three modes.
 func TestModeValidation(t *testing.T) {
 	var out bytes.Buffer

@@ -46,6 +46,17 @@ func TestE5Golden(t *testing.T) {
 	checkGolden(t, "e5.golden", out.Bytes())
 }
 
+// TestE10Golden pins the symmetry-reduction table: the run and distinct-state
+// counts are seed-independent (only fingerprint equality is ever used), so
+// the orbit-collapse ratios are exact across machines.
+func TestE10Golden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-section", "e10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "e10.golden", out.Bytes())
+}
+
 func TestUnknownSectionIsUsageError(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-section", "zzz"}, &out); err == nil {

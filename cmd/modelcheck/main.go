@@ -31,6 +31,7 @@ import (
 	"os/signal"
 
 	"revisionist/internal/harness"
+	"revisionist/internal/trace"
 )
 
 func main() {
@@ -85,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		Engine:        shared.Engine,
 		Workers:       shared.Workers,
 		Prune:         shared.Prune,
+		Symmetry:      shared.Symmetry,
 		Seed:          *seed,
 		MaxDepth:      *depth,
 		MaxRuns:       *maxRuns,
@@ -107,7 +109,19 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rep, err := harness.Check(opts)
-	exit := harness.CheckOutcome(out, rep, err, *depth, shared.Prune)
+	// Under -symmetry a completed check also runs the unreduced (-prune only)
+	// search so the report can state the orbit-collapse ratio: how many
+	// pid-permuted duplicates the canonical fingerprint merged away.
+	var baseline *trace.ExploreReport
+	if shared.Symmetry && err == nil && rep != nil {
+		base := opts
+		base.Symmetry = false
+		base.Prune = true
+		if baseRep, berr := harness.Check(base); berr == nil {
+			baseline = baseRep.Explore
+		}
+	}
+	exit := harness.CheckOutcome(out, rep, err, *depth, shared.Prune, shared.Symmetry, baseline)
 	if rep == nil {
 		return exit
 	}

@@ -40,6 +40,18 @@ func TestFalsificationGolden(t *testing.T) {
 	checkGolden(t, "falsification.golden", out.Bytes())
 }
 
+// TestSymmetryGolden pins the -prune -symmetry report, orbit-collapse line
+// included: canonical-fingerprint counts depend only on hash equality, never
+// on hash values, so they are deterministic across processes and machines.
+func TestSymmetryGolden(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-protocol", "firstvalue", "-n", "3", "-depth", "20", "-prune", "-symmetry"}, &out)
+	if err != nil {
+		t.Fatalf("firstvalue should check clean: %v\n%s", err, out.String())
+	}
+	checkGolden(t, "symmetry.golden", out.Bytes())
+}
+
 // TestCorrectProtocolClean checks the complementary direction: correct
 // consensus has no violating schedule at small depth.
 func TestCorrectProtocolClean(t *testing.T) {

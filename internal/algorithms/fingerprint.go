@@ -78,6 +78,41 @@ func (r AANReg) AppendValueFingerprint(h *maphash.Hash) {
 	maphash.WriteComparable(h, r.V)
 }
 
+// Canonical digest paths (sched.CanonicalFingerprinter /
+// shmem.CanonicalValueFingerprinter) for the processes and composite values
+// whose state can hold declared input values: the held value is rewritten to
+// its renamed role token through shmem.AppendValueCanon. Processes whose
+// digests carry neither pids nor input values (Singleton, AA2, AAN, AANReg)
+// need no canonical variant — the harness falls back to their plain digest,
+// which is already orbit-invariant under slot reordering.
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter.
+func (p *FirstValue) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(0x40)
+	maphash.WriteComparable(h, p.wrote)
+	maphash.WriteComparable(h, p.done)
+	maphash.WriteComparable(h, p.poisedUpdate)
+	shmem.AppendValueCanon(h, p.out, c)
+}
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter.
+func (p *Paxos) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(0x42)
+	maphash.WriteComparable(h, p.r)
+	maphash.WriteComparable(h, int(p.phase))
+	shmem.AppendValueCanon(h, p.val, c)
+	p.myReg.AppendCanonicalValueFingerprint(h, c)
+	shmem.AppendValueCanon(h, p.out, c)
+}
+
+// AppendCanonicalValueFingerprint implements shmem.CanonicalValueFingerprinter.
+func (r PaxosReg) AppendCanonicalValueFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(0x43)
+	maphash.WriteComparable(h, r.LRE)
+	maphash.WriteComparable(h, r.LRWW)
+	shmem.AppendValueCanon(h, r.Val, c)
+}
+
 var (
 	_ sched.Fingerprinter      = (*FirstValue)(nil)
 	_ sched.Fingerprinter      = (*Singleton)(nil)
@@ -86,4 +121,8 @@ var (
 	_ sched.Fingerprinter      = (*AAN)(nil)
 	_ shmem.ValueFingerprinter = PaxosReg{}
 	_ shmem.ValueFingerprinter = AANReg{}
+
+	_ sched.CanonicalFingerprinter      = (*FirstValue)(nil)
+	_ sched.CanonicalFingerprinter      = (*Paxos)(nil)
+	_ shmem.CanonicalValueFingerprinter = PaxosReg{}
 )

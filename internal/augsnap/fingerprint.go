@@ -59,7 +59,62 @@ func (a *AugSnapshot) AppendFingerprint(h *maphash.Hash) {
 	a.h.(sched.Fingerprinter).AppendFingerprint(h)
 }
 
+// appendTimestampCanon appends a vector timestamp with its per-process
+// entries reordered by the group element's slot sources.
+func appendTimestampCanon(h *maphash.Hash, t Timestamp, c *sched.Canon) {
+	maphash.WriteComparable(h, len(t))
+	for i := range t {
+		maphash.WriteComparable(h, t[c.SlotSrc(i)])
+	}
+}
+
+// AppendCanonicalValueFingerprint implements
+// shmem.CanonicalValueFingerprinter: triples embed an M-component index
+// (rewritten forward through the component permutation) and a per-process
+// vector timestamp; help records embed a destination pid and nested HComp
+// views.
+func (hc HComp) AppendCanonicalValueFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(0x30)
+	maphash.WriteComparable(h, len(hc.Triples))
+	for _, tr := range hc.Triples {
+		maphash.WriteComparable(h, c.CompDst(tr.Comp))
+		shmem.AppendValueCanon(h, tr.Val, c)
+		appendTimestampCanon(h, tr.TS, c)
+	}
+	maphash.WriteComparable(h, hc.NumBU)
+	maphash.WriteComparable(h, len(hc.Help))
+	for _, rec := range hc.Help {
+		maphash.WriteComparable(h, c.Pid(rec.Dst))
+		maphash.WriteComparable(h, rec.Idx)
+		maphash.WriteComparable(h, len(rec.H))
+		for _, nested := range rec.H {
+			nested.AppendCanonicalValueFingerprint(h, c)
+		}
+	}
+}
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter: the
+// per-process Block-Update counters reorder with the slots, and the
+// underlying store canonicalizes recursively (both shmem stores implement
+// the canonical contract).
+func (a *AugSnapshot) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(0x31)
+	maphash.WriteComparable(h, a.f)
+	maphash.WriteComparable(h, a.m)
+	for i := range a.buCount {
+		maphash.WriteComparable(h, a.buCount[c.SlotSrc(i)])
+	}
+	if f, ok := a.h.(sched.CanonicalFingerprinter); ok {
+		f.AppendCanonicalFingerprint(h, c)
+		return
+	}
+	a.h.(sched.Fingerprinter).AppendFingerprint(h)
+}
+
 var (
 	_ shmem.ValueFingerprinter = HComp{}
 	_ sched.Fingerprinter      = (*AugSnapshot)(nil)
+
+	_ shmem.CanonicalValueFingerprinter = HComp{}
+	_ sched.CanonicalFingerprinter      = (*AugSnapshot)(nil)
 )

@@ -83,10 +83,15 @@ func runPipe(t *testing.T, job wire.Job, workers int) (*trace.ExploreReport, err
 // checkJob builds the wire job of a Check over the named protocol.
 func checkJob(t *testing.T, name string, params protocol.Params, prune bool) wire.Job {
 	t.Helper()
+	return checkJobMode(t, name, params, prune, false)
+}
+
+func checkJobMode(t *testing.T, name string, params protocol.Params, prune, symmetry bool) wire.Job {
+	t.Helper()
 	job, err := harness.CheckJob(harness.Options{
 		Protocol: name, Params: params,
 		MaxDepth: 10, MaxRuns: 4000, MaxViolations: 3,
-		Prune: prune,
+		Prune: prune, Symmetry: symmetry,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,15 +99,24 @@ func checkJob(t *testing.T, name string, params protocol.Params, prune bool) wir
 	return job
 }
 
-// TestDistPipeDeterministicAllProtocols runs every registered protocol, with
-// and without pruning, through an in-process pipe coordinator with 1 and
-// then 3 workers, and requires the report byte-identical to the sequential
-// trace.Explore — Violations, Pruned, Distinct and Exhausted included.
+// TestDistPipeDeterministicAllProtocols runs every registered protocol —
+// plain, pruned, and symmetry-reduced — through an in-process pipe
+// coordinator with 1 and then 3 workers, and requires the report
+// byte-identical to the sequential trace.Explore — Violations, Pruned,
+// Distinct and Exhausted included.
 func TestDistPipeDeterministicAllProtocols(t *testing.T) {
+	modes := []struct {
+		tag             string
+		prune, symmetry bool
+	}{
+		{"plain", false, false},
+		{"prune", true, false},
+		{"symmetry", true, true},
+	}
 	for _, pr := range protocol.Protocols() {
-		for _, prune := range []bool{false, true} {
-			t.Run(fmt.Sprintf("%s/prune=%v", pr.Name, prune), func(t *testing.T) {
-				job := checkJob(t, pr.Name, smallParams(pr.Name), prune)
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("%s/%s", pr.Name, mode.tag), func(t *testing.T) {
+				job := checkJobMode(t, pr.Name, smallParams(pr.Name), mode.prune, mode.symmetry)
 				nprocs, factory, err := harness.Resolve(job)
 				if err != nil {
 					t.Fatal(err)
@@ -126,19 +140,22 @@ func TestDistPipeDeterministicAllProtocols(t *testing.T) {
 }
 
 // TestDistTCPLoopback is the acceptance pair over real sockets: firstvalue
-// n=4 and kset n=4 k=3 at exhaustive pruned bounds, one coordinator, two
-// TCP-loopback workers, byte-identical reports.
+// n=4 and kset n=4 k=3 at exhaustive bounds — pruned and symmetry-reduced —
+// one coordinator, two TCP-loopback workers, byte-identical reports.
 func TestDistTCPLoopback(t *testing.T) {
 	for _, c := range []struct {
-		name   string
-		params protocol.Params
+		name     string
+		params   protocol.Params
+		symmetry bool
 	}{
-		{"firstvalue", protocol.Params{N: 4}},
-		{"kset", protocol.Params{N: 4, K: 3}},
+		{"firstvalue", protocol.Params{N: 4}, false},
+		{"firstvalue", protocol.Params{N: 4}, true},
+		{"kset", protocol.Params{N: 4, K: 3}, false},
+		{"kset", protocol.Params{N: 4, K: 3}, true},
 	} {
-		t.Run(c.name, func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s/symmetry=%v", c.name, c.symmetry), func(t *testing.T) {
 			job, err := harness.CheckJob(harness.Options{
-				Protocol: c.name, Params: c.params, MaxDepth: 14, Prune: true,
+				Protocol: c.name, Params: c.params, MaxDepth: 14, Prune: true, Symmetry: c.symmetry,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -36,8 +36,10 @@ import (
 
 // Version is the protocol version; a coordinator rejects workers speaking a
 // different one (the search's determinism depends on both sides running the
-// same subtree semantics).
-const Version = 1
+// same subtree semantics). Version 2 added ExploreOpts.Symmetry: a version-1
+// worker would silently drop the field and explore with plain fingerprints,
+// corrupting the merge.
+const Version = 2
 
 // MaxFrame caps one frame's length (64 MiB): a corrupt or hostile length
 // prefix must not allocate unboundedly.

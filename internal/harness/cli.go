@@ -55,11 +55,15 @@ type Flags struct {
 	List     bool
 	Workers  int
 	Prune    bool
+	// Symmetry is the -symmetry value: symmetry-reduced pruning (implies
+	// -prune) for Check-style verbs.
+	Symmetry bool
 	// Params carries the -n/-k/-x/-eps values; 0 means "schema default".
 	Params protocol.Params
 
 	protocolF, engineF *string
 	listF, pruneF      *bool
+	symmetryF          *bool
 	workersF           *int
 	nF, kF, xF         *int
 	epsF               *float64
@@ -91,6 +95,7 @@ func bindListFlags(fs *flag.FlagSet, def string) *Flags {
 	f.listF = fs.Bool("list", false, "list the protocol registry and exit")
 	f.workersF = WorkersFlag(fs)
 	f.pruneF = PruneFlag(fs)
+	f.symmetryF = SymmetryFlag(fs)
 	return f
 }
 
@@ -116,6 +121,16 @@ func PruneFlag(fs *flag.FlagSet) *bool {
 	return fs.Bool("prune", false, "prune exhaustive exploration via state fingerprints + subtree checkpointing (Check-style verbs only)")
 }
 
+// SymmetryFlag registers just the -symmetry flag — the shared switch for
+// symmetry-reduced pruning: the visited-state cache stores canonical
+// fingerprints that collapse process-permutation orbits of the protocol's
+// declared interchangeability classes. Implies -prune; a no-op on protocols
+// that declare no symmetry. Like -prune it only affects Check-style verbs;
+// other verbs accept and ignore it.
+func SymmetryFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("symmetry", false, "collapse process-permutation orbits to one canonical state fingerprint (implies -prune; Check-style verbs only)")
+}
+
 // Resolve validates the parsed flag values; call it after fs.Parse. An
 // unknown engine is a usage error carrying the accepted values.
 func (f *Flags) Resolve() error {
@@ -136,6 +151,9 @@ func (f *Flags) Resolve() error {
 	}
 	if f.pruneF != nil {
 		f.Prune = *f.pruneF
+	}
+	if f.symmetryF != nil {
+		f.Symmetry = *f.symmetryF
 	}
 	if f.nF != nil {
 		f.Params = protocol.Params{N: *f.nF, K: *f.kF, X: *f.xF, Eps: *f.epsF}
@@ -164,7 +182,7 @@ func WriteRegistry(w io.Writer) {
 // schedules explored), or nil on a clean completed check. Centralizing it
 // keeps the two cmds byte-comparable (the dist smoke literally diffs their
 // reports).
-func CheckOutcome(w io.Writer, rep *CheckReport, err error, maxDepth int, prune bool) error {
+func CheckOutcome(w io.Writer, rep *CheckReport, err error, maxDepth int, prune, symmetry bool, baseline *trace.ExploreReport) error {
 	interrupted := errors.Is(err, trace.ErrInterrupted)
 	if err != nil && !interrupted {
 		return err
@@ -172,7 +190,7 @@ func CheckOutcome(w io.Writer, rep *CheckReport, err error, maxDepth int, prune 
 	if interrupted {
 		fmt.Fprintln(w, "interrupted: partial results follow")
 	}
-	WriteCheckReport(w, rep, maxDepth, prune)
+	WriteCheckReport(w, rep, maxDepth, prune, symmetry, baseline)
 	if n := len(rep.Explore.Violations); n > 0 {
 		return fmt.Errorf("%d violating schedule(s) found", n)
 	}
@@ -185,14 +203,30 @@ func CheckOutcome(w io.Writer, rep *CheckReport, err error, maxDepth int, prune 
 // WriteCheckReport renders an exploration report — the shared output of
 // modelcheck and the distributed distcheck, which keeps the two byte-
 // comparable (the dist smoke check literally diffs them). maxDepth is the
-// bound the caller explored under; prune adds the stateful counters.
-func WriteCheckReport(w io.Writer, rep *CheckReport, maxDepth int, prune bool) {
+// bound the caller explored under; prune adds the stateful counters, and
+// symmetry marks them as orbit-canonical. baseline, when non-nil, is the
+// same check's unreduced (-prune only) report; the orbit-collapse ratio is
+// printed next to the pruning line. Callers that have no baseline (the
+// distributed coordinator, whose single run IS the report) pass nil and the
+// line is omitted.
+func WriteCheckReport(w io.Writer, rep *CheckReport, maxDepth int, prune, symmetry bool, baseline *trace.ExploreReport) {
 	ex := rep.Explore
 	fmt.Fprintf(w, "%s n=%d: %d schedules explored (depth <= %d, %d truncated, exhausted=%v)\n",
 		rep.Protocol.Name, rep.Params.N, ex.Runs, maxDepth, ex.Truncated, ex.Exhausted)
-	if prune {
-		fmt.Fprintf(w, "state pruning: %d subtrees cut, %d configurations closed\n",
-			ex.Pruned, ex.Distinct)
+	if prune || symmetry {
+		label := "state pruning"
+		if symmetry {
+			label = "state pruning (symmetry-reduced)"
+		}
+		fmt.Fprintf(w, "%s: %d subtrees cut, %d configurations closed\n", label, ex.Pruned, ex.Distinct)
+	}
+	if symmetry && baseline != nil {
+		ratio := float64(baseline.Distinct)
+		if ex.Distinct > 0 {
+			ratio /= float64(ex.Distinct)
+		}
+		fmt.Fprintf(w, "orbit collapse: %d -> %d distinct states (%.1fx), %d -> %d runs\n",
+			baseline.Distinct, ex.Distinct, ratio, baseline.Runs, ex.Runs)
 	}
 	if len(ex.Violations) == 0 {
 		fmt.Fprintln(w, "no violations found")

@@ -59,6 +59,15 @@ type Options struct {
 	// run count shrinks by the protocol's symmetry. The report is identical
 	// for any Workers value. Other verbs ignore it.
 	Prune bool
+	// Symmetry enables symmetry-reduced pruning for Check (implies Prune):
+	// the visited-state cache stores canonical fingerprints that collapse
+	// process-permutation orbits of the protocol's declared interchangeability
+	// classes (protocol.Protocol.Symmetry), multiplying the pruning ratio by
+	// up to |class|!. The violation set matches the unreduced search modulo
+	// renaming interchangeable processes; Exhausted matches exactly. A no-op
+	// (identical to plain Prune) on protocols that declare no symmetry.
+	// Other verbs ignore it.
+	Symmetry bool
 	// Seed seeds the schedule (Run), the search (Fuzz), or the first
 	// workload (Stress).
 	Seed int64
@@ -220,8 +229,11 @@ func Run(opts Options) (*RunReport, error) {
 
 // factory builds the trace.Factory both Check and Fuzz run over: a fresh
 // instance of Π per schedule, on a fresh multi-writer snapshot, checked
-// against Π's task.
+// against Π's task. The symmetry group is enumerated once, outside the
+// per-schedule closure, and shared by every system the factory builds (the
+// canonicalizer is read-only).
 func factory(pr *protocol.Protocol, p protocol.Params) trace.Factory {
+	cz := canonicalizer(pr, p)
 	return func(gate sched.Stepper) trace.System {
 		inst, err := pr.Instantiate(p)
 		if err != nil {
@@ -231,18 +243,47 @@ func factory(pr *protocol.Protocol, p protocol.Params) trace.Factory {
 		}
 		res := proto.NewRunResult(len(inst.Procs))
 		snap := shmem.NewMWSnapshot("M", gate, inst.M, nil)
-		return protoSystem(inst, snap, res, proto.Machines(inst.Procs, snap, res))
+		return protoSystem(inst, snap, res, proto.Machines(inst.Procs, snap, res), cz)
 	}
+}
+
+// canonicalizer enumerates the symmetry group of Π at p from its registry
+// declaration, binding input-role renaming to the canonical default inputs
+// (the inputs factory's instances run with). A structural error is a
+// descriptor bug: registration-time data promised classes that do not fit
+// the instance.
+func canonicalizer(pr *protocol.Protocol, p protocol.Params) *sched.Canonicalizer {
+	sym := pr.Symmetry(p)
+	sp := sched.SymmetrySpec{N: p.N, Classes: sym.Classes, Owned: sym.Owned}
+	if sym.RenameInputs {
+		inputs := pr.DefaultInputs(p, p.N)
+		roles := make(map[any]int)
+		for _, cl := range sym.Classes {
+			for _, pid := range cl {
+				roles[inputs[pid]] = pid
+			}
+		}
+		sp.Roles = roles
+	}
+	cz, err := sched.NewCanonicalizer(sp)
+	if err != nil {
+		panic(fmt.Sprintf("harness: protocol %s declares a malformed symmetry at %+v: %v", pr.Name, p, err))
+	}
+	return cz
 }
 
 // protoSystem assembles the System for a protocol instance, wiring the
 // stateful-exploration hooks: the configuration fingerprint composes the
 // snapshot's state with every machine's (enabling ExploreOpts.Prune — sound
 // here because the task check is a function of the recorded outputs, i.e. of
-// the configuration), and Fork deep-copies the whole system — cloned
-// snapshot, cloned result, cloned machines — recursively, so forks of forks
-// work (checkpointed exploration resumes by forking a frozen fork).
-func protoSystem(inst *protocol.Instance, snap *shmem.MWSnapshot, res *proto.RunResult, machines []sched.Machine) trace.System {
+// the configuration), the canonical fingerprint minimizes that same hash
+// over the protocol's symmetry group (enabling ExploreOpts.Symmetry; with no
+// declared symmetry the group is the identity and the hook is an exact
+// no-op), and Fork deep-copies the whole system — cloned snapshot, cloned
+// result, cloned machines — recursively, so forks of forks work
+// (checkpointed exploration resumes by forking a frozen fork).
+func protoSystem(inst *protocol.Instance, snap *shmem.MWSnapshot, res *proto.RunResult,
+	machines []sched.Machine, cz *sched.Canonicalizer) trace.System {
 	return trace.System{
 		Machines: machines,
 		Check: func(*sched.Result) error {
@@ -254,10 +295,18 @@ func protoSystem(inst *protocol.Instance, snap *shmem.MWSnapshot, res *proto.Run
 				m.(sched.Fingerprinter).AppendFingerprint(h)
 			}
 		},
+		CanonicalFingerprint: func(h *maphash.Hash) uint64 {
+			return cz.Canonical(h, func(h *maphash.Hash, c *sched.Canon) {
+				snap.AppendCanonicalFingerprint(h, c)
+				for s := range machines {
+					machines[c.SlotSrc(s)].(sched.CanonicalFingerprinter).AppendCanonicalFingerprint(h, c)
+				}
+			})
+		},
 		Fork: func(gate sched.Stepper) trace.System {
 			snap2 := snap.Fork(gate)
 			res2 := res.Clone()
-			return protoSystem(inst, snap2, res2, proto.ForkMachines(machines, snap2, res2))
+			return protoSystem(inst, snap2, res2, proto.ForkMachines(machines, snap2, res2), cz)
 		},
 	}
 }
@@ -278,16 +327,20 @@ func exploreOpts(opts Options) trace.ExploreOpts {
 	if engine == "" {
 		engine = sched.DefaultEngine
 	}
+	// Symmetry implies Prune: the reduction is a property of the
+	// visited-state cache, so there is nothing for it to reduce without one.
+	prune := opts.Prune || opts.Symmetry
 	return trace.ExploreOpts{
 		MaxDepth:      defaultInt(opts.MaxDepth, 20),
 		MaxRuns:       defaultInt(opts.MaxRuns, 200_000),
 		MaxViolations: defaultInt(opts.MaxViolations, 1),
 		Engine:        engine,
 		Workers:       opts.Workers,
-		Prune:         opts.Prune,
+		Prune:         prune,
+		Symmetry:      opts.Symmetry,
 		// Checkpointing needs forkable machine state, which only the
 		// sequential engine can resume; the goroutine engine still prunes.
-		Checkpoint:  opts.Prune && engine == sched.EngineSeq,
+		Checkpoint:  prune && engine == sched.EngineSeq,
 		Interrupted: opts.Interrupted,
 	}
 }

@@ -30,6 +30,29 @@ func (mc *procMachine) AppendFingerprint(h *maphash.Hash) {
 	fmt.Fprintf(h, "%T%#v", mc.p, mc.p)
 }
 
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter: the
+// driver flags carry no process identity, so only the wrapped Process
+// decides — a canonical-aware process rewrites its embedded pids and input
+// values through the Canon, anything else takes its plain digest (which
+// weakens the orbit collapse for that process but never merges distinct
+// orbits).
+func (mc *procMachine) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(0x50)
+	maphash.WriteComparable(h, mc.started)
+	maphash.WriteComparable(h, mc.wantScan)
+	maphash.WriteComparable(h, mc.done)
+	if f, ok := mc.p.(sched.CanonicalFingerprinter); ok {
+		f.AppendCanonicalFingerprint(h, c)
+		return
+	}
+	if f, ok := mc.p.(sched.Fingerprinter); ok {
+		f.AppendFingerprint(h)
+		return
+	}
+	h.WriteByte(0x51)
+	fmt.Fprintf(h, "%T%#v", mc.p, mc.p)
+}
+
 // fork deep-copies the machine — driver flags, poised operation and cloned
 // process — rebound to snapshot m and result res.
 func (mc *procMachine) fork(m Snapshot, res *RunResult) *procMachine {
@@ -64,4 +87,7 @@ func (r *RunResult) Clone() *RunResult {
 	}
 }
 
-var _ sched.Fingerprinter = (*procMachine)(nil)
+var (
+	_ sched.Fingerprinter          = (*procMachine)(nil)
+	_ sched.CanonicalFingerprinter = (*procMachine)(nil)
+)

@@ -42,6 +42,30 @@ func init() {
 		// protocol shape of Attiya, Lynch and Shavit [9].
 		return lb, p.N, err
 	}
+	// Symmetry helpers. noSymmetry is the explicit "no interchangeable
+	// processes" declaration: Paxos members are distinguished by their ballot
+	// arithmetic (member i proposes ballots congruent to i), which is baked
+	// into the integers stored in PaxosReg fields, so permuting members does
+	// not map reachable configurations to reachable configurations.
+	noSymmetry := func(Params) Symmetry { return Symmetry{} }
+	pidRange := func(lo, hi int) []int { // [lo, hi)
+		if hi <= lo {
+			return nil
+		}
+		out := make([]int, hi-lo)
+		for i := range out {
+			out[i] = lo + i
+		}
+		return out
+	}
+	// ownEach declares that pid i owns exactly component i, for i in [0, n).
+	ownEach := func(n int) [][]int {
+		out := make([][]int, n)
+		for i := range out {
+			out[i] = []int{i}
+		}
+		return out
+	}
 
 	Register(&Protocol{
 		Name:          "consensus",
@@ -53,6 +77,7 @@ func init() {
 			return algorithms.NewConsensus(p.N, inputs)
 		},
 		Task:        func(Params) spec.Task { return spec.Consensus{} },
+		Symmetry:    noSymmetry,
 		SpaceBounds: consensusBounds,
 	})
 
@@ -74,6 +99,7 @@ func init() {
 			return procs, p.N, nil
 		},
 		Task:        func(Params) spec.Task { return spec.Consensus{} },
+		Symmetry:    noSymmetry,
 		SpaceBounds: consensusBounds,
 	})
 
@@ -85,6 +111,11 @@ func init() {
 		DefaultInputs: intInputs,
 		Build:         buildFirstValue,
 		Task:          func(Params) spec.Task { return spec.Trivial{} },
+		// All processes run the identical race-to-write program; the trivial
+		// task is invariant under renaming inputs.
+		Symmetry: func(p Params) Symmetry {
+			return Symmetry{Classes: [][]int{pidRange(0, p.N)}, RenameInputs: true}
+		},
 	})
 
 	Register(&Protocol{
@@ -95,6 +126,11 @@ func init() {
 		DefaultInputs: intInputs,
 		Build:         buildFirstValue,
 		Task:          func(Params) spec.Task { return spec.Consensus{} },
+		// Same program as firstvalue; consensus validity/agreement are
+		// invariant under bijectively renaming the inputs.
+		Symmetry: func(p Params) Symmetry {
+			return Symmetry{Classes: [][]int{pidRange(0, p.N)}, RenameInputs: true}
+		},
 	})
 
 	Register(&Protocol{
@@ -111,6 +147,10 @@ func init() {
 			return procs, 1, nil
 		},
 		Task: func(Params) spec.Task { return spec.Trivial{} },
+		// Singletons touch no shared state at all; only their inputs differ.
+		Symmetry: func(p Params) Symmetry {
+			return Symmetry{Classes: [][]int{pidRange(0, p.N)}, RenameInputs: true}
+		},
 	})
 
 	Register(&Protocol{
@@ -130,7 +170,13 @@ func init() {
 		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
 			return algorithms.NewKSetAgreement(p.N, p.K, inputs)
 		},
-		Task:        func(p Params) spec.Task { return spec.KSetAgreement{K: p.K} },
+		Task: func(p Params) spec.Task { return spec.KSetAgreement{K: p.K} },
+		// Pids 0..k-2 are the singleton block (identical programs, no shared
+		// state); the Paxos group members k-1..n-1 are ballot-asymmetric and
+		// stay out. k-set agreement is invariant under renaming inputs.
+		Symmetry: func(p Params) Symmetry {
+			return Symmetry{Classes: [][]int{pidRange(0, p.K-1)}, RenameInputs: true}
+		},
 		SpaceBounds: setBounds(paramK, one),
 	})
 
@@ -155,7 +201,12 @@ func init() {
 		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
 			return algorithms.NewLaneKSetAgreement(p.N, p.K, p.X, inputs)
 		},
-		Task:        func(p Params) spec.Task { return spec.KSetAgreement{K: p.K} },
+		Task: func(p Params) spec.Task { return spec.KSetAgreement{K: p.K} },
+		// Pids 0..k-x-1 are the singleton block; the x Paxos lanes are
+		// ballot-asymmetric and stay out.
+		Symmetry: func(p Params) Symmetry {
+			return Symmetry{Classes: [][]int{pidRange(0, p.K-p.X)}, RenameInputs: true}
+		},
 		SpaceBounds: setBounds(paramK, func(p Params) int { return p.X }),
 	})
 
@@ -183,7 +234,13 @@ func init() {
 			}
 			return algorithms.NewApproxAgreement2([2]float64{fs[0], fs[1]}, p.Eps)
 		},
-		Task:        func(p Params) spec.Task { return spec.ApproxAgreement{Eps: p.Eps} },
+		Task: func(p Params) spec.Task { return spec.ApproxAgreement{Eps: p.Eps} },
+		// The two halvers run the same program modulo their own component.
+		// No input renaming: the eps-validity interval depends on the actual
+		// values, so the task is not invariant under substituting them.
+		Symmetry: func(p Params) Symmetry {
+			return Symmetry{Classes: [][]int{{0, 1}}, Owned: [][]int{{0}, {1}}}
+		},
 		SpaceBounds: aaBounds,
 	})
 
@@ -211,7 +268,12 @@ func init() {
 			}
 			return algorithms.NewApproxAgreementN(fs, p.Eps)
 		},
-		Task:        func(p Params) spec.Task { return spec.ApproxAgreement{Eps: p.Eps} },
+		Task: func(p Params) spec.Task { return spec.ApproxAgreement{Eps: p.Eps} },
+		// Process i owns single-writer component i; programs are identical
+		// modulo that. No input renaming (eps task, as for aa2).
+		Symmetry: func(p Params) Symmetry {
+			return Symmetry{Classes: [][]int{pidRange(0, p.N)}, Owned: ownEach(p.N)}
+		},
 		SpaceBounds: aaBounds,
 	})
 }

@@ -118,6 +118,28 @@ type Instance struct {
 	Inputs []spec.Value
 }
 
+// Symmetry declares a protocol's process-interchangeability structure, the
+// input to symmetry-reduced state fingerprinting (sched.Canonicalizer).
+// Soundness is the declarer's obligation: class members must run the same
+// program up to their own input and owned components, and when RenameInputs
+// is set the task must be invariant under bijective renaming of the class
+// members' input values. An all-zero Symmetry declares "no symmetry" and
+// makes the reduction an exact no-op.
+type Symmetry struct {
+	// Classes are disjoint sets of interchangeable pids.
+	Classes [][]int
+	// Owned lists, per pid, the snapshot components that process owns
+	// (addresses by its identity); co-permuted with the process. Nil when no
+	// class member owns components.
+	Owned [][]int
+	// RenameInputs additionally collapses configurations that differ by which
+	// class member wrote which input: declared input values hash as renamed
+	// role tokens. Requires the task to be invariant under bijectively
+	// renaming the class inputs (true for the discrete tasks here, false for
+	// eps-approximate agreement, whose validity interval depends on values).
+	RenameInputs bool
+}
+
 // Protocol declaratively describes one protocol of the zoo.
 type Protocol struct {
 	// Name is the registry key, e.g. "kset".
@@ -139,6 +161,10 @@ type Protocol struct {
 	Build func(p Params, inputs []spec.Value) ([]proto.Process, int, error)
 	// Task returns the task specification for the resolved parameters.
 	Task func(p Params) spec.Task
+	// Symmetry returns the process-interchangeability declaration for the
+	// resolved parameters. Mandatory: protocols without any symmetry must say
+	// so explicitly by returning the zero Symmetry.
+	Symmetry func(p Params) Symmetry
 	// SpaceBounds optionally returns the paper's lower and upper bounds (in
 	// registers) for the task at these parameters; nil when no bound is
 	// registered for the protocol.

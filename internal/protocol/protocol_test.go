@@ -26,6 +26,54 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
+// TestSymmetryDeclared pins the symmetry annotations: every registered
+// protocol must answer the symmetry question (Register enforces a non-nil
+// func), the answer must be well-formed at the schema defaults, and the
+// symmetric/asymmetric split must match the soundness analysis — paxos
+// (ballots bake pids into register ints) and consensus (the paper's fixed
+// 2-process counterexample harness) declare no classes explicitly.
+func TestSymmetryDeclared(t *testing.T) {
+	asymmetric := map[string]bool{"consensus": true, "paxos": true}
+	for _, pr := range Protocols() {
+		t.Run(pr.Name, func(t *testing.T) {
+			if pr.Symmetry == nil {
+				t.Fatal("nil Symmetry func escaped Register")
+			}
+			p, err := pr.Resolve(Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sym := pr.Symmetry(p)
+			if asymmetric[pr.Name] {
+				if len(sym.Classes) != 0 || len(sym.Owned) != 0 || sym.RenameInputs {
+					t.Fatalf("%s must declare the zero Symmetry, got %+v", pr.Name, sym)
+				}
+				return
+			}
+			total := 0
+			seen := map[int]bool{}
+			for _, cl := range sym.Classes {
+				for _, pid := range cl {
+					if pid < 0 || pid >= p.N {
+						t.Errorf("class pid %d out of range [0,%d)", pid, p.N)
+					}
+					if seen[pid] {
+						t.Errorf("pid %d in two classes", pid)
+					}
+					seen[pid] = true
+					total++
+				}
+			}
+			if total == 0 {
+				t.Errorf("%s declares no interchangeable processes; expected at least one class", pr.Name)
+			}
+			if len(sym.Owned) != 0 && len(sym.Owned) != p.N {
+				t.Errorf("Owned has %d rows, want 0 or n=%d", len(sym.Owned), p.N)
+			}
+		})
+	}
+}
+
 // TestInstantiateDefaults checks that every registered protocol's schema
 // defaults validate and instantiate into a well-formed Instance.
 func TestInstantiateDefaults(t *testing.T) {
@@ -130,7 +178,8 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 		Build: func(p Params, in []spec.Value) ([]proto.Process, int, error) {
 			return nil, 1, nil
 		},
-		Task: func(Params) spec.Task { return spec.Trivial{} },
+		Task:     func(Params) spec.Task { return spec.Trivial{} },
+		Symmetry: func(Params) Symmetry { return Symmetry{} },
 	}
 	r.Register(pr)
 	defer func() {

@@ -23,8 +23,8 @@ func (r *Registry) Register(pr *Protocol) {
 	switch {
 	case pr.Name == "":
 		panic("protocol: Register with empty name")
-	case pr.Doc == "" || pr.DefaultInputs == nil || pr.Build == nil || pr.Task == nil:
-		panic(fmt.Sprintf("protocol: incomplete descriptor %q (need Doc, DefaultInputs, Build, Task)", pr.Name))
+	case pr.Doc == "" || pr.DefaultInputs == nil || pr.Build == nil || pr.Task == nil || pr.Symmetry == nil:
+		panic(fmt.Sprintf("protocol: incomplete descriptor %q (need Doc, DefaultInputs, Build, Task, Symmetry)", pr.Name))
 	}
 	if _, dup := r.byName[pr.Name]; dup {
 		panic(fmt.Sprintf("protocol: duplicate registration of %q", pr.Name))

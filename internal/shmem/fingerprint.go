@@ -33,11 +33,45 @@ type ValueFingerprinter interface {
 	AppendValueFingerprint(h *maphash.Hash)
 }
 
+// CanonicalValueFingerprinter is the symmetry-aware side of
+// ValueFingerprinter: composite values whose state embeds process ids or
+// declared input values (the Afek records, Paxos registers) rewrite them
+// through the Canon while hashing. Values lacking it fall back to their
+// plain path under canonicalization, which can only weaken the reduction
+// (orbit members hash apart), never merge distinct orbits.
+type CanonicalValueFingerprinter interface {
+	AppendCanonicalValueFingerprint(h *maphash.Hash, c *sched.Canon)
+}
+
 // AppendValue appends one component value to the fingerprint. Built-in
 // scalar and slice shapes are dispatched directly; composite protocol values
 // implement ValueFingerprinter; anything else takes the %#v fallback, which
 // is deterministic only for pointer-free, map-free values.
 func AppendValue(h *maphash.Hash, v Value) {
+	appendValue(h, v, nil)
+}
+
+// AppendValueCanon appends one component value under a symmetry-group
+// element: declared input values hash as their renamed role token and
+// canonical-aware composites rewrite embedded pids; everything else hashes
+// as in AppendValue.
+func AppendValueCanon(h *maphash.Hash, v Value, c *sched.Canon) {
+	appendValue(h, v, c)
+}
+
+func appendValue(h *maphash.Hash, v Value, c *sched.Canon) {
+	if c != nil {
+		if role, ok := c.Role(v); ok {
+			h.WriteByte(0x0e)
+			maphash.WriteComparable(h, role)
+			return
+		}
+		if x, ok := v.(CanonicalValueFingerprinter); ok {
+			h.WriteByte(0x01)
+			x.AppendCanonicalValueFingerprint(h, c)
+			return
+		}
+	}
 	switch x := v.(type) {
 	case nil:
 		h.WriteByte(0x00)
@@ -64,7 +98,7 @@ func AppendValue(h *maphash.Hash, v Value) {
 		h.WriteByte(0x07)
 		maphash.WriteComparable(h, len(x))
 		for _, e := range x {
-			AppendValue(h, e)
+			appendValue(h, e, c)
 		}
 	case []float64:
 		h.WriteByte(0x08)
@@ -166,6 +200,110 @@ func (r mwRec) AppendValueFingerprint(h *maphash.Hash) {
 	AppendValue(h, r.View)
 }
 
+// Canonical fingerprints (sched.CanonicalFingerprinter): the same state as
+// the plain methods, with process-indexed slots reordered by the group
+// element's slot sources, owned components reordered by its component
+// sources, embedded pids rewritten, and declared input values replaced by
+// role tokens. Tag bytes and length prefixes are unchanged so the canonical
+// stream stays injective in the renamed configuration.
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter.
+func (r *Register) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(fpRegister)
+	appendValue(h, r.v, c)
+}
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter. The
+// components of a single-writer snapshot are process-indexed, so they are
+// reordered with the process slots.
+func (s *SWSnapshot) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(fpSWSnapshot)
+	maphash.WriteComparable(h, len(s.comps))
+	for j := range s.comps {
+		appendValue(h, s.comps[c.SlotSrc(j)], c)
+	}
+}
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter.
+// Multi-writer components are shared, but a class member may own some of
+// them (address them by its identity); those are co-permuted.
+func (s *MWSnapshot) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(fpMWSnapshot)
+	maphash.WriteComparable(h, len(s.comps))
+	for j := range s.comps {
+		appendValue(h, s.comps[c.CompSrc(j)], c)
+	}
+}
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter.
+func (s *MaxSnapshot) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(fpMaxSnapshot)
+	maphash.WriteComparable(h, len(s.comps))
+	for j := range s.comps {
+		appendValue(h, s.comps[c.CompSrc(j)], c)
+	}
+}
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter (a
+// fetch-and-increment counter has no process-identity in its state).
+func (f *FetchInc) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	f.AppendFingerprint(h)
+}
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter: the
+// underlying registers are one-per-writer, so they reorder with the process
+// slots; their swRec contents canonicalize recursively.
+func (s *RegSWSnapshot) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(fpRegSW)
+	maphash.WriteComparable(h, len(s.regs))
+	for j := range s.regs {
+		s.regs[c.SlotSrc(j)].AppendCanonicalFingerprint(h, c)
+	}
+}
+
+// AppendCanonicalFingerprint implements sched.CanonicalFingerprinter: the
+// registers are shared components (co-permuted when owned), while the
+// private sequence counters are process-indexed and reorder with the slots.
+func (s *RegMWSnapshot) AppendCanonicalFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(fpRegMW)
+	maphash.WriteComparable(h, len(s.regs))
+	for j := range s.regs {
+		s.regs[c.CompSrc(j)].AppendCanonicalFingerprint(h, c)
+	}
+	for j := range s.seq {
+		maphash.WriteComparable(h, s.seq[c.SlotSrc(j)])
+	}
+}
+
+// AppendCanonicalValueFingerprint implements CanonicalValueFingerprinter:
+// the embedded view is one entry per writer register, so it reorders with
+// the process slots.
+func (r swRec) AppendCanonicalValueFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(0x20)
+	maphash.WriteComparable(h, r.Seq)
+	appendValue(h, r.Val, c)
+	h.WriteByte(0x07)
+	maphash.WriteComparable(h, len(r.View))
+	for j := range r.View {
+		appendValue(h, r.View[c.SlotSrc(j)], c)
+	}
+}
+
+// AppendCanonicalValueFingerprint implements CanonicalValueFingerprinter:
+// Writer is a raw pid and is rewritten; the embedded view is one entry per
+// shared component and reorders with owned components.
+func (r mwRec) AppendCanonicalValueFingerprint(h *maphash.Hash, c *sched.Canon) {
+	h.WriteByte(0x21)
+	maphash.WriteComparable(h, c.Pid(r.Writer))
+	maphash.WriteComparable(h, r.Seq)
+	appendValue(h, r.Val, c)
+	h.WriteByte(0x07)
+	maphash.WriteComparable(h, len(r.View))
+	for j := range r.View {
+		appendValue(h, r.View[c.CompSrc(j)], c)
+	}
+}
+
 // Fork returns a deep copy of the snapshot's current state wired to st, with
 // no recorder installed: forks exist for checkpointed exploration, where
 // recorders (per-run observers) do not carry over. Component values are
@@ -180,7 +318,8 @@ func (s *MWSnapshot) Fork(st Stepper) *MWSnapshot {
 	}
 }
 
-// Compile-time checks that every base object implements the contract.
+// Compile-time checks that every base object implements both sides of the
+// contract.
 var (
 	_ sched.Fingerprinter = (*Register)(nil)
 	_ sched.Fingerprinter = (*SWSnapshot)(nil)
@@ -189,4 +328,15 @@ var (
 	_ sched.Fingerprinter = (*FetchInc)(nil)
 	_ sched.Fingerprinter = (*RegSWSnapshot)(nil)
 	_ sched.Fingerprinter = (*RegMWSnapshot)(nil)
+
+	_ sched.CanonicalFingerprinter = (*Register)(nil)
+	_ sched.CanonicalFingerprinter = (*SWSnapshot)(nil)
+	_ sched.CanonicalFingerprinter = (*MWSnapshot)(nil)
+	_ sched.CanonicalFingerprinter = (*MaxSnapshot)(nil)
+	_ sched.CanonicalFingerprinter = (*FetchInc)(nil)
+	_ sched.CanonicalFingerprinter = (*RegSWSnapshot)(nil)
+	_ sched.CanonicalFingerprinter = (*RegMWSnapshot)(nil)
+
+	_ CanonicalValueFingerprinter = swRec{}
+	_ CanonicalValueFingerprinter = mwRec{}
 )

@@ -43,6 +43,18 @@ type ExploreOpts struct {
 	// reported once, not once per schedule). Requires System.Fingerprint.
 	// The report is identical for any Workers value.
 	Prune bool
+	// Symmetry enables symmetry-reduced pruning: the visited-state cache
+	// stores canonical fingerprints (System.CanonicalFingerprint) that
+	// collapse process-permutation orbits, so a configuration is pruned when
+	// any member of its orbit was fully explored. Exact for the same class of
+	// systems Prune is: the violation set and Exhausted flag match the
+	// unreduced search up to renaming interchangeable processes (a violation
+	// is reported iff its orbit contains one). Requires Prune — symmetry only
+	// changes which fingerprint the cache stores — and
+	// System.CanonicalFingerprint. The report is identical for any Workers
+	// value, and is a no-op (identical to plain Prune modulo hash values) on
+	// systems with no declared symmetry.
+	Symmetry bool
 	// Checkpoint enables subtree checkpointing: the sequential engine and
 	// system state are snapshotted at each decision on the current path, and
 	// the DFS forks the next run from the deepest common prefix instead of
@@ -108,6 +120,13 @@ type System struct {
 	// by ExploreOpts.Prune; called only at scheduler decision points, where
 	// the system is quiescent.
 	Fingerprint func(h *maphash.Hash)
+	// CanonicalFingerprint, when non-nil, returns the symmetry-reduced
+	// configuration fingerprint: the minimum configuration hash over the
+	// system's process-permutation group (see sched.Canonicalizer), so all
+	// configurations of one orbit fingerprint identically. Required by
+	// ExploreOpts.Symmetry; called only at decision points. h is scratch
+	// space for the group minimization.
+	CanonicalFingerprint func(h *maphash.Hash) uint64
 	// Fork, when non-nil, returns a deep copy of the system in its current
 	// state, wired to gate: cloned processes and machines, cloned shared
 	// objects, and Check/Fingerprint/Fork hooks bound to the copy. Required
@@ -205,6 +224,9 @@ func replayDivergence(step, pick int, enabled []int) error {
 func Explore(nprocs int, factory Factory, opts ExploreOpts) (*ExploreReport, error) {
 	if opts.MaxDepth <= 0 {
 		return nil, fmt.Errorf("trace: MaxDepth must be positive")
+	}
+	if opts.Symmetry && !opts.Prune {
+		return nil, fmt.Errorf("trace: ExploreOpts.Symmetry requires Prune (symmetry reduction only changes which fingerprint the visited-state cache stores)")
 	}
 	workers := ResolveWorkers(opts.Workers)
 	if opts.Prune || opts.Checkpoint {

@@ -228,9 +228,14 @@ func (s *stStrategy) Pick(step int, enabled []int) int {
 	}
 	d := step
 	if ex.cache != nil {
-		ex.h.Reset()
-		s.sys.Fingerprint(&ex.h)
-		fp := ex.h.Sum64()
+		var fp uint64
+		if ex.opts.Symmetry {
+			fp = s.sys.CanonicalFingerprint(&ex.h)
+		} else {
+			ex.h.Reset()
+			s.sys.Fingerprint(&ex.h)
+			fp = ex.h.Sum64()
+		}
 		ex.fps = append(ex.fps, fp)
 		if rem, ok := ex.cache.lookup(fp); ok && rem >= s.maxDepth-d {
 			s.cut = true
@@ -447,6 +452,14 @@ func validateStateful(nprocs int, factory Factory, opts ExploreOpts) error {
 	caps := factory(probe)
 	if opts.Prune && caps.Fingerprint == nil {
 		return fmt.Errorf("trace: ExploreOpts.Prune requires System.Fingerprint (the factory's systems expose no configuration fingerprint)")
+	}
+	if opts.Symmetry {
+		if !opts.Prune {
+			return fmt.Errorf("trace: ExploreOpts.Symmetry requires Prune (symmetry reduction only changes which fingerprint the visited-state cache stores)")
+		}
+		if caps.CanonicalFingerprint == nil {
+			return fmt.Errorf("trace: ExploreOpts.Symmetry requires System.CanonicalFingerprint (the factory's systems expose no symmetry-reduced fingerprint)")
+		}
 	}
 	if opts.Checkpoint {
 		if kind != sched.EngineSeq {

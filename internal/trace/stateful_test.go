@@ -191,6 +191,23 @@ func TestPruneRequiresCapabilities(t *testing.T) {
 	}
 }
 
+// TestSymmetryRequiresCapabilities: Symmetry without Prune, and Symmetry on
+// a system exposing no CanonicalFingerprint, are contract errors, not silent
+// degradations to plain pruning.
+func TestSymmetryRequiresCapabilities(t *testing.T) {
+	if _, err := Explore(2, consensusAgreeFactory(2),
+		ExploreOpts{MaxDepth: 6, Symmetry: true}); err == nil ||
+		!strings.Contains(err.Error(), "Prune") {
+		t.Fatalf("Symmetry without Prune: got %v", err)
+	}
+	// consensusAgreeFactory wires Fingerprint and Fork but no canonical hook.
+	if _, err := Explore(2, consensusAgreeFactory(2),
+		ExploreOpts{MaxDepth: 6, Prune: true, Symmetry: true}); err == nil ||
+		!strings.Contains(err.Error(), "CanonicalFingerprint") {
+		t.Fatalf("Symmetry without CanonicalFingerprint: got %v", err)
+	}
+}
+
 // TestExploreDivergenceFails: a nondeterministic factory must fail the
 // exploration with a descriptive replay-divergence error instead of silently
 // mis-exploring (the old enabled[0] fallback).
