@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke
+.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke jobd-smoke
 
 all: ci
 
@@ -15,10 +15,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the parallel search layer (worker-pool Explore/Fuzz/Stress)
-# and the distributed coordinator/worker protocol.
+# Race-check the parallel search layer (worker-pool Explore/Fuzz/Stress),
+# the distributed coordinator/worker protocol, and the checking daemon.
 race:
-	$(GO) test -race ./internal/trace/... ./internal/harness/... ./internal/dist/...
+	$(GO) test -race ./internal/trace/... ./internal/harness/... ./internal/dist/... ./internal/jobd/...
 
 # Full benchmark suite; takes a while. Archives the go-test JSON event
 # stream as BENCH_<date>.json — one file per run is the perf trajectory.
@@ -44,5 +44,11 @@ dist-smoke:
 	$(GO) run ./cmd/distcheck -smoke -protocol kset -n 4 -k 3 -prune
 	$(GO) run ./cmd/distcheck -smoke -protocol firstvalue -n 4 -prune -symmetry
 	$(GO) run ./cmd/distcheck -smoke -protocol kset -n 4 -k 3 -prune -symmetry
+
+# Checking-daemon smoke: one checkd with two TCP workers runs two protocol
+# jobs concurrently on the shared fleet, each report byte-compared against
+# its single-process run. A separate CI step, like dist-smoke.
+jobd-smoke:
+	$(GO) run ./cmd/checkd -smoke
 
 ci: vet build test race bench-smoke

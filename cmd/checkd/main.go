@@ -1,0 +1,168 @@
+// Command checkd is the model-checking daemon: one long-running process
+// owning a durable job queue and a shared worker fleet, so many checks run
+// as jobs instead of one process per check. Workers join exactly like
+// distcheck workers (`distcheck -connect`); clients drive the job lifecycle
+// with distcheck's daemon verbs (-submit/-status/-result/-cancel/-jobs).
+//
+// Usage:
+//
+//	checkd -listen :9470 -dir /var/lib/checkd        # serve, journal to disk
+//	distcheck -connect host:9470 -workers 8          # join the fleet
+//	distcheck -daemon host:9470 -submit -protocol kset -n 4 -k 3 -prune
+//	checkd -smoke                                    # loopback self-check
+//
+// Every submission is validated at the door (structured field errors come
+// back in the rejection); queued and running jobs survive a daemon restart —
+// running ones are re-leased from scratch, and determinism makes the redo
+// identical. With -scale-max > 0 the daemon additionally grows and shrinks
+// its own local workers from lease throughput and queue depth.
+//
+// The first SIGINT or SIGTERM drains gracefully: running jobs merge what
+// they have into partial reports, are journaled as interrupted and
+// resumable, and the queue is persisted. A second signal forces exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"revisionist/internal/dist"
+	"revisionist/internal/harness"
+	"revisionist/internal/jobd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "checkd:", err)
+		if harness.IsUsage(err) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("checkd", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", ":9470", "TCP listen address for workers and clients")
+		dir       = fs.String("dir", "", "journal directory: the job queue survives restarts (empty = in-memory only)")
+		maxActive = fs.Int("max-active", 2, "jobs running concurrently on the shared fleet; the rest queue")
+		scaleMax  = fs.Int("scale-max", 0, "adaptively spawn up to this many local workers (0 = never spawn)")
+		scaleMin  = fs.Int("scale-min", 0, "keep at least this many spawned workers once scaling is on")
+		scaleIvl  = fs.Duration("scale-interval", 2*time.Second, "sampling period for the scaling decision")
+		slots     = fs.Int("spawn-slots", 0, "subtree slots per spawned worker (0 = GOMAXPROCS)")
+		quiet     = fs.Bool("quiet", false, "suppress the operational log")
+		smoke     = fs.Bool("smoke", false, "loopback self-check: daemon + two workers, two concurrent jobs byte-compared against single-process runs")
+	)
+	if err := harness.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if *maxActive < 1 {
+		fs.Usage()
+		return &harness.UsageError{Err: fmt.Errorf("-max-active must be >= 1, got %d", *maxActive)}
+	}
+	if *scaleMin > *scaleMax {
+		fs.Usage()
+		return &harness.UsageError{Err: fmt.Errorf("-scale-min %d exceeds -scale-max %d", *scaleMin, *scaleMax)}
+	}
+	if *smoke {
+		return smokeCheck(out)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(out, "checkd: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	cfg := jobd.Config{
+		Dir:       *dir,
+		MaxActive: *maxActive,
+		Resolve:   harness.Resolve,
+		Validate:  harness.ValidateJob,
+		Logf:      logf,
+	}
+	if *scaleMax > 0 {
+		cfg.Scale = &jobd.ScalePolicy{Min: *scaleMin, Max: *scaleMax, Interval: *scaleIvl}
+		cfg.Spawn = spawner(ln.Addr(), *slots)
+	}
+	d, err := jobd.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// First signal: graceful drain. Second: force exit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(out, "checkd: %v: draining running jobs into resumable state (signal again to force exit)\n", s)
+		cancel()
+		if _, ok := <-sig; ok {
+			fmt.Fprintln(os.Stderr, "checkd: forced exit")
+			os.Exit(1)
+		}
+	}()
+
+	go d.Serve(ln)
+	fmt.Fprintf(out, "checkd: serving on %s (journal: %s, max-active %d)\n", ln.Addr(), journalDesc(*dir), *maxActive)
+	if err := d.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "checkd: drained; queue persisted")
+	return nil
+}
+
+func journalDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}
+
+// spawner builds the adaptive-scaling hook: each call starts one local
+// worker dialed back into this daemon — exactly a `distcheck -connect`
+// joining the fleet — and returns its stop function.
+func spawner(addr net.Addr, slots int) func() (func(), error) {
+	tcp, _ := addr.(*net.TCPAddr)
+	return func() (func(), error) {
+		if tcp == nil {
+			return nil, fmt.Errorf("checkd: cannot self-dial non-TCP listener %v", addr)
+		}
+		target := net.JoinHostPort("127.0.0.1", fmt.Sprint(tcp.Port))
+		conn, err := net.Dial("tcp", target)
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			dist.Work(ctx, conn, slots, harness.Resolve)
+		}()
+		return func() { cancel(); <-done }, nil
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"revisionist/internal/harness"
+)
+
+// TestSmokeMode runs the `make jobd-smoke` payload end to end: a daemon with
+// two TCP workers, two concurrent jobs, reports byte-compared against
+// single-process runs.
+func TestSmokeMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-smoke"}, &out); err != nil {
+		t.Fatalf("smoke failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "byte-identical") {
+		t.Fatalf("missing verdict:\n%s", out.String())
+	}
+}
+
+// TestUsageValidation pins the flag checks.
+func TestUsageValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-max-active", "0"}, &out); !harness.IsUsage(err) {
+		t.Fatalf("-max-active 0: want usage error, got %v", err)
+	}
+	if err := run([]string{"-scale-min", "2", "-scale-max", "1"}, &out); !harness.IsUsage(err) {
+		t.Fatalf("scale-min > scale-max: want usage error, got %v", err)
+	}
+}

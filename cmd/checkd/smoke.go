@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"revisionist/internal/dist"
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/harness"
+	"revisionist/internal/jobd"
+	"revisionist/internal/protocol"
+)
+
+// smokeCheck is the `make jobd-smoke` payload: a daemon on a loopback
+// listener with two TCP workers runs two different protocol jobs
+// concurrently on the one shared fleet, and each fetched report must render
+// byte-identically to the same check run single-process. It exercises the
+// whole service path — submission validation, queueing, session
+// multiplexing, report and witness artifacts — in one process.
+func smokeCheck(out io.Writer) error {
+	cases := []harness.Options{
+		{Protocol: "firstvalue", Params: protocol.Params{N: 4}, MaxDepth: 12, MaxViolations: 3, Prune: true},
+		{Protocol: "kset", Params: protocol.Params{N: 4, K: 3}, MaxDepth: 12, MaxViolations: 3, Prune: true, Symmetry: true},
+	}
+
+	d, err := jobd.New(jobd.Config{MaxActive: len(cases), Resolve: harness.Resolve, Validate: harness.ValidateJob})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.Run(ctx) }()
+	go d.Serve(ln)
+	addr := ln.Addr().String()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			dist.Work(ctx, conn, 2, harness.Resolve)
+		}()
+	}
+	defer func() {
+		cancel()
+		<-runDone
+		wg.Wait()
+	}()
+
+	cl, err := jobd.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	fmt.Fprintf(out, "smoke: daemon + 2 TCP workers on %s, %d concurrent jobs\n", addr, len(cases))
+	ids := make([]string, len(cases))
+	for i, opts := range cases {
+		job, err := harness.CheckJob(opts)
+		if err != nil {
+			return err
+		}
+		ack, err := cl.Submit(job)
+		if err != nil {
+			return err
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("smoke submission rejected: %s", ack.Err)
+		}
+		ids[i] = ack.ID
+	}
+
+	for i, opts := range cases {
+		rep, err := awaitReport(cl, ids[i])
+		if err != nil {
+			return err
+		}
+		single, err := harness.Check(opts)
+		if err != nil {
+			return err
+		}
+		var want, got bytes.Buffer
+		harness.WriteCheckReport(&want, single, opts.MaxDepth, opts.Prune, opts.Symmetry, nil)
+		check := &harness.CheckReport{Protocol: single.Protocol, Params: rep.Job.Params, Explore: rep.Report.Explore()}
+		harness.WriteCheckReport(&got, check, opts.MaxDepth, opts.Prune, opts.Symmetry, nil)
+		out.Write(got.Bytes())
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			return fmt.Errorf("job %s report diverges from single-process:\n--- single ---\n%s--- daemon ---\n%s",
+				ids[i], want.String(), got.String())
+		}
+		if nv := len(single.Explore.Violations); nv > 0 && (rep.Witness == nil || len(rep.Witness.Violations) != nv) {
+			return fmt.Errorf("job %s: witness artifact missing or incomplete", ids[i])
+		}
+	}
+	fmt.Fprintf(out, "smoke: %d job reports byte-identical to single-process runs\n", len(cases))
+	return nil
+}
+
+// awaitReport polls until the job finishes and returns its artifact.
+func awaitReport(cl *jobd.Client, id string) (*wire.JobReport, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := cl.Status(id)
+		if err != nil {
+			return nil, err
+		}
+		switch jobd.JobState(info.State) {
+		case jobd.StateDone:
+			return cl.Fetch(id)
+		case jobd.StateQueued, jobd.StateRunning:
+			time.Sleep(10 * time.Millisecond)
+		default:
+			return nil, fmt.Errorf("smoke job %s ended %s: %s", id, info.State, info.Err)
+		}
+	}
+	return nil, errors.New("smoke job timed out")
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/harness"
+	"revisionist/internal/jobd"
+	"revisionist/internal/protocol"
+	"revisionist/internal/trace"
+)
+
+// clientVerb is one daemon-client action: exactly one field is set.
+type clientVerb struct {
+	submit                 bool
+	status, result, cancel string
+	jobs                   bool
+}
+
+// runClient executes one job-lifecycle verb against a checkd daemon. Dial
+// failures return as plain errors (exit 1, distinct from usage's 2); a
+// rejected submission renders the daemon's structured field errors and exits
+// as a usage error.
+func runClient(out io.Writer, addr string, verb clientVerb, opts harness.Options) error {
+	cl, err := jobd.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("connecting to daemon at %s: %w", addr, err)
+	}
+	defer cl.Close()
+
+	switch {
+	case verb.submit:
+		job, err := harness.CheckJob(opts)
+		if err != nil {
+			return err
+		}
+		ack, err := cl.Submit(job)
+		if err != nil {
+			return err
+		}
+		if ack.Err != "" {
+			for _, f := range ack.Fields {
+				fmt.Fprintf(out, "  -%s = %v: %s\n", f.Field, f.Value, f.Msg)
+			}
+			return &harness.UsageError{Err: fmt.Errorf("daemon rejected the job: %s", ack.Err)}
+		}
+		fmt.Fprintf(out, "submitted %s (%s n=%d)\n", ack.ID, job.Protocol, job.Params.N)
+		return nil
+
+	case verb.status != "":
+		info, err := cl.Status(verb.status)
+		if err != nil {
+			return err
+		}
+		writeJobLine(out, *info)
+		return nil
+
+	case verb.result != "":
+		rep, err := cl.Fetch(verb.result)
+		if err != nil {
+			return err
+		}
+		return renderResult(out, rep)
+
+	case verb.cancel != "":
+		if err := cl.Cancel(verb.cancel); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "canceled %s\n", verb.cancel)
+		return nil
+
+	default: // -jobs
+		infos, err := cl.List()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d job(s)\n", len(infos))
+		for _, info := range infos {
+			writeJobLine(out, info)
+		}
+		return nil
+	}
+}
+
+// writeJobLine renders one job's state line (shared by -status and -jobs).
+func writeJobLine(out io.Writer, info wire.JobInfo) {
+	fmt.Fprintf(out, "%s  %-12s %s n=%d", info.ID, info.State, info.Protocol, info.Params.N)
+	switch jobd.JobState(info.State) {
+	case jobd.StateDone, jobd.StateInterrupted:
+		fmt.Fprintf(out, "  runs=%d violations=%d", info.Runs, info.Violations)
+		if info.Resumable {
+			fmt.Fprint(out, " (resumable)")
+		}
+	case jobd.StateFailed:
+		fmt.Fprintf(out, "  %s", info.Err)
+	}
+	fmt.Fprintln(out)
+}
+
+// renderResult turns a fetched job artifact into the standard check report
+// and the standard process outcome: the rendering is the same
+// harness.WriteCheckReport used by modelcheck and -serve, so a daemon-run
+// check reads (and exits) exactly like a local one.
+func renderResult(out io.Writer, rep *wire.JobReport) error {
+	state := jobd.JobState(rep.Info.State)
+	switch state {
+	case jobd.StateDone, jobd.StateInterrupted:
+	case jobd.StateFailed:
+		return fmt.Errorf("job %s failed: %s", rep.Info.ID, rep.Info.Err)
+	case jobd.StateCanceled:
+		return fmt.Errorf("job %s was canceled", rep.Info.ID)
+	default:
+		return fmt.Errorf("job %s is still %s; no report yet", rep.Info.ID, state)
+	}
+	if rep.Report == nil {
+		return fmt.Errorf("job %s is %s but carries no report", rep.Info.ID, state)
+	}
+	pr, err := protocol.Lookup(rep.Job.Protocol)
+	if err != nil {
+		// The daemon validated the job, so its protocol exists there; an old
+		// client binary may simply not know it. Degrade to the raw name.
+		pr = &protocol.Protocol{Name: rep.Job.Protocol}
+	}
+	check := &harness.CheckReport{Protocol: pr, Params: rep.Job.Params, Explore: rep.Report.Explore()}
+	var ierr error
+	if state == jobd.StateInterrupted {
+		ierr = trace.ErrInterrupted
+	}
+	o := rep.Job.Opts
+	outcome := harness.CheckOutcome(out, check, ierr, o.MaxDepth, o.Prune, o.Symmetry, nil)
+	if rep.Witness != nil {
+		fmt.Fprintf(out, "witness: %d replayable schedule(s) recorded (protocol %s, n=%d, depth <= %d)\n",
+			len(rep.Witness.Violations), rep.Witness.Protocol, rep.Witness.Params.N, rep.Witness.MaxDepth)
+	}
+	return outcome
+}

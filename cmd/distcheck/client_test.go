@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"revisionist/internal/dist"
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/harness"
+	"revisionist/internal/jobd"
+	"revisionist/internal/protocol"
+)
+
+// TestExitCodeContract is the golden mapping of run outcomes to exit codes —
+// the CLI contract scripts build on. Wrapped forms must classify the same as
+// bare ones.
+func TestExitCodeContract(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"clean", nil, 0},
+		{"help", flag.ErrHelp, 0},
+		{"usage", &harness.UsageError{Err: errors.New("bad flag")}, 2},
+		{"usage wrapped", fmt.Errorf("context: %w", &harness.UsageError{Err: errors.New("x")}), 2},
+		{"violations", &harness.ViolationsError{N: 3}, 3},
+		{"violations wrapped", fmt.Errorf("job: %w", &harness.ViolationsError{N: 1}), 3},
+		{"interrupted", &harness.InterruptedError{}, 4},
+		{"interrupted wrapped", fmt.Errorf("job: %w", &harness.InterruptedError{}), 4},
+		{"runtime", errors.New("connection refused"), 1},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// daemonAt runs an in-process checking daemon with one worker for the client
+// verbs to talk to.
+func daemonAt(t *testing.T, dir string) (addr string, shutdown func()) {
+	t.Helper()
+	d, err := jobd.New(jobd.Config{Dir: dir, MaxActive: 2, Resolve: harness.Resolve, Validate: harness.ValidateJob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.Run(ctx) }()
+	go d.Serve(ln)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		dist.Work(ctx, conn, 2, harness.Resolve)
+	}()
+	return ln.Addr().String(), func() {
+		cancel()
+		if err := <-runDone; err != nil {
+			t.Errorf("daemon Run: %v", err)
+		}
+		ln.Close()
+		wg.Wait()
+	}
+}
+
+var submittedRE = regexp.MustCompile(`submitted (j\d+)`)
+
+// TestClientVerbsEndToEnd drives every daemon verb through run() against a
+// live daemon: submit a violating check, watch it finish, fetch the report
+// (violations exit), list, cancel an endless job, and probe the error paths.
+func TestClientVerbsEndToEnd(t *testing.T) {
+	addr, shutdown := daemonAt(t, "")
+	defer shutdown()
+
+	var out bytes.Buffer
+	err := run([]string{"-daemon", addr, "-submit", "-protocol", "firstvalue-consensus", "-n", "2", "-depth", "12"}, &out)
+	if err != nil {
+		t.Fatalf("submit: %v\n%s", err, out.String())
+	}
+	m := submittedRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("no job id in submit output:\n%s", out.String())
+	}
+	id := m[1]
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out.Reset()
+		if err := run([]string{"-daemon", addr, "-status", id}, &out); err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if strings.Contains(out.String(), "done") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The fetched result renders like a local check and exits 3 on
+	// violations, with the witness artifact summarized.
+	out.Reset()
+	err = run([]string{"-daemon", addr, "-result", id}, &out)
+	var viol *harness.ViolationsError
+	if !errors.As(err, &viol) {
+		t.Fatalf("want ViolationsError from -result, got %v\n%s", err, out.String())
+	}
+	if exitCode(err) != 3 {
+		t.Fatalf("violations must exit 3, got %d", exitCode(err))
+	}
+	for _, needle := range []string{"VIOLATION", "witness:"} {
+		if !strings.Contains(out.String(), needle) {
+			t.Fatalf("result output missing %q:\n%s", needle, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-daemon", addr, "-jobs"}, &out); err != nil {
+		t.Fatalf("jobs: %v", err)
+	}
+	if !strings.Contains(out.String(), id) {
+		t.Fatalf("listing misses %s:\n%s", id, out.String())
+	}
+
+	// Cancel an endless job; its -result is a plain failure (exit 1).
+	out.Reset()
+	if err := run([]string{"-daemon", addr, "-submit", "-protocol", "consensus", "-n", "2", "-depth", "30"}, &out); err != nil {
+		t.Fatalf("submit endless: %v", err)
+	}
+	id2 := submittedRE.FindStringSubmatch(out.String())[1]
+	out.Reset()
+	if err := run([]string{"-daemon", addr, "-cancel", id2}, &out); err != nil {
+		t.Fatalf("cancel: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		err = run([]string{"-daemon", addr, "-result", id2}, &out)
+		if err != nil && strings.Contains(err.Error(), "canceled") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled job's -result: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if exitCode(err) != 1 {
+		t.Fatalf("canceled result must exit 1, got %d", exitCode(err))
+	}
+
+	if err := run([]string{"-daemon", addr, "-status", "j9999"}, &out); err == nil || exitCode(err) != 1 {
+		t.Fatalf("unknown id must exit 1, got %v", err)
+	}
+}
+
+// TestResultInterruptedExitCode pins exit 4: fetching a job the daemon
+// drained mid-run renders the partial report behind the interrupted banner.
+func TestResultInterruptedExitCode(t *testing.T) {
+	dir := t.TempDir()
+	opts := harness.Options{Protocol: "firstvalue", Params: protocol.Params{N: 3}, MaxDepth: 10, Prune: true}
+	job, err := harness.CheckJob(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := harness.Check(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-resumable interrupted record with a partial report survives
+	// restart recovery as-is (only resumable ones are re-queued).
+	q, err := jobd.OpenQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Put(&jobd.Record{ID: q.NextID(), Job: job, State: jobd.StateInterrupted,
+		Report: wire.ReportOf(rep.Explore)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, shutdown := daemonAt(t, dir)
+	defer shutdown()
+	var out bytes.Buffer
+	err = run([]string{"-daemon", addr, "-result", "j0001"}, &out)
+	var intr *harness.InterruptedError
+	if !errors.As(err, &intr) {
+		t.Fatalf("want InterruptedError, got %v\n%s", err, out.String())
+	}
+	if exitCode(err) != 4 {
+		t.Fatalf("interrupted must exit 4, got %d", exitCode(err))
+	}
+	if !strings.Contains(out.String(), "interrupted: partial results follow") {
+		t.Fatalf("missing interrupted banner:\n%s", out.String())
+	}
+}
+
+// TestClientUsageErrors pins the usage surface of the daemon verbs.
+func TestClientUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-submit"},                           // verb without -daemon
+		{"-daemon", "127.0.0.1:1"},            // -daemon without a verb
+		{"-daemon", "x", "-submit", "-smoke"}, // daemon verb + another mode
+	} {
+		out.Reset()
+		if err := run(args, &out); !harness.IsUsage(err) {
+			t.Errorf("%v: want usage error, got %v", args, err)
+		}
+	}
+	// A dead daemon is a connection failure: exit 1, not 2.
+	if err := run([]string{"-daemon", "127.0.0.1:1", "-jobs"}, &out); err == nil || exitCode(err) != 1 {
+		t.Errorf("connection failure must exit 1, got %v", err)
+	}
+}

@@ -21,6 +21,20 @@
 //
 // SIGINT on the coordinator prints the partial merged report (subtrees
 // completed so far) instead of dying silently.
+//
+// Against a checkd daemon (see cmd/checkd), distcheck is also the job
+// client:
+//
+//	distcheck -daemon host:9470 -submit -protocol kset -n 4 -k 3 -prune
+//	distcheck -daemon host:9470 -status j0001
+//	distcheck -daemon host:9470 -result j0001
+//	distcheck -daemon host:9470 -cancel j0001
+//	distcheck -daemon host:9470 -jobs
+//
+// Exit codes are uniform across every mode: 0 clean (or -h), 2 usage error
+// (bad flags, rejected submission), 3 the check completed and found
+// violations, 4 the check was interrupted before completion, 1 anything
+// else (connection failure, runtime error, job failed or canceled).
 package main
 
 import (
@@ -40,16 +54,34 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return
-		}
+	err := run(os.Args[1:], os.Stdout)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
 		fmt.Fprintln(os.Stderr, "distcheck:", err)
-		if harness.IsUsage(err) {
-			os.Exit(2)
-		}
-		os.Exit(1)
 	}
+	if code := exitCode(err); code != 0 {
+		os.Exit(code)
+	}
+}
+
+// exitCode maps a run outcome to the process exit code — the CLI contract
+// scripts build on: 0 clean or -h, 2 usage, 3 violations found, 4
+// interrupted, 1 everything else (connection failures included).
+func exitCode(err error) int {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	if harness.IsUsage(err) {
+		return 2
+	}
+	var viol *harness.ViolationsError
+	if errors.As(err, &viol) {
+		return 3
+	}
+	var intr *harness.InterruptedError
+	if errors.As(err, &intr) {
+		return 4
+	}
+	return 1
 }
 
 func run(args []string, out io.Writer) error {
@@ -62,6 +94,12 @@ func run(args []string, out io.Writer) error {
 		serve   = fs.String("serve", "", "coordinate on this TCP listen address (e.g. :9464)")
 		connect = fs.String("connect", "", "join the coordinator at this address as a worker")
 		smoke   = fs.Bool("smoke", false, "loopback self-check: coordinator + two local TCP workers vs the single-process run")
+		daemon  = fs.String("daemon", "", "checkd daemon address for the client verbs (-submit, -status, -result, -cancel, -jobs)")
+		submit  = fs.Bool("submit", false, "submit the job described by the protocol flags to -daemon and print its id")
+		status  = fs.String("status", "", "print this job id's state on -daemon")
+		result  = fs.String("result", "", "fetch and render this job id's report from -daemon")
+		cancelJ = fs.String("cancel", "", "cancel this job id on -daemon")
+		jobs    = fs.Bool("jobs", false, "list every job on -daemon")
 	)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
@@ -93,15 +131,34 @@ func run(args []string, out io.Writer) error {
 		Interrupted:   func() bool { return ctx.Err() != nil },
 	}
 
-	modes := 0
+	verbs := 0
+	for _, on := range []bool{*submit, *status != "", *result != "", *cancelJ != "", *jobs} {
+		if on {
+			verbs++
+		}
+	}
+	modes := verbs
 	for _, on := range []bool{*serve != "", *connect != "", *smoke} {
 		if on {
 			modes++
 		}
 	}
+	if verbs == 0 && *daemon != "" {
+		fs.Usage()
+		return &harness.UsageError{Err: fmt.Errorf("-daemon needs one of -submit, -status ID, -result ID, -cancel ID, -jobs")}
+	}
+	if verbs == 1 && *daemon == "" {
+		fs.Usage()
+		return &harness.UsageError{Err: fmt.Errorf("-submit/-status/-result/-cancel/-jobs need -daemon ADDR")}
+	}
 	if modes != 1 {
 		fs.Usage()
-		return &harness.UsageError{Err: fmt.Errorf("pick exactly one of -serve ADDR, -connect ADDR, -smoke")}
+		return &harness.UsageError{Err: fmt.Errorf("pick exactly one of -serve ADDR, -connect ADDR, -smoke, or a -daemon verb")}
+	}
+	if verbs == 1 {
+		return runClient(out, *daemon, clientVerb{
+			submit: *submit, status: *status, result: *result, cancel: *cancelJ, jobs: *jobs,
+		}, opts)
 	}
 	switch {
 	case *connect != "":

@@ -11,9 +11,19 @@
 // order, Runs/Truncated/Exhausted/Pruned/Distinct identical, MaxRuns and
 // MaxViolations re-cut at the exact run ordinal.
 //
+// Since wire version 3 the coordinator state is split in two layers: a Fleet
+// owns the worker population and multiplexes any number of concurrent job
+// sessions over it, and each session owns everything that makes one job's
+// report deterministic — its canonical waves, its merged visited-state table
+// and mirrors, its frozen budget bases. Leases, results and failures are
+// job-tagged on the wire; workers keep one mirror table per announced job and
+// drop it on retire. Because a lease is a pure function of (session state,
+// subtree id), sharing a fleet cannot change any job's merged report. Serve
+// remains the one-job convenience wrapper over a private fleet.
+//
 // Pruned searches share visited-state closures the same way the in-process
 // stateful explorer does: the frontier is processed in canonical waves of
-// fixed width, workers prune against their mirror of the coordinator's table
+// fixed width, workers prune against their mirror of the session's table
 // frozen as of the wave start, and each subtree's new closures are published
 // back in its Result and max-merged at the wave barrier. Because closure
 // entries are a join semilattice (keep the larger remaining depth), the
@@ -30,9 +40,7 @@ package dist
 
 import (
 	"context"
-	"fmt"
 	"net"
-	"sort"
 
 	"revisionist/internal/dist/wire"
 	"revisionist/internal/trace"
@@ -44,358 +52,40 @@ import (
 // wire; determinism requires both sides to build identical systems.
 type Resolver func(job wire.Job) (nprocs int, factory trace.Factory, err error)
 
-// event is one message from a connection goroutine to the coordinator loop.
-type event struct {
-	join *workerConn  // hello completed, job sent
-	dead *workerConn  // connection lost
-	from *workerConn  // sender of res (or of fail)
-	res  *wire.Result // complete subtree outcome
-	fail string       // worker could not resolve the job
-}
-
-// workerConn is the coordinator's view of one worker.
-type workerConn struct {
-	c     *wire.Conn
-	raw   net.Conn
-	slots int
-	// inflight counts outstanding leases; cursor is how much of the
-	// closure log this worker's mirror already holds.
-	inflight int
-	cursor   int
-}
-
-// coordinator is the single-goroutine state of one distributed exploration;
-// connection goroutines feed it events, it alone touches this state.
-type coordinator struct {
-	job      wire.Job
-	frontier [][]int
-	width    int
-	maxViol  int
-
-	outcomes []*trace.SubtreeOutcome
-	waveLo   int
-	waveHi   int
-	pending  []int // unassigned subtree ids of the current wave, ascending
-	assigned map[int]*workerConn
-	workers  map[*workerConn]bool
-
-	// table is the merged visited-state table; fpLog is its append-only join
-	// log (each entry strictly raised the table), shipped incrementally to
-	// worker mirrors. done counts runs in completed waves: the frozen budget
-	// base of the next wave. stopAfter is the smallest subtree known to end
-	// the search.
-	table     map[uint64]int
-	fpLog     []trace.FpEntry
-	done      int
-	stopAfter int
-}
-
 // Serve runs one distributed exploration of job as the coordinator on ln,
-// blocking until the search completes, a worker reports the job unresolvable,
-// or ctx is cancelled — in which case the partial merged report is returned
+// blocking until the search completes, every worker rejects the job, or ctx
+// is cancelled — in which case the partial merged report is returned
 // alongside trace.ErrInterrupted. Workers may connect, disconnect and
 // reconnect at any time; the report is byte-identical to the single-process
 // trace.Explore for any worker population. Serve closes ln before returning.
+//
+// Serve is the one-job convenience wrapper: it spins a private Fleet, starts
+// a single session on it, and tears the fleet down when the session ends.
+// Long-running processes (internal/jobd) run one shared Fleet instead.
 func Serve(ctx context.Context, ln net.Listener, job wire.Job, resolve Resolver) (*trace.ExploreReport, error) {
-	nprocs, factory, err := resolve(job)
-	if err != nil {
-		return nil, err
-	}
-	frontier, width, err := trace.SubtreePlan(nprocs, factory, job.Opts)
-	if err != nil {
-		return nil, err
-	}
-	maxViol := job.Opts.MaxViolations
-	if maxViol <= 0 {
-		maxViol = 1
-	}
-	c := &coordinator{
-		job:       job,
-		frontier:  frontier,
-		width:     width,
-		maxViol:   maxViol,
-		outcomes:  make([]*trace.SubtreeOutcome, len(frontier)),
-		assigned:  map[int]*workerConn{},
-		workers:   map[*workerConn]bool{},
-		table:     map[uint64]int{},
-		stopAfter: len(frontier), // no cutoff known
-	}
-	return c.run(ctx, ln)
-}
-
-func (c *coordinator) run(ctx context.Context, ln net.Listener) (*trace.ExploreReport, error) {
 	defer ln.Close()
-	events := make(chan event)
-	quit := make(chan struct{})
-	defer close(quit)
-	go acceptLoop(ln, &c.job, events, quit)
+	f := NewFleet(resolve)
+	fctx, cancel := context.WithCancel(context.Background())
+	fleetDone := make(chan struct{})
+	go func() { defer close(fleetDone); f.Run(fctx) }()
+	defer func() { <-fleetDone }() // registered before cancel: runs after it
+	defer cancel()
+	go f.ServeWorkers(ln)
 
-	c.startWave(0)
-	for {
-		select {
-		case <-ctx.Done():
-			rep, err := trace.MergeOutcomes(c.frontier, c.outcomes, c.job.Opts, true)
-			c.shutdown()
-			return rep, err
-		case ev := <-events:
-			switch {
-			case ev.join != nil:
-				c.workers[ev.join] = true
-				c.assign()
-			case ev.dead != nil:
-				c.dropWorker(ev.dead)
-				c.assign()
-			case ev.fail != "":
-				// One unresolvable worker (stale binary, missing protocol)
-				// must not sink a fleet: it held no leases, so drop it like a
-				// dead one. Only when it was the whole fleet is the skew
-				// fatal — aborting loudly beats hanging forever.
-				c.dropWorker(ev.from)
-				if len(c.workers) == 0 {
-					c.shutdown()
-					return nil, fmt.Errorf("dist: worker rejected the job: %s", ev.fail)
-				}
-				c.assign()
-			case ev.res != nil:
-				if c.onResult(ev.from, ev.res) {
-					rep, err := c.merge()
-					c.shutdown()
-					return rep, err
-				}
-				c.assign()
-			}
-		}
+	id := job.ID
+	if id == "" {
+		id = "job"
 	}
-}
-
-// startWave opens the wave of subtrees [lo, lo+width).
-func (c *coordinator) startWave(lo int) {
-	c.waveLo = lo
-	c.waveHi = min(lo+c.width, len(c.frontier))
-	c.pending = c.pending[:0]
-	for i := c.waveLo; i < c.waveHi; i++ {
-		c.pending = append(c.pending, i)
+	ch, err := f.Start(id, job)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// assign leases pending subtrees of the current wave to workers with free
-// slots, smallest subtree first. Every lease carries the frozen budget base
-// (runs in completed waves) and the closure-log suffix the worker's mirror
-// is missing — after which the mirror equals the table frozen at this wave's
-// start, exactly the view the in-process explorer freezes per wave.
-func (c *coordinator) assign() {
-	for len(c.pending) > 0 {
-		id := c.pending[0]
-		if id > c.stopAfter {
-			c.pending = c.pending[1:] // past a known cutoff: never merged
-			continue
-		}
-		var w *workerConn
-		for ww := range c.workers {
-			if ww.inflight < ww.slots {
-				w = ww
-				break
-			}
-		}
-		if w == nil {
-			return // all slots busy (or no workers yet): wait
-		}
-		lease := &wire.Lease{ID: id, Root: c.frontier[id], Base: c.baseFor(id), Table: c.fpLog[w.cursor:]}
-		if err := w.c.Send(&wire.Msg{Kind: wire.KindLease, Lease: lease}); err != nil {
-			c.dropWorker(w)
-			continue
-		}
-		w.cursor = len(c.fpLog)
-		w.inflight++
-		c.assigned[id] = w
-		c.pending = c.pending[1:]
-	}
-}
-
-// baseFor is the budget base of a lease for subtree id: a lower bound on the
-// runs the merge will credit before it in canonical order. Pruned runs must
-// use the base frozen at the wave start (runs in completed waves) — it is
-// part of the report's identity. Unpruned runs are free to use a tighter
-// bound, so workers stop sooner under a MaxRuns budget: the runs of already
-// completed earlier subtrees, exactly the in-process explorer's baseLower.
-func (c *coordinator) baseFor(id int) int {
-	if c.job.Opts.Prune {
-		return c.done
-	}
-	base := 0
-	for j := 0; j < id; j++ {
-		if o := c.outcomes[j]; o != nil {
-			base += o.Runs
-		}
-	}
-	return base
-}
-
-// dropWorker forgets a dead worker and returns its outstanding leases to the
-// pending queue for re-leasing.
-func (c *coordinator) dropWorker(w *workerConn) {
-	if !c.workers[w] {
-		return
-	}
-	delete(c.workers, w)
-	w.raw.Close()
-	requeued := false
-	for id, ww := range c.assigned {
-		if ww != w {
-			continue
-		}
-		delete(c.assigned, id)
-		if c.outcomes[id] == nil && id >= c.waveLo && id <= c.stopAfter {
-			c.pending = append(c.pending, id)
-			requeued = true
-		}
-	}
-	if requeued {
-		sort.Ints(c.pending)
-	}
-}
-
-// onResult records one subtree outcome (first result wins — duplicates from
-// re-leased subtrees are identical by determinism) and reports whether the
-// whole search is complete.
-func (c *coordinator) onResult(w *workerConn, res *wire.Result) bool {
-	if c.workers[w] {
-		w.inflight--
-	}
-	if c.assigned[res.ID] == w {
-		delete(c.assigned, res.ID)
-		if res.Outcome.Stopped && c.outcomes[res.ID] == nil && res.ID >= c.waveLo && res.ID <= c.stopAfter {
-			c.pending = append(c.pending, res.ID) // abandoned, not finished: re-lease
-			sort.Ints(c.pending)
-		}
-	}
-	if res.Outcome.Stopped {
-		return false
-	}
-	if res.ID >= c.waveLo && res.ID < c.waveHi && c.outcomes[res.ID] == nil {
-		c.outcomes[res.ID] = res.Outcome
-		if res.ID < c.stopAfter && res.Outcome.Cut(c.maxViol) {
-			c.stopAfter = res.ID
-		}
-	}
-	return c.advance()
-}
-
-// advance checks the wave barrier: once every subtree the merge can reach has
-// an outcome, either the search ends inside this wave (a cutoff: merge now,
-// publish nothing — matching the in-process explorer, whose final wave never
-// publishes), or the wave's closures are max-merged into the table, its runs
-// credited to the frozen base, and the next wave opened.
-func (c *coordinator) advance() bool {
-	hi := min(c.waveHi, c.stopAfter+1)
-	for i := c.waveLo; i < hi; i++ {
-		if c.outcomes[i] == nil {
-			return false
-		}
-	}
-	if c.stopAfter < c.waveHi {
-		return true
-	}
-	for i := c.waveLo; i < c.waveHi; i++ {
-		o := c.outcomes[i]
-		c.done += o.Runs
-		for _, e := range o.Closures {
-			if cur, ok := c.table[e.Fp]; !ok || e.Rem > cur {
-				c.table[e.Fp] = e.Rem
-				c.fpLog = append(c.fpLog, e)
-			}
-		}
-	}
-	if c.waveHi >= len(c.frontier) {
-		return true
-	}
-	c.startWave(c.waveHi)
-	return false
-}
-
-// merge folds the outcomes into the final report. An exhausted pruned search
-// published every wave, so the merged table holds the union of all closures:
-// the exact distinct-configuration count, exactly as in the in-process
-// stateful explorer.
-func (c *coordinator) merge() (*trace.ExploreReport, error) {
-	rep, err := trace.MergeOutcomes(c.frontier, c.outcomes, c.job.Opts, false)
-	if err == nil && c.job.Opts.Prune && rep.Exhausted {
-		rep.Distinct = len(c.table)
-	}
-	return rep, err
-}
-
-// shutdown releases every connected worker.
-func (c *coordinator) shutdown() {
-	for w := range c.workers {
-		w.c.Send(&wire.Msg{Kind: wire.KindShutdown})
-		w.raw.Close()
-	}
-}
-
-// acceptLoop admits workers until the listener closes: handshake, job, then
-// a read loop feeding results into the coordinator.
-func acceptLoop(ln net.Listener, job *wire.Job, events chan<- event, quit <-chan struct{}) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go handleWorker(conn, job, events, quit)
-	}
-}
-
-func handleWorker(conn net.Conn, job *wire.Job, events chan<- event, quit <-chan struct{}) {
-	wc := wire.NewConn(conn)
-	msg, err := wc.Recv()
-	if err != nil || msg.Kind != wire.KindHello || msg.Hello == nil || msg.Hello.Version != wire.Version {
-		conn.Close()
-		return
-	}
-	w := &workerConn{c: wc, raw: conn, slots: max(msg.Hello.Slots, 1)}
-	if err := wc.Send(&wire.Msg{Kind: wire.KindJob, Job: job}); err != nil {
-		conn.Close()
-		return
-	}
-	if !post(events, quit, event{join: w}) {
-		conn.Close()
-		return
-	}
-	for {
-		msg, err := wc.Recv()
-		if err != nil {
-			post(events, quit, event{dead: w})
-			return
-		}
-		switch msg.Kind {
-		case wire.KindResult:
-			if msg.Result == nil || msg.Result.Outcome == nil {
-				post(events, quit, event{dead: w})
-				return
-			}
-			if !post(events, quit, event{from: w, res: msg.Result}) {
-				return
-			}
-		case wire.KindFail:
-			reason := "unknown failure"
-			if msg.Fail != nil {
-				reason = msg.Fail.Err
-			}
-			post(events, quit, event{from: w, fail: reason})
-			return
-		default:
-			post(events, quit, event{dead: w})
-			return
-		}
-	}
-}
-
-// post delivers an event unless the coordinator already returned.
-func post(events chan<- event, quit <-chan struct{}, e event) bool {
 	select {
-	case events <- e:
-		return true
-	case <-quit:
-		return false
+	case r := <-ch:
+		return r.Report, r.Err
+	case <-ctx.Done():
+		cancel() // interrupts the session: partial report + ErrInterrupted
+		r := <-ch
+		return r.Report, r.Err
 	}
 }

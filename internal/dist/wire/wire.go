@@ -3,20 +3,29 @@
 // tests, TCP between machines). Every frame is a 4-byte big-endian length
 // followed by that many bytes of one JSON-encoded Msg envelope.
 //
-// The conversation is deliberately small:
+// The worker conversation is deliberately small. Since version 3 every job
+// carries an id and leases/results/fails are tagged with it, so one fleet
+// multiplexes any number of concurrent jobs:
 //
 //	worker -> coordinator   hello   {version, slots}
-//	coordinator -> worker   job     {protocol, params, explore options}
-//	coordinator -> worker   lease   {subtree id, root prefix, budget base,
-//	                                 visited-state delta}
-//	worker -> coordinator   result  {subtree id, complete outcome}
-//	worker -> coordinator   fail    {error}            (job unresolvable)
+//	coordinator -> worker   reject  {got, want, error}  (version skew)
+//	coordinator -> worker   job     {id, protocol, params, explore options}
+//	coordinator -> worker   lease   {job id, subtree id, root prefix,
+//	                                 budget base, visited-state delta}
+//	worker -> coordinator   result  {job id, subtree id, complete outcome}
+//	worker -> coordinator   fail    {job id, error}     (job unresolvable)
+//	coordinator -> worker   retire  {job id}            (job finished: drop it)
 //	coordinator -> worker   shutdown
 //
 // Results carry complete subtree outcomes only — a worker that dies mid-
 // subtree contributes nothing, and the coordinator re-leases the subtree —
 // so every message is idempotent and the merged report cannot depend on
 // worker count, arrival order, or failures.
+//
+// The same framing carries the job-lifecycle API of the checking daemon
+// (internal/jobd): clients submit jobs, poll status, fetch results and
+// witness artifacts, cancel, and list — see the Kind* constants of the
+// client protocol below.
 //
 // The same JSON types double as the on-disk witness format: a Witness file
 // records a protocol instance plus its violating schedules, replayable with
@@ -26,6 +35,7 @@ package wire
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -38,14 +48,19 @@ import (
 // different one (the search's determinism depends on both sides running the
 // same subtree semantics). Version 2 added ExploreOpts.Symmetry: a version-1
 // worker would silently drop the field and explore with plain fingerprints,
-// corrupting the merge.
-const Version = 2
+// corrupting the merge. Version 3 multiplexes concurrent jobs over one
+// worker fleet: jobs carry ids, leases/results/fails are job-tagged, and a
+// "retire" message releases per-job worker state — a version-2 worker would
+// ignore the tags and merge unrelated jobs into one table, so mismatched
+// peers are now rejected with an explicit "reject" message instead of a
+// silent close.
+const Version = 3
 
 // MaxFrame caps one frame's length (64 MiB): a corrupt or hostile length
 // prefix must not allocate unboundedly.
 const MaxFrame = 1 << 26
 
-// Message kinds.
+// Message kinds of the worker protocol.
 const (
 	KindHello    = "hello"
 	KindJob      = "job"
@@ -53,6 +68,28 @@ const (
 	KindResult   = "result"
 	KindFail     = "fail"
 	KindShutdown = "shutdown"
+	// KindReject answers a handshake the coordinator cannot serve (version
+	// skew): the explicit compatibility error a version-2 peer gets instead
+	// of a silent close.
+	KindReject = "reject"
+	// KindRetire tells a worker a job is finished or cancelled: drop its
+	// resolved state and mirror table, abandon its in-flight subtrees.
+	KindRetire = "retire"
+)
+
+// Message kinds of the job-lifecycle (client <-> daemon) protocol. A client
+// and a worker share one daemon listener; the first frame tells them apart
+// (workers open with hello).
+const (
+	KindSubmit = "submit" // client -> daemon: queue a job        (body Submit)
+	KindAck    = "ack"    // daemon -> client: id or field errors (body Ack)
+	KindStatus = "status" // client -> daemon: one job's state    (body Ref)
+	KindCancel = "cancel" // client -> daemon: cancel a job       (body Ref)
+	KindFetch  = "fetch"  // client -> daemon: result + witness   (body Ref)
+	KindList   = "list"   // client -> daemon: all jobs           (no body)
+	KindInfo   = "info"   // daemon -> client: one job's state    (body Info)
+	KindJobs   = "jobs"   // daemon -> client: all jobs           (body Jobs)
+	KindReport = "report" // daemon -> client: result + witness   (body Report)
 )
 
 // Hello is the worker's opening message: protocol version and how many
@@ -62,50 +99,172 @@ type Hello struct {
 	Slots   int
 }
 
-// Job describes the exploration to every worker: which registry protocol to
+// Job describes one exploration to every worker: its id (the multiplexing
+// key of every later lease/result/fail/retire), which registry protocol to
 // instantiate, with which parameters, under which exploration options. Both
 // sides build the factory from their own registry, so only names and numbers
 // cross the wire. (ExploreOpts.Interrupted is a local closure and is
 // excluded from the encoding.)
 type Job struct {
+	ID       string `json:",omitempty"`
 	Protocol string
 	Params   protocol.Params
 	Opts     trace.ExploreOpts
 }
 
-// Lease hands one subtree to a worker. Table is the visited-state delta —
-// the closure entries published at wave barriers since this worker's last
-// lease — bringing the worker's mirror exactly to the table frozen at this
-// subtree's wave start. Base is the frozen budget base: a lower bound on the
-// runs the merge will credit before this subtree.
+// Lease hands one subtree of job Job to a worker. Table is the
+// visited-state delta — the closure entries published at that job's wave
+// barriers since this worker's last lease of it — bringing the worker's
+// per-job mirror exactly to the table frozen at this subtree's wave start.
+// Base is the frozen budget base: a lower bound on the runs the merge will
+// credit before this subtree.
 type Lease struct {
+	Job   string `json:",omitempty"`
 	ID    int
 	Root  []int
 	Base  int
 	Table []trace.FpEntry `json:",omitempty"`
 }
 
-// Result returns one complete subtree outcome.
+// Result returns one complete subtree outcome of job Job.
 type Result struct {
+	Job     string `json:",omitempty"`
 	ID      int
 	Outcome *trace.SubtreeOutcome
 }
 
-// Fail aborts the run: the worker could not resolve or validate the job
-// (unknown protocol, version skew). Distinct from a run error inside a
-// subtree, which is a legitimate outcome the merge reproduces.
+// Fail rejects one job: the worker could not resolve or validate it
+// (unknown protocol, registry skew) or could not run its subtrees
+// (capability skew). Job-scoped — the worker keeps serving its other jobs.
+// Distinct from a run error inside a subtree, which is a legitimate outcome
+// the merge reproduces.
 type Fail struct {
+	Job string `json:",omitempty"`
 	Err string
+}
+
+// Reject answers an incompatible handshake: the peer's version, the version
+// this side requires, and a human-readable explanation. The connection
+// closes right after.
+type Reject struct {
+	Got  int
+	Want int
+	Err  string
+}
+
+// Retire releases one job on a worker: resolved state and mirror table are
+// dropped, in-flight subtrees of the job are abandoned (their outcomes are
+// never reported — the job is finished or cancelled, nobody merges them).
+type Retire struct {
+	Job string
+}
+
+// Submit asks the daemon to queue one job. The submitted Job's ID field is
+// ignored — the daemon assigns ids.
+type Submit struct {
+	Job Job
+}
+
+// Ack answers a submission: the assigned job id, or the structured
+// validation errors that rejected it (Err carries the aggregate rendering).
+type Ack struct {
+	ID     string                `json:",omitempty"`
+	Fields []protocol.FieldError `json:",omitempty"`
+	Err    string                `json:",omitempty"`
+}
+
+// Ref names one job in a status/cancel/fetch request.
+type Ref struct {
+	ID string
+}
+
+// JobInfo is one job's externally visible state.
+type JobInfo struct {
+	ID       string
+	Protocol string
+	Params   protocol.Params
+	// State is one of the jobd lifecycle states: "queued", "running",
+	// "done", "failed", "canceled", "interrupted".
+	State string
+	// Runs and Violations summarize the report of a finished (or
+	// interrupted) job.
+	Runs       int
+	Violations int
+	// Err is the failure message of a failed job.
+	Err string `json:",omitempty"`
+	// Resumable marks an interrupted job the daemon will re-queue on
+	// restart.
+	Resumable bool `json:",omitempty"`
+}
+
+// Report is a trace.ExploreReport in wire form: violations flattened to
+// schedule + message, everything else verbatim.
+type Report struct {
+	Runs       int
+	Truncated  int
+	Exhausted  bool
+	Pruned     int
+	Distinct   int
+	Violations []Violation `json:",omitempty"`
+}
+
+// ReportOf converts an exploration report to its wire form.
+func ReportOf(rep *trace.ExploreReport) *Report {
+	r := &Report{
+		Runs:      rep.Runs,
+		Truncated: rep.Truncated,
+		Exhausted: rep.Exhausted,
+		Pruned:    rep.Pruned,
+		Distinct:  rep.Distinct,
+	}
+	for _, v := range rep.Violations {
+		r.Violations = append(r.Violations, Violation{Schedule: v.Schedule, Err: v.Err.Error()})
+	}
+	return r
+}
+
+// Explore converts back. Violation errors were flattened to messages, so the
+// reconstructed errors render identically but lose their wrapped chain.
+func (r *Report) Explore() *trace.ExploreReport {
+	rep := &trace.ExploreReport{
+		Runs:      r.Runs,
+		Truncated: r.Truncated,
+		Exhausted: r.Exhausted,
+		Pruned:    r.Pruned,
+		Distinct:  r.Distinct,
+	}
+	for _, v := range r.Violations {
+		rep.Violations = append(rep.Violations, trace.Violation{Schedule: v.Schedule, Err: errors.New(v.Err)})
+	}
+	return rep
+}
+
+// JobReport is the fetchable artifact of a finished job: its state, the job
+// as resolved at submission, the merged report, and the witness document
+// (retrievable per job, same format modelcheck -witness writes).
+type JobReport struct {
+	Info    JobInfo
+	Job     Job
+	Report  *Report  `json:",omitempty"`
+	Witness *Witness `json:",omitempty"`
 }
 
 // Msg is the frame envelope: Kind selects which body field is set.
 type Msg struct {
 	Kind   string
-	Hello  *Hello  `json:",omitempty"`
-	Job    *Job    `json:",omitempty"`
-	Lease  *Lease  `json:",omitempty"`
-	Result *Result `json:",omitempty"`
-	Fail   *Fail   `json:",omitempty"`
+	Hello  *Hello     `json:",omitempty"`
+	Job    *Job       `json:",omitempty"`
+	Lease  *Lease     `json:",omitempty"`
+	Result *Result    `json:",omitempty"`
+	Fail   *Fail      `json:",omitempty"`
+	Reject *Reject    `json:",omitempty"`
+	Retire *Retire    `json:",omitempty"`
+	Submit *Submit    `json:",omitempty"`
+	Ack    *Ack       `json:",omitempty"`
+	Ref    *Ref       `json:",omitempty"`
+	Info   *JobInfo   `json:",omitempty"`
+	Jobs   []JobInfo  `json:",omitempty"`
+	Report *JobReport `json:",omitempty"`
 }
 
 // Conn frames messages over one stream. Sends are serialized by an internal

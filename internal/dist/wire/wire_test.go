@@ -15,17 +15,35 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	msgs := []*Msg{
 		{Kind: KindHello, Hello: &Hello{Version: Version, Slots: 4}},
-		{Kind: KindJob, Job: &Job{Protocol: "kset", Params: protocol.Params{N: 4, K: 3},
+		{Kind: KindJob, Job: &Job{ID: "j0007", Protocol: "kset", Params: protocol.Params{N: 4, K: 3},
 			Opts: trace.ExploreOpts{MaxDepth: 20, MaxRuns: 1000, Prune: true, Checkpoint: true, Engine: "seq"}}},
-		{Kind: KindLease, Lease: &Lease{ID: 7, Root: []int{0, 2, 1}, Base: 420,
+		{Kind: KindLease, Lease: &Lease{Job: "j0007", ID: 7, Root: []int{0, 2, 1}, Base: 420,
 			Table: []trace.FpEntry{{Fp: 1 << 63, Rem: 9}, {Fp: 42, Rem: 1}}}},
-		{Kind: KindResult, Result: &Result{ID: 7, Outcome: &trace.SubtreeOutcome{
+		{Kind: KindResult, Result: &Result{Job: "j0007", ID: 7, Outcome: &trace.SubtreeOutcome{
 			Runs: 12, Truncated: 3, Exhausted: true, Pruned: 2, Distinct: 5,
 			Violations: []trace.SubtreeViolation{{Ord: 4, TruncCum: 1, Schedule: []int{0, 1, 0}, Err: "disagreement"}},
 			TruncBits:  []uint64{0b1010}, ErrOrd: -1,
 			Closures: []trace.FpEntry{{Fp: 3, Rem: 2}},
 		}}},
-		{Kind: KindFail, Fail: &Fail{Err: "unknown protocol"}},
+		{Kind: KindFail, Fail: &Fail{Job: "j0007", Err: "unknown protocol"}},
+		{Kind: KindReject, Reject: &Reject{Got: 2, Want: 3, Err: "version skew"}},
+		{Kind: KindRetire, Retire: &Retire{Job: "j0007"}},
+		{Kind: KindSubmit, Submit: &Submit{Job: Job{Protocol: "firstvalue", Params: protocol.Params{N: 4},
+			Opts: trace.ExploreOpts{MaxDepth: 14, Prune: true}}}},
+		{Kind: KindAck, Ack: &Ack{ID: "j0008"}},
+		{Kind: KindAck, Ack: &Ack{Err: "n=-1: must be positive",
+			Fields: []protocol.FieldError{{Field: "n", Value: "-1", Msg: "must be positive"}}}},
+		{Kind: KindStatus, Ref: &Ref{ID: "j0008"}},
+		{Kind: KindInfo, Info: &JobInfo{ID: "j0008", Protocol: "firstvalue", Params: protocol.Params{N: 4},
+			State: "running"}},
+		{Kind: KindJobs, Jobs: []JobInfo{{ID: "j0007", State: "done", Runs: 99, Violations: 1}}},
+		{Kind: KindReport, Report: &JobReport{
+			Info: JobInfo{ID: "j0007", State: "done", Runs: 99, Violations: 1},
+			Job:  Job{ID: "j0007", Protocol: "kset", Params: protocol.Params{N: 4, K: 3}},
+			Report: &Report{Runs: 99, Truncated: 4, Exhausted: true, Pruned: 7, Distinct: 42,
+				Violations: []Violation{{Schedule: []int{1, 0}, Err: "disagreement"}}},
+			Witness: &Witness{Protocol: "kset", Params: protocol.Params{N: 4, K: 3}, Engine: "seq", MaxDepth: 20},
+		}},
 		{Kind: KindShutdown},
 	}
 	var buf bytes.Buffer
@@ -76,6 +94,23 @@ func TestInterruptedNeverCrossesTheWire(t *testing.T) {
 	}
 	if got.Job.Opts.Interrupted != nil {
 		t.Fatal("Interrupted closure crossed the wire")
+	}
+}
+
+// TestReportRoundTrip pins ReportOf/Explore: counters verbatim, violations
+// flattened to messages and reconstructed rendering-equal.
+func TestReportRoundTrip(t *testing.T) {
+	rep := &trace.ExploreReport{
+		Runs: 120, Truncated: 17, Exhausted: true, Pruned: 5, Distinct: 33,
+		Violations: []trace.Violation{{Schedule: []int{0, 1, 1}, Err: errString("disagreement")}},
+	}
+	got := ReportOf(rep).Explore()
+	if got.Runs != rep.Runs || got.Truncated != rep.Truncated || got.Exhausted != rep.Exhausted ||
+		got.Pruned != rep.Pruned || got.Distinct != rep.Distinct || len(got.Violations) != 1 {
+		t.Fatalf("round trip diverged: %+v vs %+v", rep, got)
+	}
+	if got.Violations[0].Err.Error() != "disagreement" {
+		t.Fatalf("violation error lost: %v", got.Violations[0].Err)
 	}
 }
 

@@ -174,14 +174,36 @@ func WriteRegistry(w io.Writer) {
 	}
 }
 
+// ViolationsError is the typed "check completed and found violations"
+// outcome: distinct from a runtime failure so mains can map it to its own
+// exit code (distcheck exits 3 on it). Its rendering is part of the CLI
+// surface; keep it stable.
+type ViolationsError struct{ N int }
+
+// Error implements error.
+func (e *ViolationsError) Error() string {
+	return fmt.Sprintf("%d violating schedule(s) found", e.N)
+}
+
+// InterruptedError is the typed "check was interrupted before completion"
+// outcome (distcheck exits 4 on it). It wraps trace.ErrInterrupted, so
+// errors.Is keeps working across the boundary.
+type InterruptedError struct{}
+
+// Error implements error.
+func (e *InterruptedError) Error() string { return "interrupted before the search completed" }
+
+// Unwrap exposes trace.ErrInterrupted.
+func (e *InterruptedError) Unwrap() error { return trace.ErrInterrupted }
+
 // CheckOutcome is the shared post-Check epilogue of modelcheck and
 // distcheck: it writes the interrupted banner and the rendered report, and
-// returns the process outcome — err itself when the check failed outright,
-// a "violating schedule(s) found" error, an "interrupted" error (an
-// unfinished check must not exit 0: "no violations found" covers only the
-// schedules explored), or nil on a clean completed check. Centralizing it
-// keeps the two cmds byte-comparable (the dist smoke literally diffs their
-// reports).
+// returns the process outcome — err itself when the check failed outright, a
+// *ViolationsError, an *InterruptedError (an unfinished check must not exit
+// 0: "no violations found" covers only the schedules explored), or nil on a
+// clean completed check. Centralizing it keeps the two cmds byte-comparable
+// (the dist smoke literally diffs their reports), and the typed outcomes let
+// mains map each to a distinct exit code.
 func CheckOutcome(w io.Writer, rep *CheckReport, err error, maxDepth int, prune, symmetry bool, baseline *trace.ExploreReport) error {
 	interrupted := errors.Is(err, trace.ErrInterrupted)
 	if err != nil && !interrupted {
@@ -192,10 +214,10 @@ func CheckOutcome(w io.Writer, rep *CheckReport, err error, maxDepth int, prune,
 	}
 	WriteCheckReport(w, rep, maxDepth, prune, symmetry, baseline)
 	if n := len(rep.Explore.Violations); n > 0 {
-		return fmt.Errorf("%d violating schedule(s) found", n)
+		return &ViolationsError{N: n}
 	}
 	if interrupted {
-		return fmt.Errorf("interrupted before the search completed")
+		return &InterruptedError{}
 	}
 	return nil
 }

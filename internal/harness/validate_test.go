@@ -1,0 +1,125 @@
+package harness_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/harness"
+	"revisionist/internal/protocol"
+	"revisionist/internal/trace"
+)
+
+// TestValidateJobBoundaries pins the admission check of the job API on
+// hostile and boundary submissions: every rejection is a structured
+// *protocol.ValidationError naming the offending fields.
+func TestValidateJobBoundaries(t *testing.T) {
+	good := wire.Job{Protocol: "firstvalue", Params: protocol.Params{N: 3},
+		Opts: trace.ExploreOpts{MaxDepth: 8, Engine: "seq"}}
+	cases := []struct {
+		name   string
+		mut    func(j *wire.Job)
+		fields []string // empty = must be accepted
+	}{
+		{"valid", func(j *wire.Job) {}, nil},
+		{"n=0 takes the schema default", func(j *wire.Job) { j.Params.N = 0 }, nil},
+		{"negative depth", func(j *wire.Job) { j.Opts.MaxDepth = -4 }, []string{"maxdepth"}},
+		{"zero depth", func(j *wire.Job) { j.Opts.MaxDepth = 0 }, []string{"maxdepth"}},
+		{"unknown protocol", func(j *wire.Job) { j.Protocol = "no-such-protocol" }, []string{"protocol"}},
+		{"negative n", func(j *wire.Job) { j.Params.N = -2 }, []string{"n"}},
+		{"symmetry without prune", func(j *wire.Job) { j.Opts.Symmetry = true }, []string{"symmetry"}},
+		{"checkpoint off the seq engine", func(j *wire.Job) {
+			j.Opts.Prune = true
+			j.Opts.Checkpoint = true
+			j.Opts.Engine = "goroutine"
+		}, []string{"checkpoint"}},
+		{"negative budgets", func(j *wire.Job) {
+			j.Opts.MaxRuns = -1
+			j.Opts.MaxViolations = -1
+			j.Opts.Workers = -1
+		}, []string{"maxruns", "maxviolations", "workers"}},
+		{"bad engine", func(j *wire.Job) { j.Opts.Engine = "quantum" }, []string{"engine"}},
+		{"everything wrong at once", func(j *wire.Job) {
+			j.Protocol = "nope"
+			j.Opts.MaxDepth = -1
+			j.Opts.Symmetry = true
+		}, []string{"protocol", "maxdepth", "symmetry"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			job := good
+			c.mut(&job)
+			norm, err := harness.ValidateJob(job)
+			if len(c.fields) == 0 {
+				if err != nil {
+					t.Fatalf("valid job rejected: %v", err)
+				}
+				if norm.Params.N <= 0 {
+					t.Fatalf("normalized job lost its parameters: %+v", norm.Params)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("hostile job accepted: %+v", job)
+			}
+			var ve *protocol.ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("unstructured rejection: %v", err)
+			}
+			got := map[string]bool{}
+			for _, f := range ve.Fields {
+				got[f.Field] = true
+			}
+			for _, want := range c.fields {
+				if !got[want] {
+					t.Errorf("rejection %q misses field %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckOutcomeTypedErrors pins the typed outcomes mains map to exit
+// codes: violations found, interrupted (wrapping trace.ErrInterrupted), and
+// their stable renderings.
+func TestCheckOutcomeTypedErrors(t *testing.T) {
+	pr, err := protocol.Lookup("firstvalue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &harness.CheckReport{Protocol: pr, Params: protocol.Params{N: 2},
+		Explore: &trace.ExploreReport{Runs: 5, Violations: []trace.Violation{
+			{Schedule: []int{0, 1}, Err: errors.New("disagreement")},
+		}}}
+	var buf bytes.Buffer
+	err = harness.CheckOutcome(&buf, rep, nil, 8, false, false, nil)
+	var viol *harness.ViolationsError
+	if !errors.As(err, &viol) || viol.N != 1 {
+		t.Fatalf("want *ViolationsError{N:1}, got %v", err)
+	}
+	if err.Error() != "1 violating schedule(s) found" {
+		t.Fatalf("rendering changed: %q", err.Error())
+	}
+
+	clean := &harness.CheckReport{Protocol: pr, Params: protocol.Params{N: 2},
+		Explore: &trace.ExploreReport{Runs: 5}}
+	buf.Reset()
+	err = harness.CheckOutcome(&buf, clean, trace.ErrInterrupted, 8, false, false, nil)
+	var intr *harness.InterruptedError
+	if !errors.As(err, &intr) {
+		t.Fatalf("want *InterruptedError, got %v", err)
+	}
+	if !errors.Is(err, trace.ErrInterrupted) {
+		t.Fatal("InterruptedError does not unwrap to trace.ErrInterrupted")
+	}
+	if !strings.Contains(buf.String(), "interrupted: partial results follow") {
+		t.Fatalf("interrupted banner missing:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := harness.CheckOutcome(&buf, clean, nil, 8, false, false, nil); err != nil {
+		t.Fatalf("clean check errored: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package jobd
+
+import (
+	"fmt"
+	"net"
+
+	"revisionist/internal/dist/wire"
+)
+
+// Client speaks the job-lifecycle side of the wire protocol to a daemon over
+// one connection. It is a thin request/response wrapper: one frame out, one
+// frame back, errors surfaced from the daemon's acks. Not safe for concurrent
+// use; open one per goroutine.
+type Client struct {
+	conn net.Conn
+	c    *wire.Conn
+}
+
+// Dial connects to a daemon's TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests use pipes).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, c: wire.NewConn(conn)}
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.conn.Close() }
+
+// roundTrip sends one request and decodes the expected response kind; an ack
+// carrying an error — the daemon's uniform failure answer — becomes an error
+// whatever kind was expected.
+func (cl *Client) roundTrip(req *wire.Msg, wantKind string) (*wire.Msg, error) {
+	if err := cl.c.Send(req); err != nil {
+		return nil, fmt.Errorf("jobd: send %s: %w", req.Kind, err)
+	}
+	resp, err := cl.c.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("jobd: awaiting %s reply: %w", req.Kind, err)
+	}
+	if resp.Kind == wire.KindAck && resp.Ack != nil && resp.Ack.Err != "" && wantKind != wire.KindAck {
+		return nil, fmt.Errorf("jobd: %s", resp.Ack.Err)
+	}
+	if resp.Kind != wantKind {
+		return nil, fmt.Errorf("jobd: expected %s reply to %s, got %q", wantKind, req.Kind, resp.Kind)
+	}
+	return resp, nil
+}
+
+// Submit queues a job. A validation rejection comes back as the ack itself
+// (Err and structured Fields set), not as a transport error, so callers can
+// render the field errors.
+func (cl *Client) Submit(job wire.Job) (*wire.Ack, error) {
+	resp, err := cl.roundTrip(&wire.Msg{Kind: wire.KindSubmit, Submit: &wire.Submit{Job: job}}, wire.KindAck)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Ack == nil {
+		return nil, fmt.Errorf("jobd: empty submit ack")
+	}
+	return resp.Ack, nil
+}
+
+// Status fetches one job's state.
+func (cl *Client) Status(id string) (*wire.JobInfo, error) {
+	resp, err := cl.roundTrip(&wire.Msg{Kind: wire.KindStatus, Ref: &wire.Ref{ID: id}}, wire.KindInfo)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}
+
+// Cancel cancels a queued or running job.
+func (cl *Client) Cancel(id string) error {
+	resp, err := cl.roundTrip(&wire.Msg{Kind: wire.KindCancel, Ref: &wire.Ref{ID: id}}, wire.KindAck)
+	if err != nil {
+		return err
+	}
+	if resp.Ack != nil && resp.Ack.Err != "" {
+		return fmt.Errorf("jobd: %s", resp.Ack.Err)
+	}
+	return nil
+}
+
+// Fetch retrieves one job's full artifact: state, normalized job, and — once
+// finished — the merged report and witness.
+func (cl *Client) Fetch(id string) (*wire.JobReport, error) {
+	resp, err := cl.roundTrip(&wire.Msg{Kind: wire.KindFetch, Ref: &wire.Ref{ID: id}}, wire.KindReport)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Report == nil {
+		return nil, fmt.Errorf("jobd: empty fetch reply")
+	}
+	return resp.Report, nil
+}
+
+// List fetches every job in admission order.
+func (cl *Client) List() ([]wire.JobInfo, error) {
+	resp, err := cl.roundTrip(&wire.Msg{Kind: wire.KindList}, wire.KindJobs)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}

@@ -1,0 +1,461 @@
+// Package jobd is the long-running checking daemon: a durable job queue in
+// front of one shared dist.Fleet. Clients submit checks over the same framed
+// wire protocol workers speak (the first frame tells them apart — workers
+// open with hello), poll status, fetch merged reports and witness artifacts,
+// cancel, and list; the daemon validates every submission at the door,
+// journals the queue to disk so queued and running jobs survive a restart
+// (running jobs are re-leased from scratch — sessions are deterministic, the
+// redo is identical), drains running jobs into resumable partial reports on
+// graceful shutdown, and can grow or shrink a fleet of locally spawned
+// workers from lease throughput and queue depth.
+//
+// Determinism carries through unchanged: each job runs as its own fleet
+// session with private waves, mirrors and budget bases, so a job's merged
+// report is byte-identical to a single-process Check no matter how many jobs
+// shared the fleet or how workers came and went.
+package jobd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"revisionist/internal/dist"
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/protocol"
+	"revisionist/internal/trace"
+)
+
+// Config parameterizes a Daemon.
+type Config struct {
+	// Dir is the queue journal directory ("" = in-memory only: the queue
+	// dies with the process).
+	Dir string
+	// MaxActive bounds concurrently running jobs (default 2). Queued jobs
+	// beyond it wait their turn in admission order.
+	MaxActive int
+	// Resolve builds exploration inputs from a wire job (required; typically
+	// harness.Resolve).
+	Resolve dist.Resolver
+	// Validate normalizes and admission-checks a submission (typically
+	// harness.ValidateJob). nil accepts jobs verbatim.
+	Validate func(wire.Job) (wire.Job, error)
+	// Scale, when non-nil, enables adaptive fleet scaling; Spawn must then
+	// start one local worker connected to this daemon and return its stop
+	// function.
+	Scale *ScalePolicy
+	Spawn func() (stop func(), err error)
+	// Logf receives operational one-liners (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Daemon is the checking daemon. All queue and lifecycle state is owned by
+// the single Run goroutine; client handlers and session watchers inject
+// closures over the actions channel, mirroring the fleet's own loop
+// discipline.
+type Daemon struct {
+	cfg     Config
+	fleet   *dist.Fleet
+	queue   *Queue
+	scale   *ScalePolicy
+	actions chan func()
+	done    chan struct{}
+
+	// loop-owned.
+	draining  bool
+	active    map[string]bool
+	spawned   []func()
+	prevStats dist.FleetStats
+}
+
+// New opens the queue (applying restart recovery) and builds the daemon.
+// Call Run to start it.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Resolve == nil {
+		return nil, errors.New("jobd: Config.Resolve is required")
+	}
+	q, err := OpenQueue(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		fleet:   dist.NewFleet(cfg.Resolve),
+		queue:   q,
+		actions: make(chan func()),
+		done:    make(chan struct{}),
+		active:  map[string]bool{},
+	}
+	if cfg.Scale != nil {
+		pol := cfg.Scale.withDefaults()
+		d.scale = &pol
+	}
+	return d, nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// Run is the daemon's main loop; it returns after a graceful shutdown. When
+// ctx is cancelled the daemon stops admitting and dispatching, interrupts the
+// fleet — every running session merges what it has into a partial report —
+// records those jobs as interrupted and resumable (a restart re-queues them),
+// stops spawned workers, and persists the queue. A second, impatient signal
+// is the caller's concern (cmd/checkd force-exits on it).
+func (d *Daemon) Run(ctx context.Context) error {
+	fctx, fcancel := context.WithCancel(context.Background())
+	fleetDone := make(chan struct{})
+	go func() { defer close(fleetDone); d.fleet.Run(fctx) }()
+	var tick <-chan time.Time
+	if d.scale != nil {
+		ticker := time.NewTicker(d.scale.Interval)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	d.fill()
+	for {
+		select {
+		case <-ctx.Done():
+			d.draining = true
+			d.logf("shutdown: draining %d running job(s)", len(d.active))
+			fcancel()
+			for len(d.active) > 0 {
+				fn := <-d.actions
+				fn()
+			}
+			<-fleetDone
+			for _, stop := range d.spawned {
+				stop()
+			}
+			close(d.done)
+			return d.queue.Close()
+		case fn := <-d.actions:
+			fn()
+			d.fill()
+		case <-tick:
+			d.autoscale()
+		}
+	}
+}
+
+// act injects fn into the loop; false means the daemon already stopped.
+func (d *Daemon) act(fn func()) bool {
+	select {
+	case d.actions <- fn:
+		return true
+	case <-d.done:
+		return false
+	}
+}
+
+// call injects fn and waits for it to run.
+func (d *Daemon) call(fn func()) bool {
+	ran := make(chan struct{})
+	if !d.act(func() { defer close(ran); fn() }) {
+		return false
+	}
+	<-ran
+	return true
+}
+
+// fill starts queued jobs while running slots are free.
+func (d *Daemon) fill() {
+	if d.draining {
+		return
+	}
+	maxActive := d.cfg.MaxActive
+	if maxActive <= 0 {
+		maxActive = 2
+	}
+	for len(d.active) < maxActive {
+		rec := d.queue.NextQueued()
+		if rec == nil {
+			return
+		}
+		ch, err := d.fleet.Start(rec.ID, rec.Job)
+		if err != nil {
+			rec.State = StateFailed
+			rec.Err = err.Error()
+			d.queue.Put(rec)
+			d.logf("job %s: failed to start: %v", rec.ID, err)
+			continue
+		}
+		rec.State = StateRunning
+		d.queue.Put(rec)
+		d.active[rec.ID] = true
+		d.logf("job %s: running (%s %+v)", rec.ID, rec.Job.Protocol, rec.Job.Params)
+		go func(id string, ch <-chan dist.SessionResult) {
+			r := <-ch
+			d.act(func() { d.complete(id, r) })
+		}(rec.ID, ch)
+	}
+}
+
+// complete records a finished session's terminal state.
+func (d *Daemon) complete(id string, r dist.SessionResult) {
+	delete(d.active, id)
+	rec := d.queue.Get(id)
+	if rec == nil {
+		return
+	}
+	switch {
+	case errors.Is(r.Err, dist.ErrCanceled):
+		rec.State = StateCanceled
+	case errors.Is(r.Err, trace.ErrInterrupted):
+		// Shutdown caught it mid-search: keep the partial report, mark it
+		// resumable — restart recovery re-queues it from scratch.
+		rec.State = StateInterrupted
+		rec.Resumable = true
+		d.attachReport(rec, r.Report)
+	case r.Err != nil:
+		rec.State = StateFailed
+		rec.Err = r.Err.Error()
+	default:
+		rec.State = StateDone
+		d.attachReport(rec, r.Report)
+	}
+	d.queue.Put(rec)
+	d.logf("job %s: %s", id, rec.State)
+}
+
+// attachReport stores the merged report and, when it found violations, the
+// replayable witness artifact (same document modelcheck -witness writes).
+func (d *Daemon) attachReport(rec *Record, rep *trace.ExploreReport) {
+	if rep == nil {
+		return
+	}
+	rec.Report = wire.ReportOf(rep)
+	if len(rep.Violations) > 0 {
+		rec.Witness = wire.WitnessOf(rec.Job.Protocol, rec.Job.Params,
+			string(rec.Job.Opts.Engine), rec.Job.Opts.MaxDepth, rep.Violations)
+	}
+}
+
+// autoscale consumes one policy sample and applies its decision.
+func (d *Daemon) autoscale() {
+	cur := d.fleet.Stats()
+	dec := d.scale.Decide(d.prevStats, cur, d.queue.QueuedDepth(), len(d.spawned))
+	d.prevStats = cur
+	switch dec {
+	case Grow:
+		if d.cfg.Spawn == nil {
+			return
+		}
+		stop, err := d.cfg.Spawn()
+		if err != nil {
+			d.logf("scale: spawn failed: %v", err)
+			return
+		}
+		d.spawned = append(d.spawned, stop)
+		d.logf("scale: grow to %d spawned worker(s)", len(d.spawned))
+	case Shrink:
+		n := len(d.spawned)
+		if n == 0 {
+			return
+		}
+		stop := d.spawned[n-1]
+		d.spawned = d.spawned[:n-1]
+		stop()
+		d.logf("scale: shrink to %d spawned worker(s)", n-1)
+	}
+}
+
+// Stats snapshots the shared fleet.
+func (d *Daemon) Stats() dist.FleetStats { return d.fleet.Stats() }
+
+// Submit validates and queues one job, returning the ack a client gets: the
+// assigned id, or the structured field errors that rejected it.
+func (d *Daemon) Submit(job wire.Job) *wire.Ack {
+	if d.cfg.Validate != nil {
+		norm, err := d.cfg.Validate(job)
+		if err != nil {
+			ack := &wire.Ack{Err: err.Error()}
+			var ve *protocol.ValidationError
+			if errors.As(err, &ve) {
+				ack.Fields = ve.Fields
+			}
+			return ack
+		}
+		job = norm
+	}
+	job.Opts.Interrupted = nil // local closures never cross into sessions
+	ack := &wire.Ack{}
+	ok := d.call(func() {
+		if d.draining {
+			ack.Err = "daemon is shutting down"
+			return
+		}
+		id := d.queue.NextID()
+		job.ID = id
+		if err := d.queue.Put(&Record{ID: id, Job: job, State: StateQueued}); err != nil {
+			ack.Err = err.Error()
+			return
+		}
+		ack.ID = id
+		d.logf("job %s: queued (%s %+v)", id, job.Protocol, job.Params)
+	})
+	if !ok {
+		ack.Err = "daemon stopped"
+	}
+	return ack
+}
+
+// Status returns one job's state.
+func (d *Daemon) Status(id string) (wire.JobInfo, error) {
+	var info wire.JobInfo
+	var err error
+	ok := d.call(func() {
+		rec := d.queue.Get(id)
+		if rec == nil {
+			err = fmt.Errorf("no such job %q", id)
+			return
+		}
+		info = rec.Info()
+	})
+	if !ok {
+		return info, errors.New("daemon stopped")
+	}
+	return info, err
+}
+
+// Cancel cancels a queued or running job.
+func (d *Daemon) Cancel(id string) error {
+	var err error
+	ok := d.call(func() {
+		rec := d.queue.Get(id)
+		if rec == nil {
+			err = fmt.Errorf("no such job %q", id)
+			return
+		}
+		switch rec.State {
+		case StateQueued:
+			rec.State = StateCanceled
+			d.queue.Put(rec)
+			d.logf("job %s: canceled (was queued)", id)
+		case StateRunning:
+			// The session's watcher records the canceled state when the
+			// fleet delivers ErrCanceled.
+			err = d.fleet.Cancel(id)
+		default:
+			err = fmt.Errorf("job %s already %s", id, rec.State)
+		}
+	})
+	if !ok {
+		return errors.New("daemon stopped")
+	}
+	return err
+}
+
+// Fetch returns one job's full artifact: state, normalized job, merged
+// report and witness (the latter two only once the job finished).
+func (d *Daemon) Fetch(id string) (*wire.JobReport, error) {
+	var out *wire.JobReport
+	var err error
+	ok := d.call(func() {
+		rec := d.queue.Get(id)
+		if rec == nil {
+			err = fmt.Errorf("no such job %q", id)
+			return
+		}
+		out = &wire.JobReport{Info: rec.Info(), Job: rec.Job, Report: rec.Report, Witness: rec.Witness}
+	})
+	if !ok {
+		return nil, errors.New("daemon stopped")
+	}
+	return out, err
+}
+
+// List returns every job in admission order.
+func (d *Daemon) List() ([]wire.JobInfo, error) {
+	var out []wire.JobInfo
+	if !d.call(func() { out = d.queue.List() }) {
+		return nil, errors.New("daemon stopped")
+	}
+	return out, nil
+}
+
+// Serve accepts connections on ln until it closes. The first frame routes
+// each connection: a hello is a worker (handed to the fleet), anything else
+// starts a client request loop — one listener serves both conversations.
+func (d *Daemon) Serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go d.handle(conn)
+	}
+}
+
+func (d *Daemon) handle(conn net.Conn) {
+	c := wire.NewConn(conn)
+	msg, err := c.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if msg.Kind == wire.KindHello {
+		d.fleet.Worker(conn, c, msg.Hello) // blocks for the connection's life
+		return
+	}
+	defer conn.Close()
+	for {
+		if err := d.serveClient(c, msg); err != nil {
+			return
+		}
+		if msg, err = c.Recv(); err != nil {
+			return
+		}
+	}
+}
+
+// serveClient answers one client request frame.
+func (d *Daemon) serveClient(c *wire.Conn, msg *wire.Msg) error {
+	switch msg.Kind {
+	case wire.KindSubmit:
+		if msg.Submit == nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: "empty submit"}})
+		}
+		return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: d.Submit(msg.Submit.Job)})
+	case wire.KindStatus:
+		if msg.Ref == nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: "status needs a job id"}})
+		}
+		info, err := d.Status(msg.Ref.ID)
+		if err != nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: err.Error()}})
+		}
+		return c.Send(&wire.Msg{Kind: wire.KindInfo, Info: &info})
+	case wire.KindCancel:
+		if msg.Ref == nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: "cancel needs a job id"}})
+		}
+		if err := d.Cancel(msg.Ref.ID); err != nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: err.Error()}})
+		}
+		return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{ID: msg.Ref.ID}})
+	case wire.KindFetch:
+		if msg.Ref == nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: "fetch needs a job id"}})
+		}
+		rep, err := d.Fetch(msg.Ref.ID)
+		if err != nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: err.Error()}})
+		}
+		return c.Send(&wire.Msg{Kind: wire.KindReport, Report: rep})
+	case wire.KindList:
+		jobs, err := d.List()
+		if err != nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: err.Error()}})
+		}
+		return c.Send(&wire.Msg{Kind: wire.KindJobs, Jobs: jobs})
+	default:
+		c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: fmt.Sprintf("unknown request %q", msg.Kind)}})
+		return fmt.Errorf("jobd: unknown request %q", msg.Kind)
+	}
+}

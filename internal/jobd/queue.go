@@ -1,0 +1,267 @@
+package jobd
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"revisionist/internal/dist/wire"
+)
+
+// JobState is one job's lifecycle position.
+type JobState string
+
+const (
+	// StateQueued: admitted, waiting for a running slot.
+	StateQueued JobState = "queued"
+	// StateRunning: a live fleet session. Never persisted across a restart —
+	// recovery re-queues it, and the search restarts from scratch (sessions
+	// hold no resumable on-disk state; determinism makes the redo identical).
+	StateRunning JobState = "running"
+	// StateDone: completed, report (and witness, if violations) attached.
+	StateDone JobState = "done"
+	// StateFailed: ended with an error (unresolvable everywhere, run error).
+	StateFailed JobState = "failed"
+	// StateCanceled: cancelled by request before completion.
+	StateCanceled JobState = "canceled"
+	// StateInterrupted: the daemon shut down mid-run; the partial report is
+	// attached and the job is marked resumable — recovery re-queues it.
+	StateInterrupted JobState = "interrupted"
+)
+
+// Record is one job's durable state: the normalized job, its lifecycle
+// position, and — once finished — its report and witness. Records are the
+// journal's line format and the source of every API response.
+type Record struct {
+	ID        string
+	Job       wire.Job
+	State     JobState
+	Err       string        `json:",omitempty"`
+	Report    *wire.Report  `json:",omitempty"`
+	Witness   *wire.Witness `json:",omitempty"`
+	Resumable bool          `json:",omitempty"`
+}
+
+// Info renders the record's externally visible state.
+func (r *Record) Info() wire.JobInfo {
+	info := wire.JobInfo{
+		ID:        r.ID,
+		Protocol:  r.Job.Protocol,
+		Params:    r.Job.Params,
+		State:     string(r.State),
+		Err:       r.Err,
+		Resumable: r.Resumable,
+	}
+	if r.Report != nil {
+		info.Runs = r.Report.Runs
+		info.Violations = len(r.Report.Violations)
+	}
+	return info
+}
+
+// Queue is the daemon's durable job queue: an in-memory table journaled to
+// one JSON-lines file (dir == "" keeps it memory-only). Every Put appends the
+// record's full new state, so the journal is an upsert log — last line per id
+// wins — and replaying it reconstructs the queue exactly. Opening compacts
+// the journal and applies restart recovery: running jobs (the daemon died
+// mid-search) and resumable interrupted jobs are re-queued, to be re-leased
+// from scratch. The queue is not concurrency-safe; the daemon loop owns it.
+type Queue struct {
+	path string
+	f    *os.File
+	recs map[string]*Record
+	// order is admission order: ids in first-seen journal order, the FIFO
+	// dispatch and listing order.
+	order []string
+	next  int
+}
+
+// journalName is the queue's file inside its directory.
+const journalName = "jobs.jsonl"
+
+// OpenQueue opens (or creates) the queue journaled under dir; dir == ""
+// builds a memory-only queue that forgets everything on exit.
+func OpenQueue(dir string) (*Queue, error) {
+	q := &Queue{recs: map[string]*Record{}, next: 1}
+	if dir == "" {
+		return q, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobd: queue dir: %w", err)
+	}
+	q.path = filepath.Join(dir, journalName)
+	if err := q.load(); err != nil {
+		return nil, err
+	}
+	q.recover()
+	if err := q.compact(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// load replays the journal, last record per id winning.
+func (q *Queue) load() error {
+	f, err := os.Open(q.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("jobd: open journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), wire.MaxFrame)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rec := &Record{}
+		if err := json.Unmarshal([]byte(line), rec); err != nil {
+			// A torn final line (crash mid-append) is expected; anything the
+			// decoder rejects is skipped, the compaction below drops it.
+			continue
+		}
+		if rec.ID == "" {
+			continue
+		}
+		if _, seen := q.recs[rec.ID]; !seen {
+			q.order = append(q.order, rec.ID)
+		}
+		q.recs[rec.ID] = rec
+		if n, err := strconv.Atoi(strings.TrimPrefix(rec.ID, "j")); err == nil && n >= q.next {
+			q.next = n + 1
+		}
+	}
+	return sc.Err()
+}
+
+// recover applies the restart rules: a job that was running when the daemon
+// died restarts from scratch, an interrupted resumable job is re-queued, both
+// keeping their ids (and dropping any partial report — the redo supersedes
+// it).
+func (q *Queue) recover() {
+	for _, id := range q.order {
+		rec := q.recs[id]
+		if rec.State == StateRunning || (rec.State == StateInterrupted && rec.Resumable) {
+			rec.State = StateQueued
+			rec.Err = ""
+			rec.Report = nil
+			rec.Witness = nil
+			rec.Resumable = false
+		}
+	}
+}
+
+// compact rewrites the journal to one line per live record and leaves it open
+// for appending.
+func (q *Queue) compact() error {
+	tmp := q.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("jobd: compact journal: %w", err)
+	}
+	for _, id := range q.order {
+		if err := writeRecord(f, q.recs[id]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, q.path); err != nil {
+		return fmt.Errorf("jobd: compact journal: %w", err)
+	}
+	q.f, err = os.OpenFile(q.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobd: reopen journal: %w", err)
+	}
+	return nil
+}
+
+func writeRecord(f *os.File, rec *Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobd: encode record %s: %w", rec.ID, err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("jobd: journal append: %w", err)
+	}
+	return nil
+}
+
+// NextID mints a fresh job id ("j0001", "j0002", ...).
+func (q *Queue) NextID() string {
+	id := fmt.Sprintf("j%04d", q.next)
+	q.next++
+	return id
+}
+
+// Put upserts a record and journals its new state durably (synced before
+// returning, so an acknowledged submission survives a crash).
+func (q *Queue) Put(rec *Record) error {
+	if _, seen := q.recs[rec.ID]; !seen {
+		q.order = append(q.order, rec.ID)
+	}
+	q.recs[rec.ID] = rec
+	if q.f == nil {
+		return nil
+	}
+	if err := writeRecord(q.f, rec); err != nil {
+		return err
+	}
+	return q.f.Sync()
+}
+
+// Get returns the record for id, or nil.
+func (q *Queue) Get(id string) *Record { return q.recs[id] }
+
+// NextQueued returns the oldest queued record, or nil.
+func (q *Queue) NextQueued() *Record {
+	for _, id := range q.order {
+		if rec := q.recs[id]; rec.State == StateQueued {
+			return rec
+		}
+	}
+	return nil
+}
+
+// QueuedDepth counts jobs waiting for a running slot.
+func (q *Queue) QueuedDepth() int {
+	n := 0
+	for _, id := range q.order {
+		if q.recs[id].State == StateQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// List renders every record in admission order.
+func (q *Queue) List() []wire.JobInfo {
+	out := make([]wire.JobInfo, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.recs[id].Info())
+	}
+	return out
+}
+
+// Close closes the journal.
+func (q *Queue) Close() error {
+	if q.f == nil {
+		return nil
+	}
+	err := q.f.Close()
+	q.f = nil
+	return err
+}

@@ -1,0 +1,93 @@
+package jobd
+
+import (
+	"time"
+
+	"revisionist/internal/dist"
+)
+
+// Decision is one autoscaling verdict.
+type Decision int
+
+const (
+	// Hold keeps the spawned-worker count.
+	Hold Decision = iota
+	// Grow spawns one more local worker.
+	Grow
+	// Shrink stops the most recently spawned worker.
+	Shrink
+)
+
+// String renders the decision for logs.
+func (d Decision) String() string {
+	switch d {
+	case Grow:
+		return "grow"
+	case Shrink:
+		return "shrink"
+	default:
+		return "hold"
+	}
+}
+
+// ScalePolicy decides, once per sampling interval, whether the daemon should
+// grow or shrink its spawned local workers from per-wave lease throughput and
+// queue depth. The policy is a pure function of two consecutive fleet
+// snapshots plus the queued-job count, so it unit-tests without a fleet.
+//
+// The shape: demand is leases waiting for a slot plus whole jobs waiting for
+// a session; supply is slot capacity. Grow while demand outruns a saturated
+// fleet (every slot busy and still a backlog — more slots translate directly
+// into wave throughput). Shrink only after IdleAfter consecutive idle samples
+// (no active job, nothing queued, no lease completed since the last sample),
+// so a brief gap between waves — lease throughput is bursty at wave barriers
+// — does not flap the fleet.
+type ScalePolicy struct {
+	// Min and Max bound the spawned-worker count (Min defaults to 0; Max
+	// defaults to 4 when zero).
+	Min, Max int
+	// Interval is the sampling period (default 2s).
+	Interval time.Duration
+	// IdleAfter is how many consecutive idle samples trigger a shrink
+	// (default 3).
+	IdleAfter int
+
+	idleStreak int
+}
+
+// withDefaults resolves the zero values.
+func (p ScalePolicy) withDefaults() ScalePolicy {
+	if p.Max <= 0 {
+		p.Max = 4
+	}
+	if p.Interval <= 0 {
+		p.Interval = 2 * time.Second
+	}
+	if p.IdleAfter <= 0 {
+		p.IdleAfter = 3
+	}
+	return p
+}
+
+// Decide consumes one sample: the previous and current fleet snapshots, the
+// number of queued (not yet running) jobs, and how many workers this policy
+// has spawned so far. It mutates only the policy's idle streak.
+func (p *ScalePolicy) Decide(prev, cur dist.FleetStats, queuedJobs, spawned int) Decision {
+	throughput := cur.LeasesDone - prev.LeasesDone
+	idle := cur.ActiveJobs == 0 && queuedJobs == 0 && throughput == 0
+	if idle {
+		p.idleStreak++
+	} else {
+		p.idleStreak = 0
+	}
+	demand := cur.PendingLeases + queuedJobs
+	saturated := cur.Slots == 0 || cur.Inflight >= cur.Slots
+	if demand > 0 && saturated && spawned < p.Max {
+		return Grow
+	}
+	if p.idleStreak >= p.IdleAfter && spawned > p.Min {
+		p.idleStreak = 0
+		return Shrink
+	}
+	return Hold
+}

@@ -161,10 +161,14 @@ func init() {
 			{Name: "k", Kind: Int, Default: 7, Doc: "agreement bound (1 <= k < n)"},
 		},
 		Validate: func(p Params) error {
-			if p.N < 2 || p.K < 1 || p.K >= p.N {
-				return fmt.Errorf("need 1 <= k < n, got n=%d k=%d", p.N, p.K)
+			var ve ValidationError
+			if p.N < 2 {
+				ve.Add("n", p.N, "need n >= 2")
 			}
-			return nil
+			if p.K < 1 || p.K >= p.N {
+				ve.Add("k", p.K, fmt.Sprintf("need 1 <= k < n (n=%d)", p.N))
+			}
+			return ve.OrNil()
 		},
 		DefaultInputs: intInputs,
 		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
@@ -189,13 +193,17 @@ func init() {
 			{Name: "x", Kind: Int, Default: 3, Doc: "lanes / obstruction degree (1 <= x <= k)"},
 		},
 		Validate: func(p Params) error {
-			if p.N < 2 || p.K < 1 || p.K >= p.N {
-				return fmt.Errorf("need 1 <= k < n, got n=%d k=%d", p.N, p.K)
+			var ve ValidationError
+			if p.N < 2 {
+				ve.Add("n", p.N, "need n >= 2")
+			}
+			if p.K < 1 || p.K >= p.N {
+				ve.Add("k", p.K, fmt.Sprintf("need 1 <= k < n (n=%d)", p.N))
 			}
 			if p.X < 1 || p.X > p.K {
-				return fmt.Errorf("need 1 <= x <= k, got x=%d k=%d", p.X, p.K)
+				ve.Add("x", p.X, fmt.Sprintf("need 1 <= x <= k (k=%d)", p.K))
 			}
-			return nil
+			return ve.OrNil()
 		},
 		DefaultInputs: intInputs,
 		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
@@ -218,13 +226,14 @@ func init() {
 			{Name: "eps", Kind: Float, Default: 0.25, Doc: "agreement precision (0 < eps < 1)"},
 		},
 		Validate: func(p Params) error {
+			var ve ValidationError
 			if p.N != 2 {
-				return fmt.Errorf("aa2 is a 2-process protocol, got n=%d", p.N)
+				ve.Add("n", p.N, "aa2 is a 2-process protocol")
 			}
 			if p.Eps <= 0 || p.Eps >= 1 {
-				return fmt.Errorf("need 0 < eps < 1, got eps=%g", p.Eps)
+				ve.Add("eps", p.Eps, "need 0 < eps < 1")
 			}
-			return nil
+			return ve.OrNil()
 		},
 		DefaultInputs: unitInputs,
 		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {
@@ -252,13 +261,14 @@ func init() {
 			{Name: "eps", Kind: Float, Default: 0.25, Doc: "agreement precision (0 < eps < 1)"},
 		},
 		Validate: func(p Params) error {
+			var ve ValidationError
 			if p.N < 1 {
-				return fmt.Errorf("n = %d must be positive", p.N)
+				ve.Add("n", p.N, "must be positive")
 			}
 			if p.Eps <= 0 || p.Eps >= 1 {
-				return fmt.Errorf("need 0 < eps < 1, got eps=%g", p.Eps)
+				ve.Add("eps", p.Eps, "need 0 < eps < 1")
 			}
-			return nil
+			return ve.OrNil()
 		},
 		DefaultInputs: unitInputs,
 		Build: func(p Params, inputs []spec.Value) ([]proto.Process, int, error) {

@@ -172,12 +172,24 @@ type Protocol struct {
 }
 
 // Resolve applies schema defaults to unset fields of p and validates the
-// result.
+// result: first the generic schema constraint — every parameter must be
+// positive after defaulting; zero means "unset" by convention, so a negative
+// value can only be a hostile or corrupted submission — then the protocol's
+// own Validate. Both report structured *ValidationError values (wrapped with
+// the protocol name), so services surface per-field rejections instead of a
+// bare string.
 func (pr *Protocol) Resolve(p Params) (Params, error) {
+	var ve ValidationError
 	for _, s := range pr.Schema {
 		if p.Get(s.Name) == 0 {
 			p.Set(s.Name, s.Default)
 		}
+		if v := p.Get(s.Name); v <= 0 {
+			ve.Add(s.Name, p.Get(s.Name), "must be positive")
+		}
+	}
+	if err := ve.OrNil(); err != nil {
+		return p, fmt.Errorf("protocol %s: %w", pr.Name, err)
 	}
 	if pr.Validate != nil {
 		if err := pr.Validate(p); err != nil {

@@ -1,0 +1,63 @@
+// Structured parameter validation: the error shape a service accepting
+// user-submitted jobs returns instead of a bare string. A ValidationError
+// aggregates one FieldError per offending field, each naming the field, the
+// rendered offending value and why it was rejected — and both types are
+// plain data, so they cross the wire (internal/dist/wire) intact and a
+// client can render or machine-match them.
+package protocol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FieldError is one structured validation failure: the schema or option
+// field, the offending value as submitted (rendered), and the constraint it
+// broke.
+type FieldError struct {
+	Field string
+	Value string
+	Msg   string
+}
+
+// Error implements error.
+func (e FieldError) Error() string {
+	if e.Value == "" {
+		return fmt.Sprintf("%s: %s", e.Field, e.Msg)
+	}
+	return fmt.Sprintf("%s=%s: %s", e.Field, e.Value, e.Msg)
+}
+
+// ValidationError aggregates every field rejection of one submission, so a
+// client fixes them all in one round instead of replaying the queue per
+// field.
+type ValidationError struct {
+	Fields []FieldError
+}
+
+// Error implements error: the field errors joined with "; ".
+func (e *ValidationError) Error() string {
+	if len(e.Fields) == 0 {
+		return "invalid parameters"
+	}
+	parts := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		parts[i] = f.Error()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Add appends one field rejection; value is rendered with %v.
+func (e *ValidationError) Add(field string, value any, msg string) {
+	e.Fields = append(e.Fields, FieldError{Field: field, Value: fmt.Sprintf("%v", value), Msg: msg})
+}
+
+// OrNil returns the error when any field was rejected, a plain nil
+// otherwise (a typed nil inside a non-nil error interface is a classic
+// footgun; this keeps validators one-line).
+func (e *ValidationError) OrNil() error {
+	if len(e.Fields) == 0 {
+		return nil
+	}
+	return e
+}
