@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke jobd-smoke
+.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke jobd-smoke chaos-smoke
 
 all: ci
 
@@ -50,5 +50,13 @@ dist-smoke:
 # its single-process run. A separate CI step, like dist-smoke.
 jobd-smoke:
 	$(GO) run ./cmd/checkd -smoke
+
+# Fault-tolerance smoke: the jobd scenario under a seeded fault schedule —
+# one worker crashes and reconnects, one hangs until the heartbeat detector
+# retires it, one needs several dial attempts — and every report must still
+# be byte-identical to its single-process run. Two seeds, two schedules.
+chaos-smoke:
+	$(GO) run ./cmd/checkd -smoke -chaos 1
+	$(GO) run ./cmd/checkd -smoke -chaos 20260808
 
 ci: vet build test race bench-smoke

@@ -64,6 +64,7 @@ func run(args []string, out io.Writer) error {
 		slots     = fs.Int("spawn-slots", 0, "subtree slots per spawned worker (0 = GOMAXPROCS)")
 		quiet     = fs.Bool("quiet", false, "suppress the operational log")
 		smoke     = fs.Bool("smoke", false, "loopback self-check: daemon + two workers, two concurrent jobs byte-compared against single-process runs")
+		chaos     = fs.Int64("chaos", 0, "with -smoke: run under a seeded fault schedule (worker crash, hang, flaky dials) instead of healthy workers")
 	)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
@@ -77,7 +78,14 @@ func run(args []string, out io.Writer) error {
 		return &harness.UsageError{Err: fmt.Errorf("-scale-min %d exceeds -scale-max %d", *scaleMin, *scaleMax)}
 	}
 	if *smoke {
+		if *chaos != 0 {
+			return chaosSmoke(out, *chaos)
+		}
 		return smokeCheck(out)
+	}
+	if *chaos != 0 {
+		fs.Usage()
+		return &harness.UsageError{Err: fmt.Errorf("-chaos only applies to -smoke")}
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -145,7 +153,10 @@ func journalDesc(dir string) string {
 
 // spawner builds the adaptive-scaling hook: each call starts one local
 // worker dialed back into this daemon — exactly a `distcheck -connect`
-// joining the fleet — and returns its stop function.
+// joining the fleet — and returns its stop function. The first dial retries
+// with backoff (the listener is up, but the accept loop may lag under
+// load), and a worker that loses its connection mid-search re-dials and
+// re-registers instead of silently shrinking the fleet.
 func spawner(addr net.Addr, slots int) func() (func(), error) {
 	tcp, _ := addr.(*net.TCPAddr)
 	return func() (func(), error) {
@@ -153,15 +164,20 @@ func spawner(addr net.Addr, slots int) func() (func(), error) {
 			return nil, fmt.Errorf("checkd: cannot self-dial non-TCP listener %v", addr)
 		}
 		target := net.JoinHostPort("127.0.0.1", fmt.Sprint(tcp.Port))
-		conn, err := net.Dial("tcp", target)
+		dial := func() (net.Conn, error) { return net.Dial("tcp", target) }
+		ctx, cancel := context.WithCancel(context.Background())
+		conn, err := dist.DialRetry(ctx, dist.Backoff{}, dial)
 		if err != nil {
+			cancel()
 			return nil, err
 		}
-		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			dist.Work(ctx, conn, slots, harness.Resolve)
+			if err := dist.Work(ctx, conn, slots, harness.Resolve); err != nil && ctx.Err() == nil {
+				// Lost the daemon mid-search: rejoin until stopped.
+				dist.WorkerLoop(ctx, dial, dist.WorkConfig{Slots: slots}, harness.Resolve, dist.Backoff{})
+			}
 		}()
 		return func() { cancel(); <-done }, nil
 	}

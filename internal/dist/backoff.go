@@ -1,0 +1,107 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"revisionist/internal/sched"
+)
+
+// Backoff is the retry policy of every dial in the distributed stack:
+// exponential delays with deterministic jitter under a bounded attempt
+// budget. Jitter draws from the same seeded PCG generator the schedule
+// search uses (sched.Random), so a chaos run's retry timing — like
+// everything else about it — is reproducible from a seed. The zero value
+// selects the defaults noted on each field.
+type Backoff struct {
+	Base     time.Duration // first retry delay (default 100ms)
+	Max      time.Duration // delay ceiling (default 5s)
+	Attempts int           // total attempts including the first (default 6)
+	Seed     int64         // jitter seed (0 is a valid seed)
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Attempts <= 0 {
+		b.Attempts = 6
+	}
+	return b
+}
+
+// delay is the wait before retry attempt (1-based), doubled each attempt up
+// to Max, jittered into [d/2, d] so synchronized clients spread out.
+func (b Backoff) delay(attempt int, rnd *sched.Random) time.Duration {
+	d := b.Base
+	for i := 1; i < attempt && d < b.Max; i++ {
+		d *= 2
+	}
+	d = min(d, b.Max)
+	half := d / 2
+	return half + time.Duration(rnd.IntN(int(half)+1))
+}
+
+// DialRetry dials with backoff until a connection lands, the attempt budget
+// runs out (returning the last dial error), or ctx ends.
+func DialRetry(ctx context.Context, b Backoff, dial func() (net.Conn, error)) (net.Conn, error) {
+	b = b.withDefaults()
+	rnd := sched.NewRandom(b.Seed)
+	var last error
+	for a := 1; a <= b.Attempts; a++ {
+		if a > 1 {
+			t := time.NewTimer(b.delay(a-1, rnd))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		conn, err := dial()
+		if err == nil {
+			return conn, nil
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("dist: dial failed after %d attempts: %w", b.Attempts, last)
+}
+
+// WorkerLoop keeps one worker registered with a fleet across connection
+// loss: dial (with backoff), serve leases until the connection dies, then
+// re-dial and re-register with a fresh hello. Re-registration is safe by
+// construction — the coordinator re-leased everything the dead incarnation
+// held, announces jobs anew, and replays closure deltas from a zero cursor,
+// so the reconnected worker is indistinguishable from a brand-new one.
+//
+// The loop ends nil on an orderly coordinator shutdown, with ctx.Err() when
+// ctx ends, with ErrRejected when the coordinator refuses the handshake
+// (retrying a version skew is pointless), and with the final dial error if
+// a reconnect's attempt budget runs out.
+func WorkerLoop(ctx context.Context, dial func() (net.Conn, error), cfg WorkConfig, resolve Resolver, b Backoff) error {
+	for {
+		conn, err := DialRetry(ctx, b, dial)
+		if err != nil {
+			return err
+		}
+		err = WorkCfg(ctx, conn, cfg, resolve)
+		switch {
+		case err == nil:
+			return nil
+		case ctx != nil && ctx.Err() != nil:
+			return ctx.Err()
+		case errors.Is(err, ErrRejected):
+			return err
+		}
+		// Transport loss: back off and re-register.
+	}
+}

@@ -1,0 +1,214 @@
+// Package chaos is the deterministic fault-injection layer of the
+// distributed search: net.Conn / net.Listener / dialer wrappers that fail on
+// a script instead of by accident. A Script says *when* a connection
+// misbehaves — counted in Write calls, so a fault lands at the same frame
+// boundary on every run — and *how*: an abrupt close (a crashed worker), a
+// silent hang (a wedged worker whose socket stays open), a mid-frame
+// truncation (a torn write), or plain latency. A Plan derives a whole fault
+// schedule from one seed, so every failure scenario a soak test explores is
+// reproducible from that seed alone.
+//
+// The wrappers sit below the wire framing and above any stream transport:
+// they wrap net.Pipe conns and TCP conns alike, which is how the same chaos
+// scripts drive both the in-process tests and the `make chaos-smoke` TCP
+// smoke.
+//
+// Counting convention: wire.Conn sends every frame as exactly two Write
+// calls (4-byte header, then body), so "after N frames" is HangAfterWrites
+// 2N. A worker's hello is frame one.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"revisionist/internal/sched"
+)
+
+// Script is one connection's fault schedule. The zero Script injects
+// nothing. Writes are counted per Write call (two per wire frame); the first
+// trigger to fire wins, and a fired hang or close is permanent.
+type Script struct {
+	// ReadDelay / WriteDelay pause before every Read / Write: injected
+	// latency, the mildest fault.
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+
+	// HangAfterWrites > 0 wedges the connection after that many Write calls
+	// have completed: every later Read and Write blocks until Close. The
+	// socket stays open — the peer sees silence, not an error — which is the
+	// failure mode only deadlines and heartbeats can detect.
+	HangAfterWrites int
+
+	// CloseAfterWrites > 0 abruptly closes the connection after that many
+	// Write calls have completed: a crashed process. The peer sees EOF.
+	CloseAfterWrites int
+
+	// TruncateWrite > 0 cuts the Nth Write call in half and then closes: a
+	// torn frame, the fault the wire layer's descriptive errors name.
+	TruncateWrite int
+}
+
+// Conn wraps a net.Conn with a Script. Safe for the usual net.Conn
+// concurrency (one reader, writers serialized by the wire layer's mutex).
+type Conn struct {
+	net.Conn
+	script Script
+
+	writes atomic.Int64
+	hung   atomic.Bool
+	closed chan struct{}
+	once   sync.Once
+}
+
+// errInjected distinguishes scripted faults in test logs from real ones.
+type errInjected struct{ what string }
+
+func (e errInjected) Error() string { return "chaos: injected " + e.what }
+
+// WrapConn applies a script to a connection.
+func WrapConn(c net.Conn, s Script) *Conn {
+	return &Conn{Conn: c, script: s, closed: make(chan struct{})}
+}
+
+// block parks the caller until Close, the only way out of a hang.
+func (c *Conn) block() error {
+	<-c.closed
+	return net.ErrClosed
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.script.ReadDelay > 0 {
+		time.Sleep(c.script.ReadDelay)
+	}
+	if c.hung.Load() {
+		return 0, c.block()
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.script.WriteDelay > 0 {
+		time.Sleep(c.script.WriteDelay)
+	}
+	if c.hung.Load() {
+		return 0, c.block()
+	}
+	n := c.writes.Add(1)
+	if t := int64(c.script.TruncateWrite); t > 0 && n == t {
+		c.Conn.Write(p[:len(p)/2])
+		c.Close()
+		return len(p) / 2, errInjected{"torn write"}
+	}
+	if cl := int64(c.script.CloseAfterWrites); cl > 0 && n > cl {
+		c.Close()
+		return 0, errInjected{"crash"}
+	}
+	if h := int64(c.script.HangAfterWrites); h > 0 && n > h {
+		c.hung.Store(true)
+		return 0, c.block()
+	}
+	return c.Conn.Write(p)
+}
+
+// Close releases hung readers and writers before closing the underlying
+// connection, so a cancelled worker blocked in a scripted hang can exit.
+func (c *Conn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// Listener applies a per-accept script to every accepted connection; the
+// script function is called with the accept ordinal (0-based), so a schedule
+// can single out "the second worker to connect".
+type Listener struct {
+	net.Listener
+	script func(i int) Script
+	n      atomic.Int64
+}
+
+// WrapListener applies script(i) to the i-th accepted connection. A nil
+// script injects nothing.
+func WrapListener(ln net.Listener, script func(i int) Script) *Listener {
+	return &Listener{Listener: ln, script: script}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	i := int(l.n.Add(1)) - 1
+	if l.script == nil {
+		return conn, nil
+	}
+	return WrapConn(conn, l.script(i)), nil
+}
+
+// Dialer wraps a dial function with scripted connection-establishment
+// faults: the first FailFirst dials fail outright (a flaky network — the
+// caller's retry/backoff is what gets tested), and each successful dial's
+// connection is wrapped with Script(i), i counting successes from 0.
+type Dialer struct {
+	Dial      func() (net.Conn, error)
+	FailFirst int
+	Script    func(i int) Script
+
+	attempts atomic.Int64
+	hits     atomic.Int64
+}
+
+// DialConn performs one scripted dial attempt.
+func (d *Dialer) DialConn() (net.Conn, error) {
+	if a := int(d.attempts.Add(1)); a <= d.FailFirst {
+		return nil, fmt.Errorf("chaos: injected dial failure %d of %d", a, d.FailFirst)
+	}
+	conn, err := d.Dial()
+	if err != nil {
+		return nil, err
+	}
+	i := int(d.hits.Add(1)) - 1
+	if d.Script == nil {
+		return conn, nil
+	}
+	return WrapConn(conn, d.Script(i)), nil
+}
+
+// Plan derives a fault schedule deterministically from a seed: the same seed
+// always yields the same crash points, hang points, and dial-failure counts,
+// in the order the accessors are called. That makes a whole soak run — which
+// worker crashes after which frame, how many dials flake — reproducible from
+// one int64.
+type Plan struct {
+	mu  sync.Mutex
+	rnd *sched.Random
+}
+
+// NewPlan seeds a schedule.
+func NewPlan(seed int64) *Plan { return &Plan{rnd: sched.NewRandom(seed)} }
+
+// frames draws a frame ordinal in [lo, hi) and converts it to Write calls
+// (two per frame — see the package comment).
+func (p *Plan) frames(lo, hi int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return 2 * (lo + p.rnd.IntN(hi-lo))
+}
+
+// Crash scripts an abrupt close a few frames into the conversation — past
+// the hello, so the worker registers before it dies.
+func (p *Plan) Crash() Script { return Script{CloseAfterWrites: p.frames(2, 6)} }
+
+// Hang scripts a silent wedge a few frames in: the socket stays open, the
+// peer hears nothing further.
+func (p *Plan) Hang() Script { return Script{HangAfterWrites: p.frames(1, 4)} }
+
+// FlakyDials draws how many consecutive dial attempts fail before one lands.
+func (p *Plan) FlakyDials() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return 1 + p.rnd.IntN(3)
+}

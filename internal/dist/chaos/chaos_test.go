@@ -1,0 +1,187 @@
+// Chaos wrapper tests: each scripted fault must fire at exactly its counted
+// write, look like the real failure to the peer (EOF for a crash, silence
+// for a hang, a half-frame for a torn write), and release everything on
+// Close so cancelled workers can exit.
+package chaos_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"revisionist/internal/dist/chaos"
+	"revisionist/internal/leaktest"
+)
+
+func TestMain(m *testing.M) { leaktest.Main(m) }
+
+// TestZeroScriptPassesThrough: the zero Script injects nothing.
+func TestZeroScriptPassesThrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := chaos.WrapConn(a, chaos.Script{})
+	defer c.Close()
+	go c.Write([]byte("hello"))
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(b, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("clean conn corrupted: %q, %v", buf, err)
+	}
+}
+
+// TestCrashAfterWrites: writes up to the crash point pass; the next one
+// fails with the injected-crash error and the peer sees EOF.
+func TestCrashAfterWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := chaos.WrapConn(a, chaos.Script{CloseAfterWrites: 2})
+	drained := make(chan struct{})
+	go func() { io.Copy(io.Discard, b); close(drained) }()
+	for i := 1; i <= 2; i++ {
+		if _, err := c.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d before the crash point failed: %v", i, err)
+		}
+	}
+	if _, err := c.Write([]byte("boom")); err == nil || !strings.Contains(err.Error(), "chaos: injected crash") {
+		t.Fatalf("want injected crash, got %v", err)
+	}
+	<-drained // the peer's read loop ended in EOF, i.e. a crashed process
+}
+
+// TestTruncateWrite: the scripted write is cut in half and the connection
+// closed — the peer sees exactly half a frame, then EOF.
+func TestTruncateWrite(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := chaos.WrapConn(a, chaos.Script{TruncateWrite: 1})
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got <- string(buf[:n])
+	}()
+	n, err := c.Write([]byte("0123456789"))
+	if err == nil || !strings.Contains(err.Error(), "chaos: injected torn write") {
+		t.Fatalf("want injected torn write, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("reported %d bytes written, want the 5 that left", n)
+	}
+	if half := <-got; half != "01234" {
+		t.Fatalf("peer saw %q, want the first half", half)
+	}
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived a torn write")
+	}
+}
+
+// TestHangBlocksUntilClose: past the hang point, writes and reads park
+// silently — no error reaches the peer — and only Close releases them.
+func TestHangBlocksUntilClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	c := chaos.WrapConn(a, chaos.Script{HangAfterWrites: 1})
+	drained := make(chan struct{})
+	go func() { io.Copy(io.Discard, b); close(drained) }()
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("wedged"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("hung write returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	c.Close()
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("released hung write reported %v, want net.ErrClosed", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("post-hang read reported %v, want net.ErrClosed", err)
+	}
+	<-drained
+}
+
+// TestDialerFlakesThenLands: exactly FailFirst attempts fail, each naming
+// its ordinal, then dials succeed.
+func TestDialerFlakesThenLands(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	d := &chaos.Dialer{Dial: func() (net.Conn, error) { return a, nil }, FailFirst: 2}
+	for i := 1; i <= 2; i++ {
+		if _, err := d.DialConn(); err == nil ||
+			!strings.Contains(err.Error(), fmt.Sprintf("injected dial failure %d of 2", i)) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if conn, err := d.DialConn(); err != nil || conn == nil {
+		t.Fatalf("dial after the flaky window failed: %v", err)
+	}
+}
+
+// TestListenerScriptsByAcceptOrdinal: the listener hands script(i) the
+// 0-based accept ordinal, so a schedule can single out one worker.
+func TestListenerScriptsByAcceptOrdinal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seen []int
+	wrapped := chaos.WrapListener(ln, func(i int) chaos.Script {
+		mu.Lock()
+		defer mu.Unlock()
+		seen = append(seen, i)
+		return chaos.Script{}
+	})
+	defer wrapped.Close()
+	for i := 0; i < 2; i++ {
+		cl, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := wrapped.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv.Close()
+		cl.Close()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(seen, []int{0, 1}) {
+		t.Fatalf("accept ordinals %v, want [0 1]", seen)
+	}
+}
+
+// TestPlanDeterminism: the same seed yields the same schedule, and every
+// drawn fault point is a frame boundary (an even write count) in the range
+// the accessor documents.
+func TestPlanDeterminism(t *testing.T) {
+	p1, p2 := chaos.NewPlan(42), chaos.NewPlan(42)
+	c1, c2 := p1.Crash(), p2.Crash()
+	h1, h2 := p1.Hang(), p2.Hang()
+	f1, f2 := p1.FlakyDials(), p2.FlakyDials()
+	if c1 != c2 || h1 != h2 || f1 != f2 {
+		t.Fatalf("same seed diverged: crash %+v/%+v hang %+v/%+v flaky %d/%d", c1, c2, h1, h2, f1, f2)
+	}
+	if w := c1.CloseAfterWrites; w%2 != 0 || w < 4 || w >= 12 {
+		t.Fatalf("crash point %d writes is not a frame boundary past the hello", w)
+	}
+	if w := h1.HangAfterWrites; w%2 != 0 || w < 2 || w >= 8 {
+		t.Fatalf("hang point %d writes is not a frame boundary", w)
+	}
+	if f1 < 1 || f1 > 3 {
+		t.Fatalf("flaky dial count %d outside [1,3]", f1)
+	}
+}

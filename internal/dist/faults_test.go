@@ -1,0 +1,450 @@
+// Fault-tolerance tests: every failure the chaos layer can inject — flaky
+// dials, crashes mid-frame, silent hangs, stalled leases, mute handshakes —
+// must be detected, retired, and healed without changing a single byte of
+// any job's merged report. Interrupted sessions must resume from their
+// Progress snapshots re-leasing only the unfinished frontier.
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"revisionist/internal/dist"
+	"revisionist/internal/dist/chaos"
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/harness"
+	"revisionist/internal/trace"
+)
+
+// startFleetOpts is startFleet with liveness/progress options.
+func startFleetOpts(ln net.Listener, resolve dist.Resolver, opts ...dist.FleetOption) (*dist.Fleet, func()) {
+	f := dist.NewFleet(resolve, opts...)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); f.Run(ctx) }()
+	go f.ServeWorkers(ln)
+	return f, func() {
+		cancel()
+		<-done
+		ln.Close()
+	}
+}
+
+// TestDialRetryExhaustsBudget: a dead endpoint costs exactly Attempts dials
+// and the final error names the budget and wraps the last cause.
+func TestDialRetryExhaustsBudget(t *testing.T) {
+	var attempts atomic.Int64
+	dial := func() (net.Conn, error) {
+		attempts.Add(1)
+		return nil, errors.New("connection refused")
+	}
+	_, err := dist.DialRetry(context.Background(),
+		dist.Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Attempts: 3}, dial)
+	if err == nil || !strings.Contains(err.Error(), "dial failed after 3 attempts") ||
+		!strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("budget exhaustion error lacks diagnosis: %v", err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("dialed %d times, budget was 3", n)
+	}
+}
+
+// TestDialRetryHonorsContext: cancellation interrupts the backoff wait
+// instead of sleeping it out.
+func TestDialRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := dist.DialRetry(ctx, dist.Backoff{Base: time.Minute},
+		func() (net.Conn, error) { return nil, errors.New("refused") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("cancel took %v, backoff wait was not interrupted", e)
+	}
+}
+
+// TestDialRetryRidesOutFlakyDials: a scripted run of dial failures shorter
+// than the attempt budget still lands a connection.
+func TestDialRetryRidesOutFlakyDials(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	d := &chaos.Dialer{Dial: func() (net.Conn, error) { return a, nil }, FailFirst: 3}
+	conn, err := dist.DialRetry(context.Background(),
+		dist.Backoff{Base: time.Millisecond, Attempts: 6}, d.DialConn)
+	if err != nil || conn == nil {
+		t.Fatalf("retry did not ride out 3 flaky dials: %v", err)
+	}
+}
+
+// TestWorkerLoopStopsOnReject: a handshake rejection (version skew) is
+// terminal — the loop surfaces ErrRejected instead of re-dialing forever.
+func TestWorkerLoopStopsOnReject(t *testing.T) {
+	ln := dist.ListenPipe()
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := wire.NewConn(conn)
+		c.Recv() // the hello
+		c.Send(&wire.Msg{Kind: wire.KindReject,
+			Reject: &wire.Reject{Got: wire.Version, Want: 99, Err: "version skew"}})
+		conn.Close()
+	}()
+	err := dist.WorkerLoop(context.Background(), ln.Dial,
+		dist.WorkConfig{Slots: 1}, harness.Resolve, dist.Backoff{Base: time.Millisecond})
+	if !errors.Is(err, dist.ErrRejected) {
+		t.Fatalf("want ErrRejected, got %v", err)
+	}
+}
+
+// TestWorkerLoopReconnectsAfterCrash: the fleet's only worker crashes after
+// its first result; WorkerLoop re-dials and re-registers, the coordinator
+// re-leases what the dead incarnation held, and the merged report is still
+// byte-identical to the solo run.
+func TestWorkerLoopReconnectsAfterCrash(t *testing.T) {
+	jobs := fleetJobs(t)
+	solo := soloReports(t, jobs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	f, stop := startFleetOpts(ln, harness.Resolve)
+	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// First connection crashes after hello + one result (4 writes); every
+	// reconnect is healthy.
+	dialer := &chaos.Dialer{
+		Dial: func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Script: func(i int) chaos.Script {
+			if i == 0 {
+				return chaos.Script{CloseAfterWrites: 4}
+			}
+			return chaos.Script{}
+		},
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dist.WorkerLoop(ctx, dialer.DialConn, dist.WorkConfig{Slots: 2},
+			harness.Resolve, dist.Backoff{Base: 2 * time.Millisecond})
+	}()
+	ch, err := f.Start("crashy", jobs["ks"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.Err != nil {
+		t.Fatalf("job across a worker crash: %v", r.Err)
+	}
+	reportsEqual(t, "crash-reconnect", solo["ks"], r.Report)
+	stop()
+	cancel()
+	wg.Wait()
+}
+
+// TestFleetRetiresHungWorker: one worker wedges silently after registering —
+// its socket stays open, so only the heartbeat detector can see it. The
+// fleet must retire it, re-lease its subtrees to the healthy worker, and
+// still merge the byte-identical report.
+func TestFleetRetiresHungWorker(t *testing.T) {
+	jobs := fleetJobs(t)
+	solo := soloReports(t, jobs)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	f, stop := startFleetOpts(ln, harness.Resolve,
+		dist.WithLiveness(dist.Liveness{HeartbeatEvery: 20 * time.Millisecond, HeartbeatMiss: 3}))
+	defer stop()
+	var wg sync.WaitGroup
+	// The hung worker says hello (writes 1-2), accepts leases, then wedges on
+	// its first result send. It never errors, never closes — pure silence.
+	hungConn := make(chan *chaos.Conn, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			hungConn <- nil
+			return
+		}
+		hc := chaos.WrapConn(conn, chaos.Script{HangAfterWrites: 2})
+		hungConn <- hc
+		dist.Work(context.Background(), hc, 1, harness.Resolve)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		dist.Work(context.Background(), conn, 2, harness.Resolve)
+	}()
+	ch, err := f.Start("hung", jobs["ks"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.Err != nil {
+		t.Fatalf("job with a hung worker: %v", r.Err)
+	}
+	reportsEqual(t, "hung-worker", solo["ks"], r.Report)
+	// The detector must actually have retired it, not just outrun it.
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().Workers > 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := f.Stats().Workers; n != 1 {
+		t.Fatalf("hung worker never retired: %d workers still registered", n)
+	}
+	stop()
+	if hc := <-hungConn; hc != nil {
+		hc.Close() // release the goroutine parked in the scripted hang
+	}
+	wg.Wait()
+}
+
+// TestFleetLeaseDeadlineRetiresStalledWorker: a worker that stays chatty
+// (every ping answered) but never completes its lease is the failure
+// heartbeats cannot see; the budget-derived lease deadline must retire it.
+func TestFleetLeaseDeadlineRetiresStalledWorker(t *testing.T) {
+	jobs := fleetJobs(t)
+	solo := soloReports(t, jobs)
+	ln := dist.ListenPipe()
+	f, stop := startFleetOpts(ln, harness.Resolve,
+		dist.WithLiveness(dist.Liveness{
+			HeartbeatEvery: 20 * time.Millisecond,
+			HeartbeatMiss:  1000, // silence alone never retires in this test
+			LeaseMax:       60 * time.Millisecond,
+		}))
+	defer stop()
+	// The stalled worker is a hand-rolled wire speaker: hello, pong every
+	// ping, swallow every lease.
+	var leased atomic.Int64
+	var wg sync.WaitGroup
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewConn(conn)
+	if err := c.Send(&wire.Msg{Kind: wire.KindHello,
+		Hello: &wire.Hello{Version: wire.Version, Slots: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			switch msg.Kind {
+			case wire.KindPing:
+				c.Send(&wire.Msg{Kind: wire.KindPong})
+			case wire.KindLease:
+				leased.Add(1) // hold it forever
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wc, err := ln.Dial()
+		if err != nil {
+			return
+		}
+		dist.Work(context.Background(), wc, 2, harness.Resolve)
+	}()
+	ch, err := f.Start("stalled", jobs["fv"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.Err != nil {
+		t.Fatalf("job with a stalled worker: %v", r.Err)
+	}
+	reportsEqual(t, "stalled-lease", solo["fv"], r.Report)
+	if leased.Load() == 0 {
+		t.Fatal("the stalled worker never held a lease; the deadline path went untested")
+	}
+	stop()
+	conn.Close()
+	wg.Wait()
+}
+
+// TestFleetHandshakeDeadline: a dial that never says hello is reaped by the
+// handshake deadline instead of pinning its accept goroutine forever.
+func TestFleetHandshakeDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stop := startFleetOpts(ln, harness.Resolve,
+		dist.WithLiveness(dist.Liveness{Handshake: 40 * time.Millisecond}))
+	defer stop()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing. The coordinator must close the connection, which surfaces
+	// here as a read error.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("mute connection survived the handshake deadline")
+	}
+}
+
+// TestFleetResumeMidRun interrupts a paced job mid-search and resumes it on
+// a fresh fleet from the snapshot: only the unfinished frontier is re-leased
+// (0 < Resumed < frontier) and the final report is byte-identical to the
+// solo run.
+func TestFleetResumeMidRun(t *testing.T) {
+	jobs := fleetJobs(t)
+	solo := soloReports(t, jobs)
+	job := jobs["ks"]
+
+	var mu sync.Mutex
+	var snaps int
+	f1 := dist.NewFleet(harness.Resolve, dist.WithProgress(func(id string, p *dist.Progress) {
+		mu.Lock()
+		snaps++
+		mu.Unlock()
+	}))
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan struct{})
+	go func() { defer close(done1); f1.Run(ctx1) }()
+	ln1 := dist.ListenPipe()
+	go f1.ServeWorkers(ln1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln1.Dial()
+		if err != nil {
+			return
+		}
+		// Pace every frame so the interrupt lands mid-search, not after it.
+		dist.Work(context.Background(),
+			chaos.WrapConn(conn, chaos.Script{WriteDelay: 3 * time.Millisecond}),
+			2, harness.Resolve)
+	}()
+	ch, err := f1.Start("resumable", job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := snaps
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress snapshot ever published")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel1()
+	r := <-ch
+	<-done1
+	ln1.Close()
+	wg.Wait()
+	if !errors.Is(r.Err, trace.ErrInterrupted) {
+		t.Fatalf("interrupted fleet delivered %v, want trace.ErrInterrupted", r.Err)
+	}
+	if r.Progress == nil {
+		t.Fatal("interrupted result carries no resumable snapshot")
+	}
+	completed := r.Progress.Completed()
+	if completed == 0 || completed >= r.Progress.Frontier {
+		t.Fatalf("snapshot completed %d of %d subtrees; the test needs a genuine mid-run interrupt",
+			completed, r.Progress.Frontier)
+	}
+
+	// Resume on a brand-new fleet with a healthy worker.
+	ln2 := dist.ListenPipe()
+	f2, stop2 := startFleetOpts(ln2, harness.Resolve)
+	defer stop2()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln2.Dial()
+		if err != nil {
+			return
+		}
+		dist.Work(context.Background(), conn, 2, harness.Resolve)
+	}()
+	ch2, err := f2.Resume("resumable", job, r.Progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := <-ch2
+	if r2.Err != nil {
+		t.Fatalf("resumed job: %v", r2.Err)
+	}
+	if r2.Resumed == 0 || r2.Resumed > completed {
+		t.Fatalf("resumed %d subtrees, snapshot carried %d completed", r2.Resumed, completed)
+	}
+	reportsEqual(t, "resume", solo["ks"], r2.Report)
+	stop2()
+	wg.Wait()
+}
+
+// TestFleetResumeDiscardsSkewedSnapshot: a snapshot whose frontier disagrees
+// with the re-planned one (changed options, changed binary) must be
+// discarded — the job silently restarts from scratch and still completes
+// byte-identically, with nothing counted as resumed.
+func TestFleetResumeDiscardsSkewedSnapshot(t *testing.T) {
+	jobs := fleetJobs(t)
+	solo := soloReports(t, jobs)
+	ln := dist.ListenPipe()
+	f, stop := startFleetOpts(ln, harness.Resolve)
+	defer stop()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Dial()
+		if err != nil {
+			return
+		}
+		dist.Work(context.Background(), conn, 2, harness.Resolve)
+	}()
+	skewed := &dist.Progress{Wave: 1, Frontier: 7, Outcomes: make([]*trace.SubtreeOutcome, 7)}
+	ch, err := f.Resume("skewed", jobs["fv"], skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.Err != nil {
+		t.Fatalf("job with a skewed snapshot: %v", r.Err)
+	}
+	if r.Resumed != 0 {
+		t.Fatalf("skewed snapshot restored %d subtrees; it should have been discarded", r.Resumed)
+	}
+	reportsEqual(t, "skewed-resume", solo["fv"], r.Report)
+	stop()
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"revisionist/internal/dist/wire"
 	"revisionist/internal/trace"
@@ -23,6 +24,14 @@ type SessionResult struct {
 	ID     string
 	Report *trace.ExploreReport
 	Err    error
+	// Resumed counts subtree outcomes restored from a Progress snapshot
+	// rather than leased: a resumed job re-leases only the unfinished
+	// frontier.
+	Resumed int
+	// Progress is the session's resumable snapshot, attached when the fleet
+	// was interrupted mid-search (Err wraps trace.ErrInterrupted): feed it to
+	// Resume to continue without re-running completed subtrees.
+	Progress *Progress
 }
 
 // FleetStats is a point-in-time snapshot of the fleet, the input of the
@@ -57,6 +66,20 @@ type workerConn struct {
 	jobs    map[string]bool
 	cursors map[string]int
 	keys    map[leaseKey]bool
+
+	// lastSeen is the arrival time of the worker's latest frame; deadlines
+	// holds each outstanding lease's completion deadline. Both feed
+	// checkLiveness: a worker silent past the miss window or holding an
+	// expired lease is retired.
+	lastSeen  time.Time
+	deadlines map[leaseKey]time.Time
+}
+
+// release reclaims one outstanding lease slot and its deadline.
+func (w *workerConn) release(k leaseKey) {
+	delete(w.keys, k)
+	delete(w.deadlines, k)
+	w.inflight--
 }
 
 // event is one worker-side occurrence delivered to the fleet loop.
@@ -66,6 +89,7 @@ type event struct {
 	from *workerConn
 	res  *wire.Result
 	fail *wire.Fail
+	pong bool
 }
 
 // Fleet multiplexes any number of concurrent job sessions over one worker
@@ -79,6 +103,11 @@ type Fleet struct {
 	events  chan event
 	ctl     chan func()
 	done    chan struct{}
+
+	// lv is the failure-detection policy; onProgress, when set, receives
+	// each session's resumable snapshot at every completed wave barrier.
+	lv         Liveness
+	onProgress func(id string, p *Progress)
 
 	// loop-owned.
 	sessions map[string]*session
@@ -96,15 +125,20 @@ type Fleet struct {
 
 // NewFleet builds a fleet around a job resolver. The caller must run exactly
 // one Run goroutine before using it.
-func NewFleet(resolve Resolver) *Fleet {
-	return &Fleet{
+func NewFleet(resolve Resolver, opts ...FleetOption) *Fleet {
+	f := &Fleet{
 		resolve:  resolve,
 		events:   make(chan event),
 		ctl:      make(chan func()),
 		done:     make(chan struct{}),
+		lv:       Liveness{}.withDefaults(),
 		sessions: map[string]*session{},
 		workers:  map[*workerConn]bool{},
 	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
 }
 
 // Run is the fleet's event loop. It exits when ctx is cancelled: every live
@@ -113,6 +147,8 @@ func NewFleet(resolve Resolver) *Fleet {
 // Start/Cancel calls fail with errFleetClosed.
 func (f *Fleet) Run(ctx context.Context) {
 	defer close(f.done)
+	ticker := time.NewTicker(f.lv.HeartbeatEvery)
+	defer ticker.Stop()
 	for {
 		select {
 		case <-ctx.Done():
@@ -124,9 +160,39 @@ func (f *Fleet) Run(ctx context.Context) {
 			fn()
 		case ev := <-f.events:
 			f.handle(ev)
+		case now := <-ticker.C:
+			f.checkLiveness(now)
 		}
 		f.assign()
 		f.publishStats()
+	}
+}
+
+// checkLiveness is the failure detector, run every heartbeat tick: a worker
+// holding an expired lease or silent past the miss window is retired exactly
+// like a dead one (dropWorker re-leases its subtrees), and a worker merely
+// quiet for one interval is pinged. Retirement cannot corrupt a report —
+// outcomes are pure functions of their lease, so the worst a false positive
+// costs is a recomputed subtree.
+func (f *Fleet) checkLiveness(now time.Time) {
+	miss := f.lv.missWindow()
+	for w := range f.workers {
+		expired := false
+		for _, dl := range w.deadlines {
+			if now.After(dl) {
+				expired = true
+				break
+			}
+		}
+		if expired || now.Sub(w.lastSeen) > miss {
+			f.dropWorker(w)
+			continue
+		}
+		if now.Sub(w.lastSeen) >= f.lv.HeartbeatEvery {
+			if err := w.c.Send(&wire.Msg{Kind: wire.KindPing}); err != nil {
+				f.dropWorker(w)
+			}
+		}
 	}
 }
 
@@ -154,6 +220,23 @@ func (f *Fleet) post(e event) bool {
 // synchronously so an unresolvable job fails fast, before anything is leased.
 // The returned channel delivers the job's SessionResult exactly once.
 func (f *Fleet) Start(id string, job wire.Job) (<-chan SessionResult, error) {
+	return f.start(id, job, nil)
+}
+
+// Resume is Start continuing from a Progress snapshot: the completed
+// outcomes it carries are replayed through the wave machinery before
+// anything is leased, so only the unfinished frontier goes back out to
+// workers. The frontier is re-planned from the job itself (planning is
+// deterministic), and a snapshot that does not match the plan — a different
+// binary or changed options — is discarded rather than merged: the job
+// silently restarts from scratch, which is always correct. A snapshot that
+// already covers the whole search completes immediately without leasing
+// anything.
+func (f *Fleet) Resume(id string, job wire.Job, p *Progress) (<-chan SessionResult, error) {
+	return f.start(id, job, p)
+}
+
+func (f *Fleet) start(id string, job wire.Job, p *Progress) (<-chan SessionResult, error) {
 	if id == "" {
 		return nil, fmt.Errorf("dist: job needs a non-empty id")
 	}
@@ -167,6 +250,10 @@ func (f *Fleet) Start(id string, job wire.Job) (<-chan SessionResult, error) {
 		return nil, err
 	}
 	s := newSession(id, job, frontier, width)
+	complete := false
+	if p != nil && p.Frontier == len(frontier) && len(p.Outcomes) == len(frontier) {
+		complete = s.restore(p.Outcomes)
+	}
 	errc := make(chan error, 1)
 	ok := f.do(func() {
 		if _, dup := f.sessions[id]; dup {
@@ -175,6 +262,10 @@ func (f *Fleet) Start(id string, job wire.Job) (<-chan SessionResult, error) {
 		}
 		f.sessions[id] = s
 		f.order = append(f.order, s)
+		if complete {
+			rep, err := s.merge(false)
+			f.finish(s, SessionResult{ID: id, Report: rep, Err: err, Resumed: s.resumed})
+		}
 		errc <- nil
 	})
 	if !ok {
@@ -233,10 +324,15 @@ func (f *Fleet) publishStats() {
 	f.statPending.Store(pending)
 }
 
-// handle applies one worker event to the loop state.
+// handle applies one worker event to the loop state. Every frame from a
+// worker — result, fail, or pong — refreshes its liveness clock.
 func (f *Fleet) handle(ev event) {
+	if ev.from != nil {
+		ev.from.lastSeen = time.Now()
+	}
 	switch {
 	case ev.join != nil:
+		ev.join.lastSeen = time.Now()
 		f.workers[ev.join] = true
 	case ev.dead != nil:
 		f.dropWorker(ev.dead)
@@ -244,6 +340,8 @@ func (f *Fleet) handle(ev event) {
 		f.onFail(ev.from, ev.fail)
 	case ev.res != nil:
 		f.onResult(ev.from, ev.res)
+	case ev.pong:
+		// lastSeen refresh above is the whole point.
 	}
 }
 
@@ -265,8 +363,7 @@ func (f *Fleet) finish(s *session, r SessionResult) {
 	for w := range f.workers {
 		for k := range w.keys {
 			if k.job == s.id {
-				delete(w.keys, k)
-				w.inflight--
+				w.release(k)
 			}
 		}
 		if w.jobs[s.id] {
@@ -295,6 +392,7 @@ func (f *Fleet) dropWorker(w *workerConn) {
 		}
 	}
 	w.keys = map[leaseKey]bool{}
+	w.deadlines = map[leaseKey]time.Time{}
 	w.inflight = 0
 	for _, s := range f.sessions {
 		delete(s.failed, w)
@@ -321,8 +419,7 @@ func (f *Fleet) onFail(w *workerConn, fail *wire.Fail) {
 		if k.job != s.id {
 			continue
 		}
-		delete(w.keys, k)
-		w.inflight--
+		w.release(k)
 		if s.assigned[k.id] == w {
 			delete(s.assigned, k.id)
 			s.requeueIfOpen(k.id)
@@ -348,8 +445,7 @@ func (f *Fleet) onFail(w *workerConn, fail *wire.Fail) {
 func (f *Fleet) onResult(w *workerConn, res *wire.Result) {
 	k := leaseKey{res.Job, res.ID}
 	if f.workers[w] && w.keys[k] {
-		delete(w.keys, k)
-		w.inflight--
+		w.release(k)
 	}
 	s := f.sessions[res.Job]
 	if s == nil {
@@ -365,9 +461,16 @@ func (f *Fleet) onResult(w *workerConn, res *wire.Result) {
 		return
 	}
 	f.statLeases.Add(1)
+	waveBefore := s.waveLo
 	if s.onOutcome(res.ID, res.Outcome) {
 		rep, err := s.merge(false)
-		f.finish(s, SessionResult{ID: s.id, Report: rep, Err: err})
+		f.finish(s, SessionResult{ID: s.id, Report: rep, Err: err, Resumed: s.resumed})
+		return
+	}
+	// A wave barrier just passed: publish the resumable snapshot. (The final
+	// barrier is covered by the finish above — a completed job needs none.)
+	if f.onProgress != nil && s.waveLo != waveBefore {
+		f.onProgress(s.id, s.progress())
 	}
 }
 
@@ -434,7 +537,9 @@ func (f *Fleet) assignOne(s *session) bool {
 		}
 		w.cursors[s.id] = len(s.fpLog)
 		w.inflight++
-		w.keys[leaseKey{s.id, id}] = true
+		k := leaseKey{s.id, id}
+		w.keys[k] = true
+		w.deadlines[k] = time.Now().Add(f.lv.leaseTimeout(s.job.Opts))
 		s.assigned[id] = w
 		s.pending = s.pending[1:]
 		return true
@@ -443,11 +548,13 @@ func (f *Fleet) assignOne(s *session) bool {
 }
 
 // interruptAll merges every live session into its partial report, exactly as
-// the in-process explorer reports an interrupt.
+// the in-process explorer reports an interrupt, attaching each session's
+// resumable snapshot so the caller can continue it later with Resume.
 func (f *Fleet) interruptAll() {
 	for _, s := range append([]*session(nil), f.order...) {
 		rep, err := s.merge(true)
-		f.finish(s, SessionResult{ID: s.id, Report: rep, Err: err})
+		f.finish(s, SessionResult{ID: s.id, Report: rep, Err: err,
+			Resumed: s.resumed, Progress: s.progress()})
 	}
 }
 
@@ -480,13 +587,19 @@ func (f *Fleet) Worker(raw net.Conn, c *wire.Conn, hello *wire.Hello) {
 		raw.Close()
 		return
 	}
+	// Frame sends to this worker are deadline-bounded so a peer that stops
+	// draining its socket cannot wedge the fleet loop mid-Send; reads need no
+	// deadline here — checkLiveness closes the connection of a silent worker,
+	// which unblocks this loop's Recv.
+	c.SetTimeouts(0, f.lv.WriteTimeout)
 	w := &workerConn{
-		c:       c,
-		raw:     raw,
-		slots:   max(hello.Slots, 1),
-		jobs:    map[string]bool{},
-		cursors: map[string]int{},
-		keys:    map[leaseKey]bool{},
+		c:         c,
+		raw:       raw,
+		slots:     max(hello.Slots, 1),
+		jobs:      map[string]bool{},
+		cursors:   map[string]int{},
+		keys:      map[leaseKey]bool{},
+		deadlines: map[leaseKey]time.Time{},
 	}
 	if !f.post(event{join: w}) {
 		raw.Close()
@@ -499,6 +612,10 @@ func (f *Fleet) Worker(raw net.Conn, c *wire.Conn, hello *wire.Hello) {
 			return
 		}
 		switch msg.Kind {
+		case wire.KindPong:
+			if !f.post(event{from: w, pong: true}) {
+				return
+			}
 		case wire.KindResult:
 			if msg.Result == nil || msg.Result.Outcome == nil {
 				f.post(event{dead: w})
@@ -524,7 +641,9 @@ func (f *Fleet) Worker(raw net.Conn, c *wire.Conn, hello *wire.Hello) {
 
 // ServeWorkers accepts worker connections on ln until it closes. Connections
 // whose first frame is not a hello are dropped (clients belong on the
-// daemon's listener, which splits the two conversations itself).
+// daemon's listener, which splits the two conversations itself), and the
+// hello must arrive within the liveness handshake deadline — a dial that
+// never speaks cannot pin its accept goroutine forever.
 func (f *Fleet) ServeWorkers(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
@@ -533,11 +652,13 @@ func (f *Fleet) ServeWorkers(ln net.Listener) {
 		}
 		go func() {
 			c := wire.NewConn(conn)
+			conn.SetReadDeadline(time.Now().Add(f.lv.Handshake))
 			msg, err := c.Recv()
 			if err != nil || msg.Kind != wire.KindHello {
 				conn.Close()
 				return
 			}
+			conn.SetReadDeadline(time.Time{})
 			f.Worker(conn, c, msg.Hello)
 		}()
 	}

@@ -1,0 +1,12 @@
+package dist_test
+
+import (
+	"testing"
+
+	"revisionist/internal/leaktest"
+)
+
+// TestMain fails the package if any coordinator, worker, or session
+// goroutine outlives its test — the fault-injection paths here retire,
+// release, and reconnect a lot of goroutines, and every one must come home.
+func TestMain(m *testing.M) { leaktest.Main(m) }

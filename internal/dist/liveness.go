@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"time"
+
+	"revisionist/internal/trace"
+)
+
+// Liveness is the fleet's failure-detection policy. The PR 5–7 stack only
+// noticed workers that died loudly (a closed connection); these knobs catch
+// the quiet failures — a wedged process whose socket stays open, a lease
+// that never completes — and retire them through exactly the same path as a
+// dead worker. That reuse is what keeps failure handling deterministic:
+// subtree outcomes are pure functions of their lease, so retiring a hung
+// worker and re-leasing its subtrees cannot change the merged report, only
+// when it arrives.
+//
+// The zero value selects the defaults noted on each field.
+type Liveness struct {
+	// HeartbeatEvery is the probe cadence: a worker silent for this long is
+	// pinged, and one silent for HeartbeatMiss consecutive intervals is
+	// retired. Results count as liveness — a busy worker is never pinged.
+	// Default 2s / 3 misses.
+	HeartbeatEvery time.Duration
+	HeartbeatMiss  int
+
+	// Per-lease deadlines are derived from the subtree budget: LeaseSlack
+	// (default 1m) plus LeasePerRun (default 1ms, scaled up for deep
+	// protocols) for every run the job's MaxRuns budget allows, capped at
+	// LeaseMax (default 10m — also the deadline when MaxRuns is unbounded).
+	// A worker holding any expired lease is retired wholesale.
+	LeaseSlack  time.Duration
+	LeasePerRun time.Duration
+	LeaseMax    time.Duration
+
+	// Handshake bounds the wait for a dialed connection's first frame
+	// (default 10s): a dial that never says hello cannot pin an accept
+	// goroutine forever.
+	Handshake time.Duration
+
+	// WriteTimeout bounds every frame send to a worker (default 30s), so a
+	// peer that stops draining its socket cannot wedge the fleet loop
+	// mid-Send.
+	WriteTimeout time.Duration
+}
+
+func (lv Liveness) withDefaults() Liveness {
+	if lv.HeartbeatEvery <= 0 {
+		lv.HeartbeatEvery = 2 * time.Second
+	}
+	if lv.HeartbeatMiss <= 0 {
+		lv.HeartbeatMiss = 3
+	}
+	if lv.LeaseSlack <= 0 {
+		lv.LeaseSlack = time.Minute
+	}
+	if lv.LeasePerRun <= 0 {
+		lv.LeasePerRun = time.Millisecond
+	}
+	if lv.LeaseMax <= 0 {
+		lv.LeaseMax = 10 * time.Minute
+	}
+	if lv.Handshake <= 0 {
+		lv.Handshake = 10 * time.Second
+	}
+	if lv.WriteTimeout <= 0 {
+		lv.WriteTimeout = 30 * time.Second
+	}
+	return lv
+}
+
+// leaseTimeout derives one lease's completion deadline from the job's
+// exploration budget: slack plus a per-run allowance for every run MaxRuns
+// admits, the allowance scaled by schedule depth so deeper protocols get
+// proportionally longer leases. An unbounded budget gets the cap.
+func (lv Liveness) leaseTimeout(opts trace.ExploreOpts) time.Duration {
+	if opts.MaxRuns <= 0 {
+		return lv.LeaseMax
+	}
+	per := lv.LeasePerRun * time.Duration(1+opts.MaxDepth/16)
+	t := lv.LeaseSlack + time.Duration(opts.MaxRuns)*per
+	return min(t, lv.LeaseMax)
+}
+
+// missWindow is the silence that retires a worker.
+func (lv Liveness) missWindow() time.Duration {
+	return time.Duration(lv.HeartbeatMiss) * lv.HeartbeatEvery
+}
+
+// FleetOption configures NewFleet.
+type FleetOption func(*Fleet)
+
+// WithLiveness sets the fleet's failure-detection policy (zero fields keep
+// their defaults).
+func WithLiveness(lv Liveness) FleetOption {
+	return func(f *Fleet) { f.lv = lv.withDefaults() }
+}
+
+// WithProgress registers a callback invoked from the fleet loop at every
+// completed wave barrier with the session's resumable snapshot. Callbacks
+// must not call back into the fleet synchronously (the loop is single-
+// threaded); the jobd daemon hops the snapshot onto its own loop.
+func WithProgress(fn func(id string, p *Progress)) FleetOption {
+	return func(f *Fleet) { f.onProgress = fn }
+}

@@ -43,6 +43,10 @@ type session struct {
 	// skew); they are never leased this job again but keep serving others.
 	failed map[*workerConn]bool
 
+	// resumed counts outcomes restored from a Progress snapshot instead of
+	// leased: the subtrees a restart did not have to re-run.
+	resumed int
+
 	// result delivers the SessionResult exactly once (buffered so the fleet
 	// loop never blocks on it); finished guards the exactly-once.
 	result   chan SessionResult
@@ -154,6 +158,89 @@ func (s *session) advance() bool {
 	}
 	s.startWave(s.waveHi)
 	return false
+}
+
+// Progress is one session's resumable state in journal-serializable form:
+// the completed subtree outcomes, indexed by frontier position (nil = not
+// finished). Everything else a resumed session needs — the frontier itself,
+// the merged closure table, the frozen budget bases — is recomputed
+// deterministically: the frontier from the job (planning is a pure
+// function), table and bases by replaying the outcomes through the same
+// wave barriers that built them, so a resumed report is byte-identical to
+// an uninterrupted one.
+type Progress struct {
+	// Wave is the first unfinished wave's start index. Monotone over a
+	// session's lifetime, which lets consumers racing snapshots keep the
+	// newest.
+	Wave int
+	// Frontier is the planned frontier length: a cheap skew check. A
+	// snapshot whose frontier disagrees with the resuming plan (changed
+	// binary, changed options) is discarded.
+	Frontier int
+	Outcomes []*trace.SubtreeOutcome
+}
+
+// Completed counts the finished subtrees a snapshot carries.
+func (p *Progress) Completed() int {
+	n := 0
+	for _, o := range p.Outcomes {
+		if o != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// progress snapshots the session's resumable state. The outcome slice is
+// copied (the pointed-to outcomes are immutable once recorded), so the
+// snapshot is stable against further session mutation.
+func (s *session) progress() *Progress {
+	return &Progress{
+		Wave:     s.waveLo,
+		Frontier: len(s.frontier),
+		Outcomes: append([]*trace.SubtreeOutcome(nil), s.outcomes...),
+	}
+}
+
+// unpend removes one subtree from the pending queue (it was restored from a
+// snapshot, not leased).
+func (s *session) unpend(id int) {
+	for i, p := range s.pending {
+		if p == id {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// restore replays a snapshot's completed outcomes through the ordinary wave
+// machinery — onOutcome, barriers, closure max-merge and all — so the
+// session's table, budget bases, and fpLog end up exactly as if those
+// subtrees had just been leased and completed. Returns true when the
+// snapshot already completes the whole search. Only outcomes inside the
+// current wave window apply on each pass (advance shifts the window), hence
+// the rescan loop; outcomes past a discovered cutoff stay ignored, exactly
+// as live results would be.
+func (s *session) restore(outcomes []*trace.SubtreeOutcome) bool {
+	for {
+		applied := false
+		for i := s.waveLo; i < s.waveHi && i < len(outcomes); i++ {
+			o := outcomes[i]
+			if o == nil || s.outcomes[i] != nil {
+				continue
+			}
+			s.unpend(i)
+			s.resumed++
+			if s.onOutcome(i, o) {
+				return true
+			}
+			applied = true
+			break
+		}
+		if !applied {
+			return false
+		}
+	}
 }
 
 // merge folds the outcomes into the final report. An exhausted pruned search

@@ -15,6 +15,8 @@
 //	worker -> coordinator   result  {job id, subtree id, complete outcome}
 //	worker -> coordinator   fail    {job id, error}     (job unresolvable)
 //	coordinator -> worker   retire  {job id}            (job finished: drop it)
+//	coordinator -> worker   ping                        (liveness probe)
+//	worker -> coordinator   pong
 //	coordinator -> worker   shutdown
 //
 // Results carry complete subtree outcomes only — a worker that dies mid-
@@ -38,7 +40,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"revisionist/internal/protocol"
 	"revisionist/internal/trace"
@@ -53,8 +58,11 @@ import (
 // "retire" message releases per-job worker state — a version-2 worker would
 // ignore the tags and merge unrelated jobs into one table, so mismatched
 // peers are now rejected with an explicit "reject" message instead of a
-// silent close.
-const Version = 3
+// silent close. Version 4 adds the ping/pong liveness envelopes the fleet's
+// failure detector rests on: a version-3 worker treats a ping as a protocol
+// error and drops the connection mid-search, so v3 peers get the same
+// explicit reject.
+const Version = 4
 
 // MaxFrame caps one frame's length (64 MiB): a corrupt or hostile length
 // prefix must not allocate unboundedly.
@@ -75,6 +83,12 @@ const (
 	// KindRetire tells a worker a job is finished or cancelled: drop its
 	// resolved state and mirror table, abandon its in-flight subtrees.
 	KindRetire = "retire"
+	// KindPing probes a silent worker; KindPong answers it. Both carry no
+	// body — arrival alone is the liveness signal. A worker that neither
+	// sends results nor answers pings within the fleet's miss window is
+	// retired and its subtrees re-leased, exactly like a dead one.
+	KindPing = "ping"
+	KindPong = "pong"
 )
 
 // Message kinds of the job-lifecycle (client <-> daemon) protocol. A client
@@ -272,11 +286,34 @@ type Msg struct {
 // called from one goroutine at a time.
 type Conn struct {
 	rw  io.ReadWriter
+	nc  net.Conn // non-nil when rw supports deadlines
 	wmu sync.Mutex
+
+	// Frame deadlines in nanoseconds, atomic so Recv never contends on the
+	// send mutex (the conversation is full-duplex).
+	rtimeout atomic.Int64
+	wtimeout atomic.Int64
 }
 
 // NewConn wraps a stream.
-func NewConn(rw io.ReadWriter) *Conn { return &Conn{rw: rw} }
+func NewConn(rw io.ReadWriter) *Conn {
+	c := &Conn{rw: rw}
+	if nc, ok := rw.(net.Conn); ok {
+		c.nc = nc
+	}
+	return c
+}
+
+// SetTimeouts arms per-frame deadlines when the underlying stream is a
+// net.Conn (TCP and net.Pipe both are): each Recv must produce a complete
+// frame within read — so a peer that stops mid-frame trips the deadline
+// instead of pinning the reader forever — and each Send must flush within
+// write. Zero disables either side; on a bare io.ReadWriter both are
+// silently inert.
+func (c *Conn) SetTimeouts(read, write time.Duration) {
+	c.rtimeout.Store(int64(read))
+	c.wtimeout.Store(int64(write))
+}
 
 // Send writes one frame.
 func (c *Conn) Send(m *Msg) error {
@@ -291,6 +328,9 @@ func (c *Conn) Send(m *Msg) error {
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if wt := time.Duration(c.wtimeout.Load()); wt > 0 && c.nc != nil {
+		c.nc.SetWriteDeadline(time.Now().Add(wt))
+	}
 	if _, err := c.rw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -298,10 +338,18 @@ func (c *Conn) Send(m *Msg) error {
 	return err
 }
 
-// Recv reads one frame.
+// Recv reads one frame. Truncation — a peer that died or was cut off
+// mid-frame — is reported distinctly from a clean EOF between frames, so
+// transport logs name torn frames instead of a bare unexpected-EOF.
 func (c *Conn) Recv() (*Msg, error) {
+	if rt := time.Duration(c.rtimeout.Load()); rt > 0 && c.nc != nil {
+		c.nc.SetReadDeadline(time.Now().Add(rt))
+	}
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+	if nh, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		if nh > 0 {
+			return nil, fmt.Errorf("wire: torn frame header: %d of 4 bytes: %w", nh, err)
+		}
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
@@ -309,8 +357,8 @@ func (c *Conn) Recv() (*Msg, error) {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte cap", n, MaxFrame)
 	}
 	body := make([]byte, n)
-	if _, err := io.ReadFull(c.rw, body); err != nil {
-		return nil, err
+	if nb, err := io.ReadFull(c.rw, body); err != nil {
+		return nil, fmt.Errorf("wire: torn frame: %d of %d body bytes: %w", nb, n, err)
 	}
 	m := &Msg{}
 	if err := json.Unmarshal(body, m); err != nil {

@@ -2,10 +2,14 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"net"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
+	"revisionist/internal/dist/chaos"
 	"revisionist/internal/protocol"
 	"revisionist/internal/trace"
 )
@@ -127,3 +131,90 @@ func TestWitnessOf(t *testing.T) {
 type errString string
 
 func (e errString) Error() string { return string(e) }
+
+// tornRecv runs one scripted send against a Recv and returns Recv's error.
+func tornRecv(t *testing.T, script chaos.Script) error {
+	t.Helper()
+	client, server := net.Pipe()
+	defer server.Close()
+	sender := chaos.WrapConn(client, script)
+	defer sender.Close()
+	go NewConn(sender).Send(&Msg{Kind: KindShutdown})
+	_, err := NewConn(server).Recv()
+	if err == nil {
+		t.Fatal("torn frame accepted")
+	}
+	return err
+}
+
+// TestTornFrameBody pins the descriptive error for a frame cut off mid-body
+// (the chaos conn truncates the sender's second write — the body — and
+// closes): the reader must name the torn frame and the byte counts, not
+// surface a bare unexpected EOF.
+func TestTornFrameBody(t *testing.T) {
+	err := tornRecv(t, chaos.Script{TruncateWrite: 2})
+	if !strings.Contains(err.Error(), "wire: torn frame:") ||
+		!strings.Contains(err.Error(), "body bytes") {
+		t.Fatalf("torn body error lacks diagnosis: %v", err)
+	}
+}
+
+// TestTornFrameHeader pins the short-header diagnosis: the length prefix
+// itself was cut (2 of its 4 bytes arrive before the close).
+func TestTornFrameHeader(t *testing.T) {
+	err := tornRecv(t, chaos.Script{TruncateWrite: 1})
+	if !strings.Contains(err.Error(), "wire: torn frame header: 2 of 4 bytes") {
+		t.Fatalf("torn header error lacks diagnosis: %v", err)
+	}
+}
+
+// TestCleanEOFIsNotTorn: a connection closed exactly between frames is an
+// orderly EOF, not a torn frame — retry loops distinguish the two.
+func TestCleanEOFIsNotTorn(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	go client.Close()
+	_, err := NewConn(server).Recv()
+	if err == nil || strings.Contains(err.Error(), "torn") {
+		t.Fatalf("clean close misdiagnosed: %v", err)
+	}
+}
+
+// TestFrameCapMessage pins the oversized-frame diagnosis on the read side.
+func TestFrameCapMessage(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	_, err := NewConn(&buf).Recv()
+	if err == nil || !strings.Contains(err.Error(), "exceeds the 67108864-byte cap") {
+		t.Fatalf("oversized frame error lacks diagnosis: %v", err)
+	}
+}
+
+// TestRecvTimeout: with a read timeout armed, a peer that opens a frame and
+// stalls forever trips the deadline instead of pinning the reader.
+func TestRecvTimeout(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	defer client.Close()
+	// Send only a header promising 100 bytes, then go silent.
+	go client.Write([]byte{0, 0, 0, 100})
+	c := NewConn(server)
+	c.SetTimeouts(50*time.Millisecond, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stalled frame accepted")
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("expected a timeout, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv ignored its read deadline")
+	}
+}

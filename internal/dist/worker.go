@@ -2,14 +2,21 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"revisionist/internal/dist/wire"
 	"revisionist/internal/trace"
 )
+
+// ErrRejected reports a coordinator that refused this worker's handshake
+// (version skew). It is permanent for a given binary pair: reconnect loops
+// must give up instead of retrying into the same rejection.
+var ErrRejected = errors.New("dist: coordinator rejected this worker")
 
 // workerJob is one announced job's local state on a worker: the resolved
 // factory, the exploration options (Interrupted bound to the worker-wide and
@@ -123,7 +130,38 @@ func (q *taskQueue) close() {
 // only complete outcomes are ever reported, and the coordinator re-leases
 // whatever was outstanding.
 func Work(ctx context.Context, conn net.Conn, slots int, resolve Resolver) error {
+	return WorkCfg(ctx, conn, WorkConfig{Slots: slots}, resolve)
+}
+
+// WorkConfig tunes one worker connection beyond the slot count.
+type WorkConfig struct {
+	// Slots is the concurrent lease capacity (0 selects GOMAXPROCS).
+	Slots int
+	// IdleTimeout bounds the silence the worker tolerates from the
+	// coordinator before declaring the link dead (default 5m). It is a
+	// backstop, not a detector: a live coordinator pings silent workers
+	// every few seconds, so only a wedged or partitioned coordinator ever
+	// trips it.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each frame send (default 30s).
+	WriteTimeout time.Duration
+}
+
+func (cfg WorkConfig) withDefaults() WorkConfig {
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	return cfg
+}
+
+// WorkCfg is Work with explicit timeouts.
+func WorkCfg(ctx context.Context, conn net.Conn, cfg WorkConfig, resolve Resolver) error {
 	defer conn.Close()
+	cfg = cfg.withDefaults()
+	slots := cfg.Slots
 	// stopping aborts all in-flight subtrees: once the session ends (shutdown,
 	// connection loss, ctx cancellation), running DFS loops see it at their
 	// next poll and bail out instead of exploring abandoned leases to the
@@ -138,6 +176,7 @@ func Work(ctx context.Context, conn net.Conn, slots int, resolve Resolver) error
 	}
 	slots = trace.ResolveWorkers(slots)
 	c := wire.NewConn(conn)
+	c.SetTimeouts(cfg.IdleTimeout, cfg.WriteTimeout)
 	if err := c.Send(&wire.Msg{Kind: wire.KindHello, Hello: &wire.Hello{Version: wire.Version, Slots: slots}}); err != nil {
 		return fmt.Errorf("dist: hello: %w", err)
 	}
@@ -198,9 +237,16 @@ func Work(ctx context.Context, conn net.Conn, slots int, resolve Resolver) error
 		switch msg.Kind {
 		case wire.KindReject:
 			if msg.Reject != nil && msg.Reject.Err != "" {
-				return fmt.Errorf("dist: coordinator rejected this worker: %s", msg.Reject.Err)
+				return fmt.Errorf("%w: %s", ErrRejected, msg.Reject.Err)
 			}
-			return fmt.Errorf("dist: coordinator rejected this worker")
+			return ErrRejected
+		case wire.KindPing:
+			// Answer from the read loop: a worker whose slots are all busy
+			// computing still pongs, which is exactly the signal the
+			// coordinator needs to tell "slow" from "wedged".
+			if err := c.Send(&wire.Msg{Kind: wire.KindPong}); err != nil {
+				return fmt.Errorf("dist: connection lost: %w", err)
+			}
 		case wire.KindJob:
 			if msg.Job == nil || msg.Job.ID == "" {
 				return fmt.Errorf("dist: malformed job announcement")

@@ -73,17 +73,18 @@ func ServeCheck(ctx context.Context, opts Options, ln net.Listener) (*CheckRepor
 
 // ConnectCheck joins a distributed Check as a worker over conn (nil = dial
 // the Options.Connect TCP address), running leased subtrees on
-// Options.Workers local slots until the coordinator shuts down.
+// Options.Workers local slots until the coordinator shuts down. When it
+// dials the address itself, the worker is resilient: dials retry with
+// backoff, and a connection lost mid-search re-dials and re-registers with
+// the fleet — the coordinator re-leases whatever the dead incarnation held,
+// so a flaky network costs wall-clock, never correctness.
 func ConnectCheck(ctx context.Context, opts Options, conn net.Conn) error {
 	if conn == nil {
 		if opts.Connect == "" {
 			return &UsageError{Err: fmt.Errorf("harness: ConnectCheck needs a connection or Options.Connect address")}
 		}
-		var err error
-		conn, err = net.Dial("tcp", opts.Connect)
-		if err != nil {
-			return err
-		}
+		dial := func() (net.Conn, error) { return net.Dial("tcp", opts.Connect) }
+		return dist.WorkerLoop(ctx, dial, dist.WorkConfig{Slots: opts.Workers}, Resolve, dist.Backoff{})
 	}
 	return dist.Work(ctx, conn, opts.Workers, Resolve)
 }

@@ -1,9 +1,11 @@
 package jobd
 
 import (
+	"context"
 	"fmt"
 	"net"
 
+	"revisionist/internal/dist"
 	"revisionist/internal/dist/wire"
 )
 
@@ -16,9 +18,18 @@ type Client struct {
 	c    *wire.Conn
 }
 
-// Dial connects to a daemon's TCP address.
+// Dial connects to a daemon's TCP address, retrying with the default
+// backoff (exponential from 100ms, 6 attempts) — a daemon that is still
+// binding its listener, or briefly unreachable, is not a hard failure.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialRetry(context.Background(), addr, dist.Backoff{})
+}
+
+// DialRetry is Dial under an explicit backoff policy and context.
+func DialRetry(ctx context.Context, addr string, b dist.Backoff) (*Client, error) {
+	conn, err := dist.DialRetry(ctx, b, func() (net.Conn, error) {
+		return net.Dial("tcp", addr)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,9 @@
 // open with hello), poll status, fetch merged reports and witness artifacts,
 // cancel, and list; the daemon validates every submission at the door,
 // journals the queue to disk so queued and running jobs survive a restart
-// (running jobs are re-leased from scratch — sessions are deterministic, the
-// redo is identical), drains running jobs into resumable partial reports on
+// (running jobs resume from their journaled wave-barrier snapshots — only
+// the unfinished frontier is re-leased, and determinism makes the resumed
+// report identical), drains running jobs into resumable partial reports on
 // graceful shutdown, and can grow or shrink a fleet of locally spawned
 // workers from lease throughput and queue depth.
 //
@@ -47,6 +48,13 @@ type Config struct {
 	// function.
 	Scale *ScalePolicy
 	Spawn func() (stop func(), err error)
+	// Liveness is the fleet's failure-detection policy (zero fields keep
+	// the dist defaults: heartbeats every 2s, 3 misses, budget-derived
+	// lease deadlines).
+	Liveness dist.Liveness
+	// CompactAt overrides the journal's online-compaction threshold in
+	// bytes (0 keeps the queue default of 1 MiB).
+	CompactAt int64
 	// Logf receives operational one-liners (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -80,14 +88,19 @@ func New(cfg Config) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.CompactAt > 0 {
+		q.CompactAt = cfg.CompactAt
+	}
 	d := &Daemon{
 		cfg:     cfg,
-		fleet:   dist.NewFleet(cfg.Resolve),
 		queue:   q,
 		actions: make(chan func()),
 		done:    make(chan struct{}),
 		active:  map[string]bool{},
 	}
+	d.fleet = dist.NewFleet(cfg.Resolve,
+		dist.WithLiveness(cfg.Liveness),
+		dist.WithProgress(d.onProgress))
 	if cfg.Scale != nil {
 		pol := cfg.Scale.withDefaults()
 		d.scale = &pol
@@ -177,13 +190,27 @@ func (d *Daemon) fill() {
 		if rec == nil {
 			return
 		}
-		ch, err := d.fleet.Start(rec.ID, rec.Job)
+		// A record carrying a progress snapshot (re-queued after a restart or
+		// drain) resumes: completed outcomes are restored before anything is
+		// leased, so only the unfinished frontier goes back to workers.
+		var ch <-chan dist.SessionResult
+		var err error
+		if rec.Progress != nil {
+			ch, err = d.fleet.Resume(rec.ID, rec.Job, rec.Progress)
+		} else {
+			ch, err = d.fleet.Start(rec.ID, rec.Job)
+		}
 		if err != nil {
 			rec.State = StateFailed
 			rec.Err = err.Error()
+			rec.Progress = nil
 			d.queue.Put(rec)
 			d.logf("job %s: failed to start: %v", rec.ID, err)
 			continue
+		}
+		if rec.Progress != nil {
+			d.logf("job %s: resuming (%d/%d subtrees restored)",
+				rec.ID, rec.Progress.Completed(), rec.Progress.Frontier)
 		}
 		rec.State = StateRunning
 		d.queue.Put(rec)
@@ -196,21 +223,28 @@ func (d *Daemon) fill() {
 	}
 }
 
-// complete records a finished session's terminal state.
+// complete records a finished session's terminal state. Progress snapshots
+// are kept only on interrupt — the one state a restart resumes; every other
+// terminal state drops them so finished jobs stop carrying outcome payloads
+// through the journal.
 func (d *Daemon) complete(id string, r dist.SessionResult) {
 	delete(d.active, id)
 	rec := d.queue.Get(id)
 	if rec == nil {
 		return
 	}
+	rec.Progress = nil
 	switch {
 	case errors.Is(r.Err, dist.ErrCanceled):
 		rec.State = StateCanceled
 	case errors.Is(r.Err, trace.ErrInterrupted):
-		// Shutdown caught it mid-search: keep the partial report, mark it
-		// resumable — restart recovery re-queues it from scratch.
+		// Shutdown caught it mid-search: keep the partial report and the
+		// final progress snapshot (it includes outcomes from the unfinished
+		// wave, fresher than any barrier snapshot), and mark it resumable —
+		// restart recovery re-queues it to resume from that snapshot.
 		rec.State = StateInterrupted
 		rec.Resumable = true
+		rec.Progress = r.Progress
 		d.attachReport(rec, r.Report)
 	case r.Err != nil:
 		rec.State = StateFailed
@@ -220,7 +254,31 @@ func (d *Daemon) complete(id string, r dist.SessionResult) {
 		d.attachReport(rec, r.Report)
 	}
 	d.queue.Put(rec)
-	d.logf("job %s: %s", id, rec.State)
+	if r.Resumed > 0 {
+		d.logf("job %s: %s (%d subtrees resumed, not re-run)", id, rec.State, r.Resumed)
+	} else {
+		d.logf("job %s: %s", id, rec.State)
+	}
+}
+
+// onProgress journals a running job's wave-barrier snapshot. Called from the
+// fleet loop, so it must not act synchronously — the daemon loop may itself
+// be blocked on a fleet call — and hops onto the daemon loop asynchronously
+// instead. Snapshots can therefore arrive out of order or after the job
+// finished; the Wave monotonicity check and the running-state guard drop the
+// stale ones.
+func (d *Daemon) onProgress(id string, p *dist.Progress) {
+	go d.act(func() {
+		rec := d.queue.Get(id)
+		if rec == nil || rec.State != StateRunning {
+			return
+		}
+		if rec.Progress != nil && rec.Progress.Wave >= p.Wave {
+			return
+		}
+		rec.Progress = p
+		d.queue.Put(rec)
+	})
 }
 
 // attachReport stores the merged report and, when it found violations, the
@@ -392,18 +450,34 @@ func (d *Daemon) Serve(ln net.Listener) {
 	}
 }
 
+// clientIdleTimeout bounds the silence between client requests: a client
+// that wanders off mid-conversation releases its handler goroutine instead
+// of pinning it forever. Clients reconnect freely (Dial retries), so the
+// generous bound costs nothing.
+const clientIdleTimeout = 5 * time.Minute
+
 func (d *Daemon) handle(conn net.Conn) {
+	handshake := d.cfg.Liveness.Handshake
+	if handshake <= 0 {
+		handshake = 10 * time.Second
+	}
 	c := wire.NewConn(conn)
+	// The first frame routes the connection and must arrive promptly: a dial
+	// that never speaks (a hung peer, a port scanner) cannot pin this
+	// goroutine past the handshake deadline.
+	conn.SetReadDeadline(time.Now().Add(handshake))
 	msg, err := c.Recv()
 	if err != nil {
 		conn.Close()
 		return
 	}
+	conn.SetReadDeadline(time.Time{})
 	if msg.Kind == wire.KindHello {
 		d.fleet.Worker(conn, c, msg.Hello) // blocks for the connection's life
 		return
 	}
 	defer conn.Close()
+	c.SetTimeouts(clientIdleTimeout, 0)
 	for {
 		if err := d.serveClient(c, msg); err != nil {
 			return

@@ -1,0 +1,12 @@
+package jobd_test
+
+import (
+	"testing"
+
+	"revisionist/internal/leaktest"
+)
+
+// TestMain fails the package if any daemon, queue, or client goroutine
+// outlives its test — restarts and chaos soaks churn connections, and every
+// handler they start must come home.
+func TestMain(m *testing.M) { leaktest.Main(m) }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"revisionist/internal/dist"
 	"revisionist/internal/dist/wire"
 )
 
@@ -19,8 +20,10 @@ const (
 	// StateQueued: admitted, waiting for a running slot.
 	StateQueued JobState = "queued"
 	// StateRunning: a live fleet session. Never persisted across a restart —
-	// recovery re-queues it, and the search restarts from scratch (sessions
-	// hold no resumable on-disk state; determinism makes the redo identical).
+	// recovery re-queues it, resuming from the record's Progress snapshot
+	// (the outcomes journaled at its last completed wave barrier) so only
+	// the unfinished frontier is re-leased; determinism makes the resumed
+	// report identical to an uninterrupted one.
 	StateRunning JobState = "running"
 	// StateDone: completed, report (and witness, if violations) attached.
 	StateDone JobState = "done"
@@ -44,6 +47,11 @@ type Record struct {
 	Report    *wire.Report  `json:",omitempty"`
 	Witness   *wire.Witness `json:",omitempty"`
 	Resumable bool          `json:",omitempty"`
+	// Progress is the session's completed-outcome snapshot, journaled at
+	// each wave barrier while the job runs and kept on interrupt: recovery
+	// hands it to dist.Resume so a restart re-leases only the unfinished
+	// frontier. Cleared on every terminal state but interrupted.
+	Progress *dist.Progress `json:",omitempty"`
 }
 
 // Info renders the record's externally visible state.
@@ -78,15 +86,32 @@ type Queue struct {
 	// dispatch and listing order.
 	order []string
 	next  int
+
+	// CompactAt is the online-compaction threshold in bytes (default 1 MiB;
+	// <= 0 only at callers that build a Queue without OpenQueue). The journal
+	// is an upsert log, so it grows with every state change — progress
+	// snapshots at wave barriers especially — while the live set stays one
+	// line per job. Put rewrites the journal once it exceeds CompactAt *and*
+	// the appended bytes exceed the last compaction's size (so a genuinely
+	// large live set does not trigger a rewrite per append).
+	CompactAt int64
+	// base is the journal size right after the last compaction; appended
+	// counts bytes written since.
+	base     int64
+	appended int64
 }
 
 // journalName is the queue's file inside its directory.
 const journalName = "jobs.jsonl"
 
+// defaultCompactAt bounds a long-lived daemon's journal: ~1 MiB of upserts
+// between rewrites.
+const defaultCompactAt = 1 << 20
+
 // OpenQueue opens (or creates) the queue journaled under dir; dir == ""
 // builds a memory-only queue that forgets everything on exit.
 func OpenQueue(dir string) (*Queue, error) {
-	q := &Queue{recs: map[string]*Record{}, next: 1}
+	q := &Queue{recs: map[string]*Record{}, next: 1, CompactAt: defaultCompactAt}
 	if dir == "" {
 		return q, nil
 	}
@@ -142,9 +167,10 @@ func (q *Queue) load() error {
 }
 
 // recover applies the restart rules: a job that was running when the daemon
-// died restarts from scratch, an interrupted resumable job is re-queued, both
-// keeping their ids (and dropping any partial report — the redo supersedes
-// it).
+// died and an interrupted resumable job are both re-queued, keeping their
+// ids and — crucially — their Progress snapshots, so the restart re-leases
+// only the unfinished frontier. Partial reports are dropped (the resumed
+// merge supersedes them).
 func (q *Queue) recover() {
 	for _, id := range q.order {
 		rec := q.recs[id]
@@ -158,19 +184,28 @@ func (q *Queue) recover() {
 	}
 }
 
-// compact rewrites the journal to one line per live record and leaves it open
-// for appending.
+// compact rewrites the journal to one line per live record and leaves it
+// open for appending. Runs at open and again online whenever Put crosses the
+// size threshold; the tmp+rename dance keeps a crash at any point recoverable
+// (either the old upsert log or the complete new snapshot survives).
 func (q *Queue) compact() error {
 	tmp := q.path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("jobd: compact journal: %w", err)
 	}
+	if q.f != nil {
+		q.f.Close()
+		q.f = nil
+	}
+	var size int64
 	for _, id := range q.order {
-		if err := writeRecord(f, q.recs[id]); err != nil {
+		n, err := writeRecord(f, q.recs[id])
+		if err != nil {
 			f.Close()
 			return err
 		}
+		size += int64(n)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -186,18 +221,21 @@ func (q *Queue) compact() error {
 	if err != nil {
 		return fmt.Errorf("jobd: reopen journal: %w", err)
 	}
+	q.base = size
+	q.appended = 0
 	return nil
 }
 
-func writeRecord(f *os.File, rec *Record) error {
+func writeRecord(f *os.File, rec *Record) (int, error) {
 	line, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("jobd: encode record %s: %w", rec.ID, err)
+		return 0, fmt.Errorf("jobd: encode record %s: %w", rec.ID, err)
 	}
-	if _, err := f.Write(append(line, '\n')); err != nil {
-		return fmt.Errorf("jobd: journal append: %w", err)
+	n, err := f.Write(append(line, '\n'))
+	if err != nil {
+		return n, fmt.Errorf("jobd: journal append: %w", err)
 	}
-	return nil
+	return n, nil
 }
 
 // NextID mints a fresh job id ("j0001", "j0002", ...).
@@ -208,7 +246,10 @@ func (q *Queue) NextID() string {
 }
 
 // Put upserts a record and journals its new state durably (synced before
-// returning, so an acknowledged submission survives a crash).
+// returning, so an acknowledged submission survives a crash). When the
+// journal outgrows CompactAt it is compacted in place — the online half of
+// ROADMAP's journal-growth item: a long-lived daemon's journal stays bounded
+// by max(CompactAt, live set) plus one compaction's worth of appends.
 func (q *Queue) Put(rec *Record) error {
 	if _, seen := q.recs[rec.ID]; !seen {
 		q.order = append(q.order, rec.ID)
@@ -217,10 +258,18 @@ func (q *Queue) Put(rec *Record) error {
 	if q.f == nil {
 		return nil
 	}
-	if err := writeRecord(q.f, rec); err != nil {
+	n, err := writeRecord(q.f, rec)
+	if err != nil {
 		return err
 	}
-	return q.f.Sync()
+	if err := q.f.Sync(); err != nil {
+		return err
+	}
+	q.appended += int64(n)
+	if q.CompactAt > 0 && q.base+q.appended > q.CompactAt && q.appended > q.base {
+		return q.compact()
+	}
+	return nil
 }
 
 // Get returns the record for id, or nil.
