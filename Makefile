@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke jobd-smoke chaos-smoke
+.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke jobd-smoke chaos-smoke crash-smoke
 
 all: ci
 
@@ -16,7 +16,8 @@ test:
 	$(GO) test ./...
 
 # Race-check the parallel search layer (worker-pool Explore/Fuzz/Stress),
-# the distributed coordinator/worker protocol, and the checking daemon.
+# the distributed coordinator/worker protocol, and the checking daemon —
+# the ./internal/jobd/... glob includes the crashfs power-fail simulator.
 race:
 	$(GO) test -race ./internal/trace/... ./internal/harness/... ./internal/dist/... ./internal/jobd/...
 
@@ -58,5 +59,13 @@ jobd-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/checkd -smoke -chaos 1
 	$(GO) run ./cmd/checkd -smoke -chaos 20260808
+
+# Crash-consistency smoke: the exhaustive power-fail matrix (every
+# filesystem op × every meaningful tear, two seeds, both sync policies)
+# plus a real kill -9 of a running checkd whose restarted process must
+# resume the journaled snapshot and produce a byte-identical report.
+crash-smoke:
+	$(GO) test ./internal/jobd -run TestCrashMatrix -count=1
+	$(GO) run ./cmd/checkd -smoke -kill
 
 ci: vet build test race bench-smoke

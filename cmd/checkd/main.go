@@ -58,6 +58,10 @@ func run(args []string, out io.Writer) error {
 		listen    = fs.String("listen", ":9470", "TCP listen address for workers and clients")
 		dir       = fs.String("dir", "", "journal directory: the job queue survives restarts (empty = in-memory only)")
 		maxActive = fs.Int("max-active", 2, "jobs running concurrently on the shared fleet; the rest queue")
+		maxQueued = fs.Int("max-queued", 0, "admission bound: jobs waiting for a slot before submissions get a retryable rejection (0 = default 1024, negative = unbounded)")
+		syncMode  = fs.String("sync", "put", "journal durability: put (fsync per write), batch (group commit, acks deferred to the batch fsync), none (OS page cache only)")
+		syncBatch = fs.Int("sync-batch", 0, "with -sync batch: commit after this many journal writes (0 = default 64)")
+		syncDelay = fs.Duration("sync-delay", 0, "with -sync batch: commit at latest this long after the first uncommitted write (0 = default 5ms)")
 		scaleMax  = fs.Int("scale-max", 0, "adaptively spawn up to this many local workers (0 = never spawn)")
 		scaleMin  = fs.Int("scale-min", 0, "keep at least this many spawned workers once scaling is on")
 		scaleIvl  = fs.Duration("scale-interval", 2*time.Second, "sampling period for the scaling decision")
@@ -65,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		quiet     = fs.Bool("quiet", false, "suppress the operational log")
 		smoke     = fs.Bool("smoke", false, "loopback self-check: daemon + two workers, two concurrent jobs byte-compared against single-process runs")
 		chaos     = fs.Int64("chaos", 0, "with -smoke: run under a seeded fault schedule (worker crash, hang, flaky dials) instead of healthy workers")
+		kill      = fs.Bool("kill", false, "with -smoke: kill -9 a real checkd child mid-job, restart it on the same journal, and byte-compare the resumed report")
 	)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
@@ -77,15 +82,23 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return &harness.UsageError{Err: fmt.Errorf("-scale-min %d exceeds -scale-max %d", *scaleMin, *scaleMax)}
 	}
+	policy, err := syncPolicy(*syncMode, *syncBatch, *syncDelay)
+	if err != nil {
+		fs.Usage()
+		return &harness.UsageError{Err: err}
+	}
 	if *smoke {
-		if *chaos != 0 {
+		switch {
+		case *chaos != 0:
 			return chaosSmoke(out, *chaos)
+		case *kill:
+			return killSmoke(out)
 		}
 		return smokeCheck(out)
 	}
-	if *chaos != 0 {
+	if *chaos != 0 || *kill {
 		fs.Usage()
-		return &harness.UsageError{Err: fmt.Errorf("-chaos only applies to -smoke")}
+		return &harness.UsageError{Err: fmt.Errorf("-chaos and -kill only apply to -smoke")}
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -103,6 +116,8 @@ func run(args []string, out io.Writer) error {
 	cfg := jobd.Config{
 		Dir:       *dir,
 		MaxActive: *maxActive,
+		MaxQueued: *maxQueued,
+		Sync:      policy,
 		Resolve:   harness.Resolve,
 		Validate:  harness.ValidateJob,
 		Logf:      logf,
@@ -142,6 +157,18 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "checkd: drained; queue persisted")
 	return nil
+}
+
+// syncPolicy resolves the -sync flags into the queue's durability policy.
+func syncPolicy(mode string, batch int, delay time.Duration) (jobd.SyncPolicy, error) {
+	m, err := jobd.ParseSyncMode(mode)
+	if err != nil {
+		return jobd.SyncPolicy{}, err
+	}
+	if m != jobd.SyncBatch && (batch != 0 || delay != 0) {
+		return jobd.SyncPolicy{}, fmt.Errorf("-sync-batch and -sync-delay only apply to -sync batch")
+	}
+	return jobd.SyncPolicy{Mode: m, BatchPuts: batch, BatchDelay: delay}, nil
 }
 
 func journalDesc(dir string) string {

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"revisionist/internal/dist"
 	"revisionist/internal/dist/wire"
 	"revisionist/internal/harness"
 	"revisionist/internal/jobd"
@@ -35,9 +37,14 @@ func runClient(out io.Writer, addr string, verb clientVerb, opts harness.Options
 		if err != nil {
 			return err
 		}
-		ack, err := cl.Submit(job)
-		if err != nil {
+		// Transient rejections (admission queue full, daemon draining) are
+		// absorbed by backoff; only terminal rejections reach the rendering.
+		ack, err := cl.SubmitRetry(context.Background(), job, dist.Backoff{})
+		if err != nil && ack == nil {
 			return err
+		}
+		if err != nil {
+			return fmt.Errorf("daemon rejected the job: %w", err)
 		}
 		if ack.Err != "" {
 			for _, f := range ack.Fields {
@@ -86,6 +93,9 @@ func runClient(out io.Writer, addr string, verb clientVerb, opts harness.Options
 // writeJobLine renders one job's state line (shared by -status and -jobs).
 func writeJobLine(out io.Writer, info wire.JobInfo) {
 	fmt.Fprintf(out, "%s  %-12s %s n=%d", info.ID, info.State, info.Protocol, info.Params.N)
+	if info.Priority != 0 {
+		fmt.Fprintf(out, " prio=%d", info.Priority)
+	}
 	switch jobd.JobState(info.State) {
 	case jobd.StateDone, jobd.StateInterrupted:
 		fmt.Fprintf(out, "  runs=%d violations=%d", info.Runs, info.Violations)

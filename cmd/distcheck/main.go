@@ -96,6 +96,7 @@ func run(args []string, out io.Writer) error {
 		smoke   = fs.Bool("smoke", false, "loopback self-check: coordinator + two local TCP workers vs the single-process run")
 		daemon  = fs.String("daemon", "", "checkd daemon address for the client verbs (-submit, -status, -result, -cancel, -jobs)")
 		submit  = fs.Bool("submit", false, "submit the job described by the protocol flags to -daemon and print its id")
+		prio    = fs.Int("priority", 0, "fair-share priority for -submit: 1 (lowest) to 9 (highest), 0 = default (5)")
 		status  = fs.String("status", "", "print this job id's state on -daemon")
 		result  = fs.String("result", "", "fetch and render this job id's report from -daemon")
 		cancelJ = fs.String("cancel", "", "cancel this job id on -daemon")
@@ -128,6 +129,7 @@ func run(args []string, out io.Writer) error {
 		MaxViolations: *maxViol,
 		Serve:         *serve,
 		Connect:       *connect,
+		Priority:      *prio,
 		Interrupted:   func() bool { return ctx.Err() != nil },
 	}
 

@@ -48,9 +48,18 @@ func (b Backoff) delay(attempt int, rnd *sched.Random) time.Duration {
 	return half + time.Duration(rnd.IntN(int(half)+1))
 }
 
-// DialRetry dials with backoff until a connection lands, the attempt budget
-// runs out (returning the last dial error), or ctx ends.
-func DialRetry(ctx context.Context, b Backoff, dial func() (net.Conn, error)) (net.Conn, error) {
+// Retry runs op under b's schedule until it reports done, the attempt budget
+// runs out, or ctx ends. op returns (done, err): done true stops retrying
+// and surfaces err verbatim (nil on success, or a terminal failure not worth
+// retrying); done false marks a transient failure — Retry backs off and
+// tries again, and the final exhausted-budget error wraps the last transient
+// one under the given operation name ("dist: <what> failed after N
+// attempts"). The backoff waits draw deterministic jitter from b.Seed, like
+// every other delay in the distributed stack.
+func Retry(ctx context.Context, b Backoff, what string, op func() (done bool, err error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	b = b.withDefaults()
 	rnd := sched.NewRandom(b.Seed)
 	var last error
@@ -61,19 +70,37 @@ func DialRetry(ctx context.Context, b Backoff, dial func() (net.Conn, error)) (n
 			case <-t.C:
 			case <-ctx.Done():
 				t.Stop()
-				return nil, ctx.Err()
+				return ctx.Err()
 			}
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return ctx.Err()
 		}
-		conn, err := dial()
-		if err == nil {
-			return conn, nil
+		done, err := op()
+		if done {
+			return err
 		}
 		last = err
 	}
-	return nil, fmt.Errorf("dist: dial failed after %d attempts: %w", b.Attempts, last)
+	return fmt.Errorf("dist: %s failed after %d attempts: %w", what, b.Attempts, last)
+}
+
+// DialRetry dials with backoff until a connection lands, the attempt budget
+// runs out (returning the last dial error), or ctx ends.
+func DialRetry(ctx context.Context, b Backoff, dial func() (net.Conn, error)) (net.Conn, error) {
+	var conn net.Conn
+	err := Retry(ctx, b, "dial", func() (bool, error) {
+		c, err := dial()
+		if err != nil {
+			return false, err
+		}
+		conn = c
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
 }
 
 // WorkerLoop keeps one worker registered with a fleet across connection

@@ -61,8 +61,12 @@ import (
 // silent close. Version 4 adds the ping/pong liveness envelopes the fleet's
 // failure detector rests on: a version-3 worker treats a ping as a protocol
 // error and drops the connection mid-search, so v3 peers get the same
-// explicit reject.
-const Version = 4
+// explicit reject. Version 5 adds Job.Priority (the daemon's fair-share
+// weight) and the Ack.Retryable admission-control classification: a
+// version-4 peer would silently drop the priority — dispatching at the wrong
+// share — and treat a retryable queue-full rejection as terminal, so v4
+// peers get the explicit reject too.
+const Version = 5
 
 // MaxFrame caps one frame's length (64 MiB): a corrupt or hostile length
 // prefix must not allocate unboundedly.
@@ -123,6 +127,12 @@ type Job struct {
 	ID       string `json:",omitempty"`
 	Protocol string
 	Params   protocol.Params
+	// Priority is the daemon's fair-share weight: 1 (lowest) through 9
+	// (highest); 0 means the default (5). Higher priorities dispatch first
+	// within a session and earn the session a proportionally larger share
+	// of freed slots under contention. Meaningless to workers — dispatch
+	// already happened by the time a job reaches one.
+	Priority int `json:",omitempty"`
 	Opts     trace.ExploreOpts
 }
 
@@ -181,10 +191,16 @@ type Submit struct {
 
 // Ack answers a submission: the assigned job id, or the structured
 // validation errors that rejected it (Err carries the aggregate rendering).
+// Retryable classifies a rejection: true marks a transient condition — the
+// admission queue is full, the daemon is shutting down — that the same
+// submission may clear after a backoff (Client.SubmitRetry automates this);
+// false marks a terminal one (validation, journal failure) where retrying
+// the identical job is pointless.
 type Ack struct {
-	ID     string                `json:",omitempty"`
-	Fields []protocol.FieldError `json:",omitempty"`
-	Err    string                `json:",omitempty"`
+	ID        string                `json:",omitempty"`
+	Fields    []protocol.FieldError `json:",omitempty"`
+	Err       string                `json:",omitempty"`
+	Retryable bool                  `json:",omitempty"`
 }
 
 // Ref names one job in a status/cancel/fetch request.
@@ -197,6 +213,8 @@ type JobInfo struct {
 	ID       string
 	Protocol string
 	Params   protocol.Params
+	// Priority is the job's fair-share weight (0 rendered for the default).
+	Priority int `json:",omitempty"`
 	// State is one of the jobd lifecycle states: "queued", "running",
 	// "done", "failed", "canceled", "interrupted".
 	State string

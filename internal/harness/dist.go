@@ -40,7 +40,7 @@ func CheckJob(opts Options) (wire.Job, error) {
 	if err != nil {
 		return wire.Job{}, err
 	}
-	return wire.Job{Protocol: pr.Name, Params: p, Opts: exploreOpts(opts)}, nil
+	return wire.Job{Protocol: pr.Name, Params: p, Priority: opts.Priority, Opts: exploreOpts(opts)}, nil
 }
 
 // ServeCheck runs Check as the distributed coordinator on ln (nil = listen

@@ -81,6 +81,11 @@ type Options struct {
 	Serve   string
 	Connect string
 
+	// Priority is the daemon's fair-share weight for a submitted job: 1
+	// (lowest) through 9 (highest), 0 = the default (5). Only the jobd
+	// submission path reads it; local verbs ignore it.
+	Priority int
+
 	// Interrupted, when non-nil, is polled between schedules by Check-style
 	// verbs; returning true stops the search, which then reports the partial
 	// results gathered so far alongside trace.ErrInterrupted (the cmds wire

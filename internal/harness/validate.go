@@ -36,6 +36,10 @@ func ValidateJob(job wire.Job) (wire.Job, error) {
 		}
 	}
 
+	if job.Priority < 0 || job.Priority > 9 {
+		ve.Add("priority", job.Priority, "fair-share priority must be 0 (default) or 1..9")
+	}
+
 	o := &job.Opts
 	if o.MaxDepth < 1 {
 		ve.Add("maxdepth", o.MaxDepth, "exploration depth must be at least 1")

@@ -78,6 +78,32 @@ func (cl *Client) Submit(job wire.Job) (*wire.Ack, error) {
 	return resp.Ack, nil
 }
 
+// SubmitRetry submits under a backoff policy, absorbing the daemon's
+// transient rejections: an ack with Err set and Retryable true (admission
+// queue full, daemon draining) is retried with jittered exponential delays;
+// terminal rejections (validation, journal failure) and transport errors
+// surface immediately. When the attempt budget runs out the last rejecting
+// ack is returned alongside the error so callers can still render its
+// structured fields.
+func (cl *Client) SubmitRetry(ctx context.Context, job wire.Job, b dist.Backoff) (*wire.Ack, error) {
+	var ack *wire.Ack
+	err := dist.Retry(ctx, b, "submit", func() (bool, error) {
+		a, err := cl.Submit(job)
+		if err != nil {
+			return true, err
+		}
+		ack = a
+		if a.Err != "" && a.Retryable {
+			return false, fmt.Errorf("jobd: %s", a.Err)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return ack, err
+	}
+	return ack, nil
+}
+
 // Status fetches one job's state.
 func (cl *Client) Status(id string) (*wire.JobInfo, error) {
 	resp, err := cl.roundTrip(&wire.Msg{Kind: wire.KindStatus, Ref: &wire.Ref{ID: id}}, wire.KindInfo)

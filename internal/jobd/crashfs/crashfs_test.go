@@ -1,0 +1,255 @@
+package crashfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, f File, s string) {
+	t.Helper()
+	if n, err := f.Write([]byte(s)); err != nil || n != len(s) {
+		t.Fatalf("write %q: n=%d err=%v", s, n, err)
+	}
+}
+
+func readAll(t *testing.T, m *Mem, name string) string {
+	t.Helper()
+	f, err := m.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// Unsynced writes are visible to a live reader but vanish at the power cut;
+// synced writes survive it.
+func TestMemSyncDurability(t *testing.T) {
+	m := NewMem()
+	f, err := m.Create("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "alpha\n")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "beta\n")
+	if got := readAll(t, m, "j"); got != "alpha\nbeta\n" {
+		t.Fatalf("live view = %q, want both lines", got)
+	}
+	m.PowerCut()
+	if got := readAll(t, m, "j"); got != "alpha\n" {
+		t.Fatalf("after power cut = %q, want only the synced line", got)
+	}
+	if got := string(m.Durable("j")); got != "alpha\n" {
+		t.Fatalf("Durable = %q, want %q", got, "alpha\n")
+	}
+}
+
+// A crash armed mid-Sync durably commits exactly the torn prefix — the one
+// mechanism that makes a torn-but-durable journal line.
+func TestMemTornSync(t *testing.T) {
+	m := NewMem()
+	f, err := m.Create("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "0123456789")
+	// The next mutating op after arming is the sync; tear 4 bytes of it.
+	m.CrashAfter(1, 4)
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn sync returned %v, want ErrCrashed", err)
+	}
+	m.PowerCut()
+	m.Disarm()
+	if got := string(m.Durable("j")); got != "0123" {
+		t.Fatalf("durable after torn sync = %q, want the 4-byte prefix", got)
+	}
+}
+
+// A crash mid-Write leaves only a volatile prefix: nothing survives the cut.
+func TestMemTornWrite(t *testing.T) {
+	m := NewMem()
+	f, err := m.Create("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CrashAfter(1, 3) // the next op is the write
+	if n, err := f.Write([]byte("abcdef")); !errors.Is(err, ErrCrashed) || n != 3 {
+		t.Fatalf("torn write: n=%d err=%v, want n=3 ErrCrashed", n, err)
+	}
+	m.PowerCut()
+	m.Disarm()
+	if got := string(m.Durable("j")); got != "" {
+		t.Fatalf("durable after torn unsynced write = %q, want empty", got)
+	}
+}
+
+// Rename is all-or-nothing: tear 0 never applies it, tear 1 applies it
+// durably — and renaming a never-synced file yields an empty durable target
+// (the classic rename-before-sync bug this model exists to catch).
+func TestMemRenameAtomicity(t *testing.T) {
+	for _, tear := range []int{0, 1} {
+		m := NewMem()
+		f, err := m.Create("tmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(t, f, "payload")
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		m.CrashAfter(1, tear) // the next op is the rename
+		if err := m.Rename("tmp", "final"); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("tear %d: rename returned %v, want ErrCrashed", tear, err)
+		}
+		m.PowerCut()
+		m.Disarm()
+		switch tear {
+		case 0:
+			if m.Durable("final") != nil {
+				t.Fatal("tear 0: rename applied despite crashing before it")
+			}
+			if got := string(m.Durable("tmp")); got != "payload" {
+				t.Fatalf("tear 0: tmp = %q, want intact source", got)
+			}
+		case 1:
+			if got := string(m.Durable("final")); got != "payload" {
+				t.Fatalf("tear 1: final = %q, want renamed content", got)
+			}
+			if m.Durable("tmp") != nil {
+				t.Fatal("tear 1: source survived its own rename")
+			}
+		}
+	}
+
+	// The bug-catching case: rename before sync → empty durable target.
+	m := NewMem()
+	f, err := m.Create("tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "never synced")
+	if err := m.Rename("tmp", "final"); err != nil {
+		t.Fatal(err)
+	}
+	m.PowerCut()
+	if got := string(m.Durable("final")); got != "" {
+		t.Fatalf("rename-before-sync left durable content %q, want empty", got)
+	}
+}
+
+// After the armed crash fires, every operation is dead until Disarm — the
+// process cannot keep mutating a machine that lost power.
+func TestMemDeadAfterCrash(t *testing.T) {
+	m := NewMem()
+	f, err := m.Create("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.CrashAfter(1, 0)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("armed write returned %v", err)
+	}
+	if _, err := m.Create("other"); !errors.Is(err, ErrCrashed) {
+		t.Fatal("Create survived the crash")
+	}
+	if _, err := m.Open("j"); !errors.Is(err, ErrCrashed) {
+		t.Fatal("Open survived the crash")
+	}
+	if err := m.Rename("j", "k"); !errors.Is(err, ErrCrashed) {
+		t.Fatal("Rename survived the crash")
+	}
+	m.Disarm()
+	if _, err := m.Open("j"); err != nil {
+		t.Fatalf("Disarm did not revive the fs: %v", err)
+	}
+}
+
+// The dry-run op schedule names every crash point a matrix test enumerates.
+func TestMemOpsSchedule(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("j")
+	f.Write([]byte("abc"))
+	f.Sync()
+	m.Rename("j", "k")
+	ops := m.Ops()
+	want := []Op{
+		{Kind: OpCreate, Name: "j", Units: 1},
+		{Kind: OpWrite, Name: "j", Units: 3},
+		{Kind: OpSync, Name: "j", Units: 3},
+		{Kind: OpRename, Name: "k", Units: 1},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("recorded %d ops, want %d: %+v", len(ops), len(want), ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+}
+
+// Missing files surface as fs.ErrNotExist so the loader's errors.Is check
+// works against both implementations.
+func TestNotExist(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Open("absent"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Mem.Open(absent) = %v, want fs.ErrNotExist", err)
+	}
+	if _, err := m.OpenAppend("absent"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Mem.OpenAppend(absent) = %v, want fs.ErrNotExist", err)
+	}
+	if _, err := OS.Open(filepath.Join(t.TempDir(), "absent")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("OS.Open(absent) does not unwrap to fs.ErrNotExist")
+	}
+}
+
+// The OS implementation is the os package verbatim: create, append, sync,
+// rename, read back.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := OS.MkdirAll(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "sub", "f")
+	f, err := OS.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "one\n")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OS.OpenAppend(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, a, "two\n")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q := filepath.Join(dir, "sub", "g")
+	if err := OS.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "one\ntwo\n" {
+		t.Fatalf("round trip read %q", b)
+	}
+}

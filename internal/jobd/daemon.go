@@ -10,6 +10,18 @@
 // graceful shutdown, and can grow or shrink a fleet of locally spawned
 // workers from lease throughput and queue depth.
 //
+// Robustness contracts:
+//
+//   - Acked implies durable: a submit ack carrying a job id is not sent until
+//     the record is fsynced — immediately under SyncEachPut, at the batch
+//     commit under SyncBatch (the ack is deferred, not the durability).
+//   - Bounded admission: at most MaxQueued jobs wait for a slot; past it,
+//     submissions get a deterministic rejection marked Retryable, which
+//     Client.SubmitRetry turns into jittered backoff. The journal therefore
+//     cannot grow without bound under a submit flood.
+//   - Fair-share dispatch: freed slots go to sessions by weighted fair share
+//     (see Queue.NextDispatch), so one flooding client cannot starve others.
+//
 // Determinism carries through unchanged: each job runs as its own fleet
 // session with private waves, mirrors and budget bases, so a job's merged
 // report is byte-identical to a single-process Check no matter how many jobs
@@ -21,10 +33,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"revisionist/internal/dist"
 	"revisionist/internal/dist/wire"
+	"revisionist/internal/jobd/crashfs"
 	"revisionist/internal/protocol"
 	"revisionist/internal/trace"
 )
@@ -35,8 +49,20 @@ type Config struct {
 	// dies with the process).
 	Dir string
 	// MaxActive bounds concurrently running jobs (default 2). Queued jobs
-	// beyond it wait their turn in admission order.
+	// beyond it wait their turn in fair-share order.
 	MaxActive int
+	// MaxQueued bounds jobs waiting for a slot (default 1024; negative =
+	// unbounded). A submission past the bound is rejected with a
+	// deterministic, Retryable-classified ack instead of being admitted —
+	// overload degrades to client backoff, not to an unbounded journal.
+	MaxQueued int
+	// Sync is the journal's durability discipline (zero value = fsync per
+	// Put). SyncBatch keeps acked-implies-durable by deferring submit acks
+	// to the group commit.
+	Sync SyncPolicy
+	// FS is the filesystem the journal writes through (nil = the real one).
+	// Crash-injection tests mount a crashfs.Mem here.
+	FS crashfs.FS
 	// Resolve builds exploration inputs from a wire job (required; typically
 	// harness.Resolve).
 	Resolve dist.Resolver
@@ -59,23 +85,39 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// defaultMaxQueued bounds the backlog when Config.MaxQueued is zero.
+const defaultMaxQueued = 1024
+
 // Daemon is the checking daemon. All queue and lifecycle state is owned by
 // the single Run goroutine; client handlers and session watchers inject
 // closures over the actions channel, mirroring the fleet's own loop
 // discipline.
 type Daemon struct {
-	cfg     Config
-	fleet   *dist.Fleet
-	queue   *Queue
-	scale   *ScalePolicy
-	actions chan func()
-	done    chan struct{}
+	cfg      Config
+	fleet    *dist.Fleet
+	queue    *Queue
+	scale    *ScalePolicy
+	actions  chan func()
+	done     chan struct{}
+	nextSess atomic.Int64
 
 	// loop-owned.
 	draining  bool
 	active    map[string]bool
 	spawned   []func()
 	prevStats dist.FleetStats
+	// pending are admitted submissions whose acks wait for the group commit;
+	// flushTimer/flushC bound how long they wait (SyncPolicy.BatchDelay).
+	pending    []pendingAck
+	flushTimer *time.Timer
+	flushC     <-chan time.Time
+}
+
+// pendingAck is one submission admitted under SyncBatch: the ack is filled
+// in, but done stays open until the record's batch is durably committed.
+type pendingAck struct {
+	ack  *wire.Ack
+	done chan struct{}
 }
 
 // New opens the queue (applying restart recovery) and builds the daemon.
@@ -84,7 +126,11 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Resolve == nil {
 		return nil, errors.New("jobd: Config.Resolve is required")
 	}
-	q, err := OpenQueue(cfg.Dir)
+	qopts := []QueueOption{WithSyncPolicy(cfg.Sync), WithQueueLog(cfg.Logf)}
+	if cfg.FS != nil {
+		qopts = append(qopts, WithFS(cfg.FS))
+	}
+	q, err := OpenQueue(cfg.Dir, qopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +160,17 @@ func (d *Daemon) logf(format string, args ...any) {
 	}
 }
 
+func (d *Daemon) maxQueued() int {
+	switch {
+	case d.cfg.MaxQueued > 0:
+		return d.cfg.MaxQueued
+	case d.cfg.MaxQueued < 0:
+		return 0 // unbounded
+	default:
+		return defaultMaxQueued
+	}
+}
+
 // Run is the daemon's main loop; it returns after a graceful shutdown. When
 // ctx is cancelled the daemon stops admitting and dispatching, interrupts the
 // fleet — every running session merges what it has into a partial report —
@@ -136,11 +193,13 @@ func (d *Daemon) Run(ctx context.Context) error {
 		case <-ctx.Done():
 			d.draining = true
 			d.logf("shutdown: draining %d running job(s)", len(d.active))
+			d.flushAcks() // settle submissions admitted but not yet committed
 			fcancel()
 			for len(d.active) > 0 {
 				fn := <-d.actions
 				fn()
 			}
+			d.flushAcks()
 			<-fleetDone
 			for _, stop := range d.spawned {
 				stop()
@@ -150,10 +209,58 @@ func (d *Daemon) Run(ctx context.Context) error {
 		case fn := <-d.actions:
 			fn()
 			d.fill()
+			d.afterAction()
+		case <-d.flushC:
+			d.flushTimer, d.flushC = nil, nil
+			d.flushAcks()
 		case <-tick:
 			d.autoscale()
 		}
 	}
+}
+
+// afterAction maintains the group commit after every loop action: settle
+// pending acks the moment their records are already durable (a compaction
+// syncs everything as a side effect), commit a full batch at once, and
+// otherwise make sure a timer bounds how long any dirty append — an ack or a
+// progress snapshot — stays volatile.
+func (d *Daemon) afterAction() {
+	if d.queue.Policy().Mode != SyncBatch {
+		return
+	}
+	p := d.queue.Policy()
+	if len(d.pending) > 0 && (d.queue.Dirty() == 0 || len(d.pending) >= p.BatchPuts) {
+		d.flushAcks()
+		return
+	}
+	if (d.queue.Dirty() > 0 || len(d.pending) > 0) && d.flushC == nil {
+		d.flushTimer = time.NewTimer(p.BatchDelay)
+		d.flushC = d.flushTimer.C
+	}
+}
+
+// flushAcks is the group commit: one fsync covers every pending submission,
+// then all their acks are released. A sync failure is terminal for the whole
+// batch — the records' durability cannot be promised, so no ids are handed
+// out.
+func (d *Daemon) flushAcks() {
+	if d.flushTimer != nil {
+		d.flushTimer.Stop()
+		d.flushTimer, d.flushC = nil, nil
+	}
+	err := d.queue.Flush()
+	if err != nil {
+		d.logf("journal: group commit failed: %v", err)
+	}
+	for _, p := range d.pending {
+		if err != nil {
+			p.ack.ID = ""
+			p.ack.Err = err.Error()
+			p.ack.Retryable = false
+		}
+		close(p.done)
+	}
+	d.pending = nil
 }
 
 // act injects fn into the loop; false means the daemon already stopped.
@@ -176,7 +283,8 @@ func (d *Daemon) call(fn func()) bool {
 	return true
 }
 
-// fill starts queued jobs while running slots are free.
+// fill starts queued jobs while running slots are free, in the queue's
+// weighted fair-share dispatch order.
 func (d *Daemon) fill() {
 	if d.draining {
 		return
@@ -186,7 +294,7 @@ func (d *Daemon) fill() {
 		maxActive = 2
 	}
 	for len(d.active) < maxActive {
-		rec := d.queue.NextQueued()
+		rec := d.queue.NextDispatch()
 		if rec == nil {
 			return
 		}
@@ -326,9 +434,21 @@ func (d *Daemon) autoscale() {
 // Stats snapshots the shared fleet.
 func (d *Daemon) Stats() dist.FleetStats { return d.fleet.Stats() }
 
-// Submit validates and queues one job, returning the ack a client gets: the
-// assigned id, or the structured field errors that rejected it.
+// Submit validates and queues one job as an anonymous session. See
+// SubmitFrom for the full contract.
 func (d *Daemon) Submit(job wire.Job) *wire.Ack {
+	return d.SubmitFrom("", job)
+}
+
+// SubmitFrom validates and queues one job on behalf of session sess,
+// returning the ack a client gets: the assigned id, or the errors that
+// rejected it. Ack.Retryable classifies rejections — queue-full and
+// shutting-down are transient (back off and resubmit); validation and
+// journal failures are terminal. The call does not return a job id until the
+// record is durable: under SyncBatch it blocks until the group commit that
+// covers the record, so an acked submission survives a power cut in every
+// sync mode but SyncNever.
+func (d *Daemon) SubmitFrom(sess string, job wire.Job) *wire.Ack {
 	if d.cfg.Validate != nil {
 		norm, err := d.cfg.Validate(job)
 		if err != nil {
@@ -343,24 +463,49 @@ func (d *Daemon) Submit(job wire.Job) *wire.Ack {
 	}
 	job.Opts.Interrupted = nil // local closures never cross into sessions
 	ack := &wire.Ack{}
-	ok := d.call(func() {
-		if d.draining {
-			ack.Err = "daemon is shutting down"
-			return
-		}
-		id := d.queue.NextID()
-		job.ID = id
-		if err := d.queue.Put(&Record{ID: id, Job: job, State: StateQueued}); err != nil {
-			ack.Err = err.Error()
-			return
-		}
-		ack.ID = id
-		d.logf("job %s: queued (%s %+v)", id, job.Protocol, job.Params)
-	})
-	if !ok {
+	committed := make(chan struct{})
+	if !d.act(func() { d.admit(sess, job, ack, committed) }) {
 		ack.Err = "daemon stopped"
+		ack.Retryable = true
+		return ack
 	}
+	// The loop settles every pending ack before it exits, so this cannot
+	// block past shutdown.
+	<-committed
 	return ack
+}
+
+// admit runs in the loop: bounded admission, journal append, and — under
+// SyncBatch — deferral of the ack to the group commit.
+func (d *Daemon) admit(sess string, job wire.Job, ack *wire.Ack, committed chan struct{}) {
+	if d.draining {
+		ack.Err = "daemon is shutting down"
+		ack.Retryable = true
+		close(committed)
+		return
+	}
+	if maxQ := d.maxQueued(); maxQ > 0 && d.queue.QueuedDepth() >= maxQ {
+		ack.Err = fmt.Sprintf("queue full: %d jobs queued (bound %d); retry later",
+			d.queue.QueuedDepth(), maxQ)
+		ack.Retryable = true
+		close(committed)
+		return
+	}
+	id := d.queue.NextID()
+	job.ID = id
+	if err := d.queue.Put(&Record{ID: id, Job: job, State: StateQueued, Session: sess}); err != nil {
+		ack.Err = err.Error() // journal failure: terminal, nothing to retry into
+		close(committed)
+		return
+	}
+	ack.ID = id
+	d.logf("job %s: queued (%s %+v)", id, job.Protocol, job.Params)
+	if d.queue.Policy().Mode == SyncBatch && d.queue.Dirty() > 0 {
+		// Durable only at the batch commit: hold the ack until then.
+		d.pending = append(d.pending, pendingAck{ack: ack, done: committed})
+		return
+	}
+	close(committed)
 }
 
 // Status returns one job's state.
@@ -478,8 +623,11 @@ func (d *Daemon) handle(conn net.Conn) {
 	}
 	defer conn.Close()
 	c.SetTimeouts(clientIdleTimeout, 0)
+	// Each client connection is one scheduling session: the fair-share
+	// dispatcher balances across these ids.
+	sess := fmt.Sprintf("s%03d", d.nextSess.Add(1))
 	for {
-		if err := d.serveClient(c, msg); err != nil {
+		if err := d.serveClient(sess, c, msg); err != nil {
 			return
 		}
 		if msg, err = c.Recv(); err != nil {
@@ -489,13 +637,13 @@ func (d *Daemon) handle(conn net.Conn) {
 }
 
 // serveClient answers one client request frame.
-func (d *Daemon) serveClient(c *wire.Conn, msg *wire.Msg) error {
+func (d *Daemon) serveClient(sess string, c *wire.Conn, msg *wire.Msg) error {
 	switch msg.Kind {
 	case wire.KindSubmit:
 		if msg.Submit == nil {
 			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: "empty submit"}})
 		}
-		return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: d.Submit(msg.Submit.Job)})
+		return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: d.SubmitFrom(sess, msg.Submit.Job)})
 	case wire.KindStatus:
 		if msg.Ref == nil {
 			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: "status needs a job id"}})

@@ -2,15 +2,20 @@ package jobd
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io"
+	"io/fs"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"revisionist/internal/dist"
 	"revisionist/internal/dist/wire"
+	"revisionist/internal/jobd/crashfs"
 )
 
 // JobState is one job's lifecycle position.
@@ -40,13 +45,17 @@ const (
 // position, and — once finished — its report and witness. Records are the
 // journal's line format and the source of every API response.
 type Record struct {
-	ID        string
-	Job       wire.Job
-	State     JobState
-	Err       string        `json:",omitempty"`
-	Report    *wire.Report  `json:",omitempty"`
-	Witness   *wire.Witness `json:",omitempty"`
-	Resumable bool          `json:",omitempty"`
+	ID      string
+	Job     wire.Job
+	State   JobState
+	// Session names the client session that submitted the job; the
+	// fair-share dispatcher balances across sessions, so one flooding
+	// client cannot starve the others.
+	Session string        `json:",omitempty"`
+	Err     string        `json:",omitempty"`
+	Report  *wire.Report  `json:",omitempty"`
+	Witness *wire.Witness `json:",omitempty"`
+	Resumable bool        `json:",omitempty"`
 	// Progress is the session's completed-outcome snapshot, journaled at
 	// each wave barrier while the job runs and kept on interrupt: recovery
 	// hands it to dist.Resume so a restart re-leases only the unfinished
@@ -60,6 +69,7 @@ func (r *Record) Info() wire.JobInfo {
 		ID:        r.ID,
 		Protocol:  r.Job.Protocol,
 		Params:    r.Job.Params,
+		Priority:  r.Job.Priority,
 		State:     string(r.State),
 		Err:       r.Err,
 		Resumable: r.Resumable,
@@ -71,21 +81,100 @@ func (r *Record) Info() wire.JobInfo {
 	return info
 }
 
+// SyncMode selects when journal appends are fsynced.
+type SyncMode int
+
+const (
+	// SyncEachPut fsyncs before Put returns: an acknowledged Put is durable.
+	// The safest and slowest mode, the default.
+	SyncEachPut SyncMode = iota
+	// SyncBatch group-commits: Put appends without syncing and the owner
+	// flushes when BatchPuts accumulate or BatchDelay elapses. Callers that
+	// promise acked-implies-durable (the daemon does) must defer their acks
+	// until Flush returns — the contract survives, amortized over the batch.
+	SyncBatch
+	// SyncNever leaves durability to the OS page cache: a power failure can
+	// lose any unflushed suffix. For throwaway deployments only.
+	SyncNever
+)
+
+// String renders the mode as the checkd -sync flag spells it.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncBatch:
+		return "batch"
+	case SyncNever:
+		return "none"
+	default:
+		return "put"
+	}
+}
+
+// ParseSyncMode parses the checkd -sync flag.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "put":
+		return SyncEachPut, nil
+	case "batch":
+		return SyncBatch, nil
+	case "none":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("jobd: unknown sync mode %q (want put, batch, or none)", s)
+}
+
+// SyncPolicy is the journal's durability discipline.
+type SyncPolicy struct {
+	Mode SyncMode
+	// BatchPuts and BatchDelay bound one group commit in SyncBatch mode: a
+	// batch flushes when this many puts accumulate or this much time passes
+	// since the first unflushed one (defaults 64 puts, 5ms).
+	BatchPuts  int
+	BatchDelay time.Duration
+}
+
+func (p SyncPolicy) withDefaults() SyncPolicy {
+	if p.BatchPuts <= 0 {
+		p.BatchPuts = 64
+	}
+	if p.BatchDelay <= 0 {
+		p.BatchDelay = 5 * time.Millisecond
+	}
+	return p
+}
+
 // Queue is the daemon's durable job queue: an in-memory table journaled to
 // one JSON-lines file (dir == "" keeps it memory-only). Every Put appends the
 // record's full new state, so the journal is an upsert log — last line per id
 // wins — and replaying it reconstructs the queue exactly. Opening compacts
 // the journal and applies restart recovery: running jobs (the daemon died
-// mid-search) and resumable interrupted jobs are re-queued, to be re-leased
-// from scratch. The queue is not concurrency-safe; the daemon loop owns it.
+// mid-search) and resumable interrupted jobs are re-queued. The queue is not
+// concurrency-safe; the daemon loop owns it.
+//
+// Dispatch is not FIFO: queued records are indexed per client session with
+// per-job priorities, and NextDispatch picks by weighted fair share (stride
+// scheduling) so one flooding session cannot starve the rest. The index is
+// maintained incrementally on Put, so a dispatch tick is O(sessions), not
+// O(backlog).
 type Queue struct {
-	path string
-	f    *os.File
+	fs     crashfs.FS
+	path   string
+	f      crashfs.File
+	logf   func(format string, args ...any)
+	policy SyncPolicy
+	// ioerr latches a lost journal (the reopen after a compaction rename
+	// failed): every later Put fails loudly instead of silently degrading
+	// the queue to memory-only.
+	ioerr error
+
 	recs map[string]*Record
-	// order is admission order: ids in first-seen journal order, the FIFO
-	// dispatch and listing order.
+	// order is admission order: ids in first-seen journal order, the listing
+	// order.
 	order []string
 	next  int
+
+	// dirty counts journal appends since the last fsync; Flush clears it.
+	dirty int
 
 	// CompactAt is the online-compaction threshold in bytes (default 1 MiB;
 	// <= 0 only at callers that build a Queue without OpenQueue). The journal
@@ -95,10 +184,58 @@ type Queue struct {
 	// the appended bytes exceed the last compaction's size (so a genuinely
 	// large live set does not trigger a rewrite per append).
 	CompactAt int64
+	// MaxLine caps one journal line during load (default wire.MaxFrame): an
+	// oversized line — corruption, or a snapshot from a bigger build — is
+	// skipped with a diagnostic instead of failing the whole open.
+	MaxLine int
+	// LoadSkipped counts journal lines the last load discarded (torn tails,
+	// garbage, oversized) — surfaced so operators see corruption was
+	// tolerated, not missed.
+	LoadSkipped int
 	// base is the journal size right after the last compaction; appended
 	// counts bytes written since.
 	base     int64
 	appended int64
+
+	// Dispatch index, maintained on Put: per-session priority buckets plus
+	// stride-scheduling passes. inQ marks ids live in some bucket; removal
+	// is lazy (dequeued or cancelled entries are peeled when their bucket
+	// head is next inspected), so every mutation is O(1) amortized.
+	sess      map[string]*sessionQueue
+	sessOrder []string
+	inQ       map[string]bool
+	queuedN   int
+}
+
+// sessionQueue is one client session's share of the dispatch queue.
+type sessionQueue struct {
+	// buckets[p] holds queued ids of priority p in admission order; higher
+	// priorities dispatch first within the session.
+	buckets [prioMax + 1][]string
+	n       int    // live (non-lazily-removed) entries across all buckets
+	pass    uint64 // stride-scheduling virtual time
+}
+
+// Priorities are small integers: 1 (lowest share) through 9 (highest);
+// 0 on the wire means prioDefault. The weight of a dispatch is the job's
+// priority, so a priority-9 session receives 9× the dispatch share of a
+// priority-1 one under contention.
+const (
+	prioMin     = 1
+	prioMax     = 9
+	prioDefault = 5
+	// strideOne is the pass increment of a weight-1 dispatch; LCM(1..9), so
+	// every weight divides it exactly and shares are integer-precise.
+	strideOne = 2520
+)
+
+// dispatchPriority resolves a job's effective priority.
+func dispatchPriority(job *wire.Job) int {
+	p := job.Priority
+	if p == 0 {
+		return prioDefault
+	}
+	return min(max(p, prioMin), prioMax)
 }
 
 // journalName is the queue's file inside its directory.
@@ -108,14 +245,54 @@ const journalName = "jobs.jsonl"
 // between rewrites.
 const defaultCompactAt = 1 << 20
 
+// QueueOption configures OpenQueue.
+type QueueOption func(*Queue)
+
+// WithFS journals through an alternate filesystem — the crash-matrix tests
+// inject crashfs.Mem here. Default crashfs.OS.
+func WithFS(fs crashfs.FS) QueueOption { return func(q *Queue) { q.fs = fs } }
+
+// WithQueueLog receives load diagnostics (skipped journal lines).
+func WithQueueLog(logf func(format string, args ...any)) QueueOption {
+	return func(q *Queue) { q.logf = logf }
+}
+
+// WithSyncPolicy selects the journal's durability discipline (default
+// SyncEachPut).
+func WithSyncPolicy(p SyncPolicy) QueueOption {
+	return func(q *Queue) { q.policy = p.withDefaults() }
+}
+
+// WithMaxLine overrides the load-time line cap (default wire.MaxFrame);
+// tests shrink it to exercise oversized-line skipping without 64 MiB files.
+func WithMaxLine(n int) QueueOption {
+	return func(q *Queue) {
+		if n > 0 {
+			q.MaxLine = n
+		}
+	}
+}
+
 // OpenQueue opens (or creates) the queue journaled under dir; dir == ""
 // builds a memory-only queue that forgets everything on exit.
-func OpenQueue(dir string) (*Queue, error) {
-	q := &Queue{recs: map[string]*Record{}, next: 1, CompactAt: defaultCompactAt}
+func OpenQueue(dir string, opts ...QueueOption) (*Queue, error) {
+	q := &Queue{
+		fs:        crashfs.OS,
+		recs:      map[string]*Record{},
+		next:      1,
+		CompactAt: defaultCompactAt,
+		MaxLine:   wire.MaxFrame,
+		policy:    SyncPolicy{}.withDefaults(),
+		sess:      map[string]*sessionQueue{},
+		inQ:       map[string]bool{},
+	}
+	for _, o := range opts {
+		o(q)
+	}
 	if dir == "" {
 		return q, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := q.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("jobd: queue dir: %w", err)
 	}
 	q.path = filepath.Join(dir, journalName)
@@ -126,34 +303,57 @@ func OpenQueue(dir string) (*Queue, error) {
 	if err := q.compact(); err != nil {
 		return nil, err
 	}
+	// Rebuild the dispatch index from the recovered live set.
+	for _, id := range q.order {
+		q.track(q.recs[id])
+	}
 	return q, nil
 }
 
-// load replays the journal, last record per id winning.
+func (q *Queue) logln(format string, args ...any) {
+	if q.logf != nil {
+		q.logf(format, args...)
+	}
+}
+
+// load replays the journal, last record per id winning. The loader is
+// deliberately forgiving: a torn final line (crash mid-append), an undecodable
+// line (bit rot), or a line beyond MaxLine (a giant snapshot from a foreign
+// build) is skipped with a diagnostic — the compaction that follows drops the
+// debris — so no journal state can brick a daemon start.
 func (q *Queue) load() error {
-	f, err := os.Open(q.path)
-	if os.IsNotExist(err) {
+	f, err := q.fs.Open(q.path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("jobd: open journal: %w", err)
 	}
 	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), wire.MaxFrame)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	q.LoadSkipped = 0
+	r := bufio.NewReaderSize(f, 64<<10)
+	var line []byte
+	lineNo, overLen := 0, 0
+	flush := func(torn bool) {
+		lineNo++
+		if overLen > 0 {
+			q.LoadSkipped++
+			q.logln("journal line %d: %d bytes exceeds the %d-byte cap, skipped", lineNo, overLen, q.MaxLine)
+			return
+		}
+		text := bytes.TrimSpace(line)
+		if len(text) == 0 {
+			return
 		}
 		rec := &Record{}
-		if err := json.Unmarshal([]byte(line), rec); err != nil {
-			// A torn final line (crash mid-append) is expected; anything the
-			// decoder rejects is skipped, the compaction below drops it.
-			continue
-		}
-		if rec.ID == "" {
-			continue
+		if err := json.Unmarshal(text, rec); err != nil || rec.ID == "" {
+			q.LoadSkipped++
+			if torn {
+				q.logln("journal line %d: torn final line (%d bytes), skipped", lineNo, len(text))
+			} else {
+				q.logln("journal line %d: undecodable (%d bytes), skipped", lineNo, len(text))
+			}
+			return
 		}
 		if _, seen := q.recs[rec.ID]; !seen {
 			q.order = append(q.order, rec.ID)
@@ -163,7 +363,31 @@ func (q *Queue) load() error {
 			q.next = n + 1
 		}
 	}
-	return sc.Err()
+	for {
+		chunk, rerr := r.ReadSlice('\n')
+		if len(chunk) > 0 {
+			if overLen > 0 || len(line)+len(chunk) > q.MaxLine {
+				overLen += len(line) + len(chunk)
+				line = nil
+			} else {
+				line = append(line, chunk...)
+			}
+		}
+		switch {
+		case rerr == nil:
+			flush(false)
+			line, overLen = line[:0], 0
+		case errors.Is(rerr, bufio.ErrBufferFull):
+			// Line continues past the reader buffer; keep accumulating.
+		case rerr == io.EOF:
+			if len(line) > 0 || overLen > 0 {
+				flush(true)
+			}
+			return nil
+		default:
+			return fmt.Errorf("jobd: read journal: %w", rerr)
+		}
+	}
 }
 
 // recover applies the restart rules: a job that was running when the daemon
@@ -186,17 +410,21 @@ func (q *Queue) recover() {
 
 // compact rewrites the journal to one line per live record and leaves it
 // open for appending. Runs at open and again online whenever Put crosses the
-// size threshold; the tmp+rename dance keeps a crash at any point recoverable
-// (either the old upsert log or the complete new snapshot survives).
+// size threshold. The tmp file is fully written, synced, and closed before
+// the rename, and the old journal (and its open handle) stay untouched until
+// the swap succeeds — a failure anywhere leaves the queue exactly as durable
+// as before, never silently memory-only.
 func (q *Queue) compact() error {
+	if q.path == "" {
+		return nil
+	}
+	if q.ioerr != nil {
+		return q.ioerr
+	}
 	tmp := q.path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := q.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("jobd: compact journal: %w", err)
-	}
-	if q.f != nil {
-		q.f.Close()
-		q.f = nil
 	}
 	var size int64
 	for _, id := range q.order {
@@ -209,24 +437,40 @@ func (q *Queue) compact() error {
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, q.path); err != nil {
 		return fmt.Errorf("jobd: compact journal: %w", err)
 	}
-	q.f, err = os.OpenFile(q.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("jobd: reopen journal: %w", err)
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobd: compact journal: %w", err)
 	}
+	if err := q.fs.Rename(tmp, q.path); err != nil {
+		// The old journal is still in place and q.f still appends to it.
+		return fmt.Errorf("jobd: compact journal: %w", err)
+	}
+	// Point of no return: the compacted journal is live. The old handle (if
+	// any) points at the unlinked file; swap it for a fresh append handle.
+	old := q.f
+	nf, err := q.fs.OpenAppend(q.path)
+	if err != nil {
+		// The compacted journal is durable on disk but we cannot append to
+		// it: latch the error so every later Put fails loudly.
+		q.f = nil
+		q.ioerr = fmt.Errorf("jobd: journal unappendable after compaction: %w", err)
+		if old != nil {
+			old.Close()
+		}
+		return q.ioerr
+	}
+	if old != nil {
+		old.Close()
+	}
+	q.f = nf
 	q.base = size
 	q.appended = 0
+	q.dirty = 0 // the compacted snapshot was synced: nothing is pending
 	return nil
 }
 
-func writeRecord(f *os.File, rec *Record) (int, error) {
+func writeRecord(f crashfs.File, rec *Record) (int, error) {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return 0, fmt.Errorf("jobd: encode record %s: %w", rec.ID, err)
@@ -245,56 +489,186 @@ func (q *Queue) NextID() string {
 	return id
 }
 
-// Put upserts a record and journals its new state durably (synced before
-// returning, so an acknowledged submission survives a crash). When the
-// journal outgrows CompactAt it is compacted in place — the online half of
-// ROADMAP's journal-growth item: a long-lived daemon's journal stays bounded
-// by max(CompactAt, live set) plus one compaction's worth of appends.
+// Put upserts a record and journals its new state. Under SyncEachPut (the
+// default) the append is fsynced before Put returns, so an acknowledged
+// submission survives a crash; under SyncBatch the owner flushes batches and
+// defers its acks accordingly. When the journal outgrows CompactAt it is
+// compacted in place — a long-lived daemon's journal stays bounded by
+// max(CompactAt, live set) plus one compaction's worth of appends.
 func (q *Queue) Put(rec *Record) error {
 	if _, seen := q.recs[rec.ID]; !seen {
 		q.order = append(q.order, rec.ID)
 	}
 	q.recs[rec.ID] = rec
-	if q.f == nil {
+	q.track(rec)
+	if q.path == "" {
 		return nil
+	}
+	if q.ioerr != nil {
+		return q.ioerr
 	}
 	n, err := writeRecord(q.f, rec)
 	if err != nil {
 		return err
 	}
-	if err := q.f.Sync(); err != nil {
-		return err
-	}
 	q.appended += int64(n)
+	q.dirty++
+	if q.policy.Mode == SyncEachPut {
+		if err := q.Flush(); err != nil {
+			return err
+		}
+	}
 	if q.CompactAt > 0 && q.base+q.appended > q.CompactAt && q.appended > q.base {
-		return q.compact()
+		if err := q.compact(); err != nil {
+			if q.ioerr != nil {
+				return q.ioerr // journal lost: nothing further can be promised
+			}
+			// The record itself is already appended (and, under SyncEachPut,
+			// synced) to the still-intact old journal — this Put's durability
+			// holds. The rewrite retries at the next threshold crossing.
+			q.logln("journal compaction failed (will retry): %v", err)
+		}
 	}
 	return nil
+}
+
+// Flush fsyncs pending appends; after a nil return every earlier Put is
+// durable. The group-commit point of SyncBatch mode.
+func (q *Queue) Flush() error {
+	if q.ioerr != nil {
+		return q.ioerr
+	}
+	if q.f == nil || q.dirty == 0 {
+		return nil
+	}
+	if err := q.f.Sync(); err != nil {
+		return fmt.Errorf("jobd: journal sync: %w", err)
+	}
+	q.dirty = 0
+	return nil
+}
+
+// Dirty counts journal appends not yet fsynced.
+func (q *Queue) Dirty() int { return q.dirty }
+
+// Policy returns the journal's sync policy.
+func (q *Queue) Policy() SyncPolicy { return q.policy }
+
+// track reconciles the dispatch index with rec's current state.
+func (q *Queue) track(rec *Record) {
+	queued := rec.State == StateQueued
+	switch {
+	case queued && !q.inQ[rec.ID]:
+		q.enqueue(rec)
+	case !queued && q.inQ[rec.ID]:
+		// Lazy removal: the bucket entry is peeled when next inspected.
+		delete(q.inQ, rec.ID)
+		q.queuedN--
+		if sq := q.sess[rec.Session]; sq != nil {
+			sq.n--
+		}
+	}
+}
+
+// enqueue indexes one newly queued record for dispatch.
+func (q *Queue) enqueue(rec *Record) {
+	sq := q.sess[rec.Session]
+	if sq == nil {
+		sq = &sessionQueue{}
+		q.sess[rec.Session] = sq
+		q.sessOrder = append(q.sessOrder, rec.Session)
+	}
+	if sq.n == 0 {
+		// A session (re)entering contention joins at the current virtual
+		// time: idle time is not banked, so a returning session cannot burst
+		// ahead of sessions that kept the fleet busy.
+		if vt, ok := q.minActivePass(); ok && sq.pass < vt {
+			sq.pass = vt
+		}
+	}
+	p := dispatchPriority(&rec.Job)
+	sq.buckets[p] = append(sq.buckets[p], rec.ID)
+	sq.n++
+	q.inQ[rec.ID] = true
+	q.queuedN++
+}
+
+// minActivePass is the least pass among sessions with queued work.
+func (q *Queue) minActivePass() (uint64, bool) {
+	var vt uint64
+	found := false
+	for _, s := range q.sessOrder {
+		sq := q.sess[s]
+		if sq.n == 0 {
+			continue
+		}
+		if !found || sq.pass < vt {
+			vt, found = sq.pass, true
+		}
+	}
+	return vt, found
+}
+
+// head peels lazily-removed entries and returns the session's best queued id
+// (highest priority, admission order within it), or "".
+func (sq *sessionQueue) head(inQ map[string]bool) (string, int) {
+	for p := prioMax; p >= prioMin; p-- {
+		b := sq.buckets[p]
+		for len(b) > 0 && !inQ[b[0]] {
+			b = b[1:]
+		}
+		sq.buckets[p] = b
+		if len(b) > 0 {
+			return b[0], p
+		}
+	}
+	return "", 0
+}
+
+// NextDispatch removes and returns the next record to start, or nil when
+// nothing is queued. Selection is weighted fair share across sessions by
+// stride scheduling: the session with the least virtual time dispatches
+// (ties break in session-arrival order), its best job — highest priority
+// first, FIFO within a priority — goes out, and its virtual time advances by
+// strideOne/priority, so over a contended stretch each session's dispatch
+// share is proportional to the priorities it runs. A single session degrades
+// to plain priority-then-FIFO, the old behavior.
+func (q *Queue) NextDispatch() *Record {
+	if q.queuedN == 0 {
+		return nil
+	}
+	var best *sessionQueue
+	for _, s := range q.sessOrder {
+		sq := q.sess[s]
+		if sq.n == 0 {
+			continue
+		}
+		if best == nil || sq.pass < best.pass {
+			best = sq
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	id, p := best.head(q.inQ)
+	if id == "" {
+		return nil
+	}
+	best.buckets[p] = best.buckets[p][1:]
+	best.n--
+	best.pass += strideOne / uint64(p)
+	delete(q.inQ, id)
+	q.queuedN--
+	return q.recs[id]
 }
 
 // Get returns the record for id, or nil.
 func (q *Queue) Get(id string) *Record { return q.recs[id] }
 
-// NextQueued returns the oldest queued record, or nil.
-func (q *Queue) NextQueued() *Record {
-	for _, id := range q.order {
-		if rec := q.recs[id]; rec.State == StateQueued {
-			return rec
-		}
-	}
-	return nil
-}
-
-// QueuedDepth counts jobs waiting for a running slot.
-func (q *Queue) QueuedDepth() int {
-	n := 0
-	for _, id := range q.order {
-		if q.recs[id].State == StateQueued {
-			n++
-		}
-	}
-	return n
-}
+// QueuedDepth counts jobs waiting for a running slot. O(1): the dispatch
+// index maintains it, so admission checks against MaxQueued do not scan the
+// backlog they are bounding.
+func (q *Queue) QueuedDepth() int { return q.queuedN }
 
 // List renders every record in admission order.
 func (q *Queue) List() []wire.JobInfo {
@@ -305,12 +679,16 @@ func (q *Queue) List() []wire.JobInfo {
 	return out
 }
 
-// Close closes the journal.
+// Close flushes pending appends and closes the journal.
 func (q *Queue) Close() error {
 	if q.f == nil {
 		return nil
 	}
+	ferr := q.Flush()
 	err := q.f.Close()
 	q.f = nil
+	if ferr != nil {
+		return ferr
+	}
 	return err
 }

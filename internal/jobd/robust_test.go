@@ -1,0 +1,162 @@
+// Robustness tests for the daemon's admission and durability contracts:
+// bounded-queue overload rejection (deterministic, marked retryable, cleared
+// by cancellation), SubmitRetry riding out a transient full queue, validation
+// staying terminal, and group commit never acking a submission before its
+// journal record is durable (checked against crashfs.Mem's durable bytes,
+// not the live file).
+package jobd_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"revisionist/internal/dist"
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/jobd"
+	"revisionist/internal/jobd/crashfs"
+	"revisionist/internal/protocol"
+	"revisionist/internal/trace"
+)
+
+func ksetJob() wire.Job {
+	return wire.Job{Protocol: "kset", Params: protocol.Params{N: 4, K: 3},
+		Opts: trace.ExploreOpts{MaxDepth: 12, MaxViolations: 3, Prune: true}}
+}
+
+// With no workers attached, one job runs (idle, waiting for a fleet) and
+// MaxQueued=2 bounds the backlog behind it: the fourth submission must be
+// rejected — retryably, with the bound in the message — while the queue's
+// contents stay intact; canceling a job frees a slot.
+func TestDaemonOverloadRejectsRetryably(t *testing.T) {
+	td := startDaemon(t, jobd.Config{Dir: t.TempDir(), MaxActive: 1, MaxQueued: 2})
+	defer td.shutdown(t)
+	cl, err := jobd.Dial(td.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// First fills the single active slot; the next two fill the queue.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ack, err := cl.Submit(ksetJob())
+		if err != nil || ack.Err != "" {
+			t.Fatalf("submit %d within bound: ack=%+v err=%v", i, ack, err)
+		}
+		ids = append(ids, ack.ID)
+	}
+	// Overload is deterministic: every submission over the bound is rejected
+	// the same way, and none of them leaks into the queue.
+	for i := 0; i < 3; i++ {
+		ack, err := cl.Submit(ksetJob())
+		if err != nil {
+			t.Fatalf("overloaded submit %d: transport error %v", i, err)
+		}
+		if ack.Err == "" || !ack.Retryable {
+			t.Fatalf("overloaded submit %d: ack=%+v, want retryable rejection", i, ack)
+		}
+		if !strings.Contains(ack.Err, "queue full") || !strings.Contains(ack.Err, "bound 2") {
+			t.Fatalf("rejection message %q does not name the condition and bound", ack.Err)
+		}
+		if ack.ID != "" {
+			t.Fatalf("rejected submission got id %q", ack.ID)
+		}
+	}
+	jobs, err := cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("after overload, List has %d jobs, want the 3 admitted", len(jobs))
+	}
+
+	// Canceling the running job promotes a queued one, freeing a slot.
+	if err := cl.Cancel(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := cl.Submit(ksetJob())
+	if err != nil || ack.Err != "" {
+		t.Fatalf("submit after cancel: ack=%+v err=%v", ack, err)
+	}
+
+	// Validation failures stay terminal — never marked retryable.
+	bad, err := cl.Submit(wire.Job{Protocol: "kset", Params: protocol.Params{N: 4, K: 3}, Priority: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Err == "" || bad.Retryable {
+		t.Fatalf("invalid job ack=%+v, want terminal rejection", bad)
+	}
+}
+
+// SubmitRetry absorbs a transiently full queue: the first attempts are
+// rejected, a slot opens mid-backoff, and the call returns a clean ack.
+func TestSubmitRetryRidesOutOverload(t *testing.T) {
+	td := startDaemon(t, jobd.Config{Dir: t.TempDir(), MaxActive: 1, MaxQueued: 1})
+	defer td.shutdown(t)
+	cl, err := jobd.Dial(td.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// First occupies the active slot; second fills the one-deep queue.
+	first, err := cl.Submit(ksetJob())
+	if err != nil || first.Err != "" {
+		t.Fatalf("filling submit: ack=%+v err=%v", first, err)
+	}
+	if ack, err := cl.Submit(ksetJob()); err != nil || ack.Err != "" {
+		t.Fatalf("queued submit: ack=%+v err=%v", ack, err)
+	}
+	// A plain Submit is rejected while the queue is full.
+	if ack, err := cl.Submit(ksetJob()); err != nil || !ack.Retryable {
+		t.Fatalf("pre-check: ack=%+v err=%v, want retryable rejection", ack, err)
+	}
+
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cl2, err := jobd.Dial(td.addr)
+		if err != nil {
+			return
+		}
+		defer cl2.Close()
+		cl2.Cancel(first.ID)
+	}()
+	ack, err := cl.SubmitRetry(context.Background(), ksetJob(),
+		dist.Backoff{Base: 25 * time.Millisecond, Attempts: 30})
+	if err != nil {
+		t.Fatalf("SubmitRetry did not ride out the overload: %v (ack %+v)", err, ack)
+	}
+	if ack == nil || ack.ID == "" {
+		t.Fatalf("SubmitRetry succeeded without an id: %+v", ack)
+	}
+}
+
+// Group commit defers the ack, not the guarantee: the moment Submit returns
+// an acked id under SyncBatch, the record must already be in the journal's
+// DURABLE bytes — the ones that survive a power cut — not merely written.
+func TestDaemonGroupCommitAckImpliesDurable(t *testing.T) {
+	m := crashfs.NewMem()
+	td := startDaemon(t, jobd.Config{
+		Dir: "q", FS: m,
+		Sync: jobd.SyncPolicy{Mode: jobd.SyncBatch, BatchPuts: 64, BatchDelay: 2 * time.Millisecond},
+	})
+	defer td.shutdown(t)
+	cl, err := jobd.Dial(td.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 8; i++ {
+		ack, err := cl.Submit(ksetJob())
+		if err != nil || ack.Err != "" {
+			t.Fatalf("submit %d: ack=%+v err=%v", i, ack, err)
+		}
+		if !strings.Contains(string(m.Durable("q/jobs.jsonl")), `"`+ack.ID+`"`) {
+			t.Fatalf("submit %d acked id %s before its record was durable", i, ack.ID)
+		}
+	}
+}
