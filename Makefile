@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE ?= $(shell date +%Y-%m-%d)
 BENCH_OUT  ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke jobd-smoke chaos-smoke crash-smoke
+.PHONY: all vet build test race bench bench-smoke ci protocols dist-smoke jobd-smoke chaos-smoke crash-smoke obs-smoke
 
 all: ci
 
@@ -59,6 +59,14 @@ jobd-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/checkd -smoke -chaos 1
 	$(GO) run ./cmd/checkd -smoke -chaos 20260808
+
+# Observability smoke: the jobd scenario with the full flight recorder on —
+# live registry, journal on disk, instrumented workers, admin HTTP listener.
+# One real job end to end, then every endpoint must answer, every required
+# metric series must be present, the per-job trace must span the lifecycle,
+# and the instrumented report must stay byte-identical to the plain run.
+obs-smoke:
+	$(GO) run ./cmd/checkd -smoke -admin 127.0.0.1:0
 
 # Crash-consistency smoke: the exhaustive power-fail matrix (every
 # filesystem op × every meaningful tear, two seeds, both sync policies)

@@ -19,6 +19,7 @@ import (
 	"revisionist/internal/core"
 	"revisionist/internal/harness"
 	"revisionist/internal/nst"
+	"revisionist/internal/obs"
 	"revisionist/internal/proto"
 	"revisionist/internal/protocol"
 	"revisionist/internal/sched"
@@ -673,6 +674,60 @@ func BenchmarkSimulationSubstrateAblation(b *testing.B) {
 			b.ReportMetric(float64(steps)/float64(b.N), "H-steps/run")
 		})
 	}
+}
+
+// BenchmarkExploreObs is the observability ablation: the same exhaustive
+// exploration with the search core's counters off (a nil SearchObs — every
+// increment is a nil-receiver no-op, the disabled mode everywhere) and on (a
+// live SearchObs over a registry, the mode `checkd -admin` and -progress
+// run in). The report is byte-identical either way (TestCheckObsInvariant);
+// this prices the side channel. The "overhead" sub-benchmark reports the
+// on-over-off wall-clock ratio directly; the budget is < 2% (1.0x-1.02x).
+func BenchmarkExploreObs(b *testing.B) {
+	base := harness.Options{
+		Protocol: "firstvalue",
+		Params:   protocol.Params{N: 4},
+		MaxDepth: 20,
+		MaxRuns:  2_000_000,
+		Prune:    true,
+		Symmetry: true,
+	}
+	explore := func(b *testing.B, m *trace.SearchObs) {
+		b.Helper()
+		runs := 0
+		for i := 0; i < b.N; i++ {
+			opts := base
+			opts.Obs = m
+			rep, err := harness.Check(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rep.Explore.Exhausted {
+				b.Fatal("benchmark space not exhausted")
+			}
+			runs += rep.Explore.Runs
+		}
+		b.ReportMetric(float64(runs)/float64(b.N), "runs-explored")
+	}
+	b.Run("obs=off", func(b *testing.B) { explore(b, nil) })
+	b.Run("obs=on", func(b *testing.B) { explore(b, trace.NewSearchObs(obs.NewRegistry())) })
+	b.Run("overhead", func(b *testing.B) {
+		run := func(m *trace.SearchObs) time.Duration {
+			start := time.Now()
+			opts := base
+			opts.Obs = m
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Check(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return time.Since(start)
+		}
+		off := run(nil)
+		on := run(trace.NewSearchObs(obs.NewRegistry()))
+		b.ReportMetric(on.Seconds()/off.Seconds(), "overhead")
+		b.ReportMetric(0, "ns/op")
+	})
 }
 
 // prunedBenchSystem wires the stateful-exploration hooks (fingerprint +

@@ -2,13 +2,15 @@
 // owning a durable job queue and a shared worker fleet, so many checks run
 // as jobs instead of one process per check. Workers join exactly like
 // distcheck workers (`distcheck -connect`); clients drive the job lifecycle
-// with distcheck's daemon verbs (-submit/-status/-result/-cancel/-jobs).
+// with distcheck's daemon verbs
+// (-submit/-status/-result/-cancel/-trace/-jobs).
 //
 // Usage:
 //
 //	checkd -listen :9470 -dir /var/lib/checkd        # serve, journal to disk
 //	distcheck -connect host:9470 -workers 8          # join the fleet
 //	distcheck -daemon host:9470 -submit -protocol kset -n 4 -k 3 -prune
+//	checkd -listen :9470 -admin 127.0.0.1:9471       # + metrics/health/jobs/pprof
 //	checkd -smoke                                    # loopback self-check
 //
 // Every submission is validated at the door (structured field errors come
@@ -28,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +41,8 @@ import (
 	"revisionist/internal/dist"
 	"revisionist/internal/harness"
 	"revisionist/internal/jobd"
+	"revisionist/internal/obs"
+	"revisionist/internal/trace"
 )
 
 func main() {
@@ -67,6 +73,8 @@ func run(args []string, out io.Writer) error {
 		scaleIvl  = fs.Duration("scale-interval", 2*time.Second, "sampling period for the scaling decision")
 		slots     = fs.Int("spawn-slots", 0, "subtree slots per spawned worker (0 = GOMAXPROCS)")
 		quiet     = fs.Bool("quiet", false, "suppress the operational log")
+		admin     = fs.String("admin", "", "HTTP admin listen address serving /metrics, /healthz, /readyz, /jobs, /jobs/ID/trace and /debug/pprof (empty = disabled); with -smoke, switches to the observability self-check")
+		logLevel  = fs.String("log-level", "info", "operational log level: debug, info, warn, error")
 		smoke     = fs.Bool("smoke", false, "loopback self-check: daemon + two workers, two concurrent jobs byte-compared against single-process runs")
 		chaos     = fs.Int64("chaos", 0, "with -smoke: run under a seeded fault schedule (worker crash, hang, flaky dials) instead of healthy workers")
 		kill      = fs.Bool("kill", false, "with -smoke: kill -9 a real checkd child mid-job, restart it on the same journal, and byte-compare the resumed report")
@@ -87,12 +95,19 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return &harness.UsageError{Err: err}
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fs.Usage()
+		return &harness.UsageError{Err: err}
+	}
 	if *smoke {
 		switch {
 		case *chaos != 0:
 			return chaosSmoke(out, *chaos)
 		case *kill:
 			return killSmoke(out)
+		case *admin != "":
+			return obsSmoke(out, *admin)
 		}
 		return smokeCheck(out)
 	}
@@ -107,12 +122,15 @@ func run(args []string, out io.Writer) error {
 	}
 	defer ln.Close()
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(out, "checkd: "+format+"\n", args...)
+	// The operational log is structured (slog, component-keyed, leveled by
+	// -log-level); -quiet still silences it entirely. Metrics are always on
+	// — a pure side channel, reports are byte-identical either way — and the
+	// -admin listener decides whether they are exposed.
+	var logger *slog.Logger
+	if !*quiet {
+		logger = obs.NewLogger(out, level)
 	}
-	if *quiet {
-		logf = nil
-	}
+	reg := obs.NewRegistry()
 	cfg := jobd.Config{
 		Dir:       *dir,
 		MaxActive: *maxActive,
@@ -120,15 +138,31 @@ func run(args []string, out io.Writer) error {
 		Sync:      policy,
 		Resolve:   harness.Resolve,
 		Validate:  harness.ValidateJob,
-		Logf:      logf,
+		Logger:    logger,
+		Registry:  reg,
 	}
 	if *scaleMax > 0 {
 		cfg.Scale = &jobd.ScalePolicy{Min: *scaleMin, Max: *scaleMax, Interval: *scaleIvl}
-		cfg.Spawn = spawner(ln.Addr(), *slots)
+		cfg.Spawn = spawner(ln.Addr(), *slots, trace.NewSearchObs(reg))
 	}
 	d, err := jobd.New(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *admin != "" {
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: d.AdminHandler(nil)}
+		go srv.Serve(adminLn)
+		defer func() {
+			sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer scancel()
+			srv.Shutdown(sctx)
+		}()
+		fmt.Fprintf(out, "checkd: admin on http://%s (metrics, health, jobs, pprof)\n", adminLn.Addr())
 	}
 
 	// First signal: graceful drain. Second: force exit.
@@ -183,8 +217,11 @@ func journalDesc(dir string) string {
 // joining the fleet — and returns its stop function. The first dial retries
 // with backoff (the listener is up, but the accept loop may lag under
 // load), and a worker that loses its connection mid-search re-dials and
-// re-registers instead of silently shrinking the fleet.
-func spawner(addr net.Addr, slots int) func() (func(), error) {
+// re-registers instead of silently shrinking the fleet. Spawned workers
+// feed the daemon's own search_* series through sobs: they run in-process,
+// so their exploration counters land on the same registry the admin
+// endpoint serves.
+func spawner(addr net.Addr, slots int, sobs *trace.SearchObs) func() (func(), error) {
 	tcp, _ := addr.(*net.TCPAddr)
 	return func() (func(), error) {
 		if tcp == nil {
@@ -198,12 +235,13 @@ func spawner(addr net.Addr, slots int) func() (func(), error) {
 			cancel()
 			return nil, err
 		}
+		wcfg := dist.WorkConfig{Slots: slots, Obs: sobs}
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			if err := dist.Work(ctx, conn, slots, harness.Resolve); err != nil && ctx.Err() == nil {
+			if err := dist.WorkCfg(ctx, conn, wcfg, harness.Resolve); err != nil && ctx.Err() == nil {
 				// Lost the daemon mid-search: rejoin until stopped.
-				dist.WorkerLoop(ctx, dial, dist.WorkConfig{Slots: slots}, harness.Resolve, dist.Backoff{})
+				dist.WorkerLoop(ctx, dial, wcfg, harness.Resolve, dist.Backoff{})
 			}
 		}()
 		return func() { cancel(); <-done }, nil

@@ -15,9 +15,9 @@ import (
 
 // clientVerb is one daemon-client action: exactly one field is set.
 type clientVerb struct {
-	submit                 bool
-	status, result, cancel string
-	jobs                   bool
+	submit                        bool
+	status, result, cancel, trace string
+	jobs                          bool
 }
 
 // runClient executes one job-lifecycle verb against a checkd daemon. Dial
@@ -77,12 +77,35 @@ func runClient(out io.Writer, addr string, verb clientVerb, opts harness.Options
 		fmt.Fprintf(out, "canceled %s\n", verb.cancel)
 		return nil
 
-	default: // -jobs
-		infos, err := cl.List()
+	case verb.trace != "":
+		ev, err := cl.Trace(verb.trace)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "%d job(s)\n", len(infos))
+		fmt.Fprintf(out, "%s: %d event(s)", ev.Job, len(ev.Events))
+		if ev.Dropped > 0 {
+			fmt.Fprintf(out, " (%d older dropped by the ring)", ev.Dropped)
+		}
+		fmt.Fprintln(out)
+		for _, e := range ev.Events {
+			fmt.Fprintf(out, "  %s  %-12s %s\n", e.At.Format("15:04:05.000"), e.Kind, e.Detail)
+		}
+		return nil
+
+	default: // -jobs
+		infos, q, err := cl.ListQueue()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%d job(s)", len(infos))
+		if q != nil {
+			headroom := "unbounded"
+			if q.MaxQueued > 0 {
+				headroom = fmt.Sprintf("%d free of %d", q.MaxQueued-q.Queued, q.MaxQueued)
+			}
+			fmt.Fprintf(out, ", %d queued (admission headroom: %s)", q.Queued, headroom)
+		}
+		fmt.Fprintln(out)
 		for _, info := range infos {
 			writeJobLine(out, info)
 		}
@@ -104,6 +127,10 @@ func writeJobLine(out io.Writer, info wire.JobInfo) {
 		}
 	case jobd.StateFailed:
 		fmt.Fprintf(out, "  %s", info.Err)
+	case jobd.StateRunning:
+		if info.Frontier > 0 {
+			fmt.Fprintf(out, "  wave=%d frontier=%d", info.Wave, info.Frontier)
+		}
 	}
 	fmt.Fprintln(out)
 }

@@ -29,6 +29,7 @@
 //	distcheck -daemon host:9470 -status j0001
 //	distcheck -daemon host:9470 -result j0001
 //	distcheck -daemon host:9470 -cancel j0001
+//	distcheck -daemon host:9470 -trace j0001
 //	distcheck -daemon host:9470 -jobs
 //
 // Exit codes are uniform across every mode: 0 clean (or -h), 2 usage error
@@ -50,6 +51,7 @@ import (
 	"sync"
 
 	"revisionist/internal/harness"
+	"revisionist/internal/obs"
 	"revisionist/internal/trace"
 )
 
@@ -94,13 +96,15 @@ func run(args []string, out io.Writer) error {
 		serve   = fs.String("serve", "", "coordinate on this TCP listen address (e.g. :9464)")
 		connect = fs.String("connect", "", "join the coordinator at this address as a worker")
 		smoke   = fs.Bool("smoke", false, "loopback self-check: coordinator + two local TCP workers vs the single-process run")
-		daemon  = fs.String("daemon", "", "checkd daemon address for the client verbs (-submit, -status, -result, -cancel, -jobs)")
+		daemon  = fs.String("daemon", "", "checkd daemon address for the client verbs (-submit, -status, -result, -cancel, -trace, -jobs)")
 		submit  = fs.Bool("submit", false, "submit the job described by the protocol flags to -daemon and print its id")
 		prio    = fs.Int("priority", 0, "fair-share priority for -submit: 1 (lowest) to 9 (highest), 0 = default (5)")
 		status  = fs.String("status", "", "print this job id's state on -daemon")
 		result  = fs.String("result", "", "fetch and render this job id's report from -daemon")
 		cancelJ = fs.String("cancel", "", "cancel this job id on -daemon")
-		jobs    = fs.Bool("jobs", false, "list every job on -daemon")
+		traceJ  = fs.String("trace", "", "dump this job id's flight recording (timestamped lifecycle events) from -daemon")
+		jobs    = fs.Bool("jobs", false, "list every job on -daemon, with the daemon's queue headroom")
+		prog    = fs.Duration("progress", 0, "print live search progress to stderr every DUR where the search runs locally: -connect workers and -smoke (0 = off)")
 	)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
@@ -133,8 +137,18 @@ func run(args []string, out io.Writer) error {
 		Interrupted:   func() bool { return ctx.Err() != nil },
 	}
 
+	if *prog > 0 {
+		// Progress is a pure side channel over a private registry: the report
+		// on out stays byte-identical, the ticker lines go to stderr. It only
+		// shows activity in modes that explore locally (-connect, -smoke);
+		// elsewhere the counters simply never move.
+		opts.Obs = trace.NewSearchObs(obs.NewRegistry())
+		stop := harness.StartProgress(os.Stderr, opts.Obs, *prog)
+		defer stop()
+	}
+
 	verbs := 0
-	for _, on := range []bool{*submit, *status != "", *result != "", *cancelJ != "", *jobs} {
+	for _, on := range []bool{*submit, *status != "", *result != "", *cancelJ != "", *traceJ != "", *jobs} {
 		if on {
 			verbs++
 		}
@@ -147,11 +161,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if verbs == 0 && *daemon != "" {
 		fs.Usage()
-		return &harness.UsageError{Err: fmt.Errorf("-daemon needs one of -submit, -status ID, -result ID, -cancel ID, -jobs")}
+		return &harness.UsageError{Err: fmt.Errorf("-daemon needs one of -submit, -status ID, -result ID, -cancel ID, -trace ID, -jobs")}
 	}
 	if verbs == 1 && *daemon == "" {
 		fs.Usage()
-		return &harness.UsageError{Err: fmt.Errorf("-submit/-status/-result/-cancel/-jobs need -daemon ADDR")}
+		return &harness.UsageError{Err: fmt.Errorf("-submit/-status/-result/-cancel/-trace/-jobs need -daemon ADDR")}
 	}
 	if modes != 1 {
 		fs.Usage()
@@ -159,7 +173,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if verbs == 1 {
 		return runClient(out, *daemon, clientVerb{
-			submit: *submit, status: *status, result: *result, cancel: *cancelJ, jobs: *jobs,
+			submit: *submit, status: *status, result: *result, cancel: *cancelJ, trace: *traceJ, jobs: *jobs,
 		}, opts)
 	}
 	switch {

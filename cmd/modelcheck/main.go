@@ -31,6 +31,7 @@ import (
 	"os/signal"
 
 	"revisionist/internal/harness"
+	"revisionist/internal/obs"
 	"revisionist/internal/trace"
 )
 
@@ -56,8 +57,9 @@ func run(args []string, out io.Writer) error {
 		maxViol = fs.Int("maxviol", 3, "stop after this many violations")
 		fuzz    = fs.Int("fuzz", 0, "fuzz iterations; > 0 switches to adversarial schedule search (-depth/-maxruns/-maxviol do not apply)")
 		seed    = fs.Int64("seed", 1, "fuzz search seed")
-		witness = fs.String("witness", "", "write the violating schedules to FILE as a JSON witness")
-		replay  = fs.String("replay", "", "re-execute the schedules of a JSON witness FILE instead of exploring")
+		witness  = fs.String("witness", "", "write the violating schedules to FILE as a JSON witness")
+		replay   = fs.String("replay", "", "re-execute the schedules of a JSON witness FILE instead of exploring")
+		progress = fs.Duration("progress", 0, "print live search progress (runs/sec, pruned ratio, frontier) to stderr every DUR (0 = off)")
 	)
 	if err := harness.ParseFlags(fs, args); err != nil {
 		return err
@@ -93,6 +95,13 @@ func run(args []string, out io.Writer) error {
 		MaxViolations: *maxViol,
 		Iterations:    *fuzz,
 		Interrupted:   func() bool { return ctx.Err() != nil },
+	}
+	if *progress > 0 {
+		// Progress is a pure side channel over a private registry: the report
+		// on out stays byte-identical, the ticker lines go to stderr.
+		opts.Obs = trace.NewSearchObs(obs.NewRegistry())
+		stop := harness.StartProgress(os.Stderr, opts.Obs, *progress)
+		defer stop()
 	}
 	if *fuzz > 0 {
 		if *witness != "" {

@@ -65,6 +65,7 @@ func Retry(ctx context.Context, b Backoff, what string, op func() (done bool, er
 	var last error
 	for a := 1; a <= b.Attempts; a++ {
 		if a > 1 {
+			countRetry()
 			t := time.NewTimer(b.delay(a-1, rnd))
 			select {
 			case <-t.C:

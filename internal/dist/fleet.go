@@ -109,6 +109,12 @@ type Fleet struct {
 	lv         Liveness
 	onProgress func(id string, p *Progress)
 
+	// obs and onEvent are the observability taps (WithObs/WithEventLog):
+	// metrics and per-job flight-recorder events. Both are pure side
+	// channels — nil leaves them off and changes nothing else.
+	obs     *FleetObs
+	onEvent func(job, kind, detail string)
+
 	// loop-owned.
 	sessions map[string]*session
 	order    []*session // registration order, the round-robin fairness ring
@@ -168,6 +174,13 @@ func (f *Fleet) Run(ctx context.Context) {
 	}
 }
 
+// event feeds one flight-recorder event to the registered event log.
+func (f *Fleet) event(job, kind, detail string) {
+	if f.onEvent != nil {
+		f.onEvent(job, kind, detail)
+	}
+}
+
 // checkLiveness is the failure detector, run every heartbeat tick: a worker
 // holding an expired lease or silent past the miss window is retired exactly
 // like a dead one (dropWorker re-leases its subtrees), and a worker merely
@@ -189,6 +202,7 @@ func (f *Fleet) checkLiveness(now time.Time) {
 			continue
 		}
 		if now.Sub(w.lastSeen) >= f.lv.HeartbeatEvery {
+			f.obs.Miss()
 			if err := w.c.Send(&wire.Msg{Kind: wire.KindPing}); err != nil {
 				f.dropWorker(w)
 			}
@@ -262,6 +276,10 @@ func (f *Fleet) start(id string, job wire.Job, p *Progress) (<-chan SessionResul
 		}
 		f.sessions[id] = s
 		f.order = append(f.order, s)
+		f.event(id, "start", fmt.Sprintf("%s n=%d: %d subtrees planned", job.Protocol, job.Params.N, len(frontier)))
+		if s.resumed > 0 {
+			f.event(id, "resume", fmt.Sprintf("%d of %d subtrees restored from snapshot", s.resumed, len(frontier)))
+		}
 		if complete {
 			rep, err := s.merge(false)
 			f.finish(s, SessionResult{ID: id, Report: rep, Err: err, Resumed: s.resumed})
@@ -322,6 +340,7 @@ func (f *Fleet) publishStats() {
 	f.statInflight.Store(inflight)
 	f.statActive.Store(int64(len(f.order)))
 	f.statPending.Store(pending)
+	f.obs.mirrorStats(int64(len(f.workers)), slots, inflight, int64(len(f.order)), pending)
 }
 
 // handle applies one worker event to the loop state. Every frame from a
@@ -334,6 +353,7 @@ func (f *Fleet) handle(ev event) {
 	case ev.join != nil:
 		ev.join.lastSeen = time.Now()
 		f.workers[ev.join] = true
+		f.obs.Join()
 	case ev.dead != nil:
 		f.dropWorker(ev.dead)
 	case ev.fail != nil:
@@ -352,6 +372,12 @@ func (f *Fleet) finish(s *session, r SessionResult) {
 		return
 	}
 	s.finished = true
+	switch {
+	case r.Err != nil:
+		f.event(s.id, "finish", r.Err.Error())
+	case r.Report != nil:
+		f.event(s.id, "finish", fmt.Sprintf("%d runs, %d violations", r.Report.Runs, len(r.Report.Violations)))
+	}
 	s.result <- r
 	delete(f.sessions, s.id)
 	for i, o := range f.order {
@@ -385,10 +411,13 @@ func (f *Fleet) dropWorker(w *workerConn) {
 	}
 	delete(f.workers, w)
 	w.raw.Close()
+	f.obs.Death()
 	for k := range w.keys {
 		if s := f.sessions[k.job]; s != nil && s.assigned[k.id] == w {
 			delete(s.assigned, k.id)
 			s.requeueIfOpen(k.id)
+			f.obs.Requeue()
+			f.event(k.job, "re-lease", fmt.Sprintf("subtree %d requeued: worker %s died", k.id, w.raw.RemoteAddr()))
 		}
 	}
 	w.keys = map[leaseKey]bool{}
@@ -423,6 +452,8 @@ func (f *Fleet) onFail(w *workerConn, fail *wire.Fail) {
 		if s.assigned[k.id] == w {
 			delete(s.assigned, k.id)
 			s.requeueIfOpen(k.id)
+			f.obs.Requeue()
+			f.event(k.job, "re-lease", fmt.Sprintf("subtree %d requeued: worker %s rejected the job", k.id, w.raw.RemoteAddr()))
 		}
 	}
 	eligible := 0
@@ -455,22 +486,30 @@ func (f *Fleet) onResult(w *workerConn, res *wire.Result) {
 		delete(s.assigned, k.id)
 		if res.Outcome.Stopped {
 			s.requeueIfOpen(k.id)
+			f.obs.Requeue()
+			f.event(s.id, "re-lease", fmt.Sprintf("subtree %d requeued: worker abandoned it", k.id))
 		}
 	}
 	if res.Outcome.Stopped {
 		return
 	}
 	f.statLeases.Add(1)
+	f.obs.Completed()
 	waveBefore := s.waveLo
 	if s.onOutcome(res.ID, res.Outcome) {
 		rep, err := s.merge(false)
 		f.finish(s, SessionResult{ID: s.id, Report: rep, Err: err, Resumed: s.resumed})
 		return
 	}
-	// A wave barrier just passed: publish the resumable snapshot. (The final
-	// barrier is covered by the finish above — a completed job needs none.)
-	if f.onProgress != nil && s.waveLo != waveBefore {
-		f.onProgress(s.id, s.progress())
+	if s.waveLo != waveBefore {
+		f.obs.Wave()
+		f.event(s.id, "wave", fmt.Sprintf("barrier crossed: wave window now starts at subtree %d of %d", s.waveLo, len(s.frontier)))
+		// A wave barrier just passed: publish the resumable snapshot. (The
+		// final barrier is covered by the finish above — a completed job
+		// needs none.)
+		if f.onProgress != nil {
+			f.onProgress(s.id, s.progress())
+		}
 	}
 }
 
@@ -535,6 +574,9 @@ func (f *Fleet) assignOne(s *session) bool {
 			f.dropWorker(w)
 			continue
 		}
+		f.obs.Lease()
+		f.event(s.id, "lease", fmt.Sprintf("subtree %d -> worker %s (base %d, %d table entries)",
+			id, w.raw.RemoteAddr(), lease.Base, len(lease.Table)))
 		w.cursors[s.id] = len(s.fpLog)
 		w.inflight++
 		k := leaseKey{s.id, id}
@@ -592,6 +634,7 @@ func (f *Fleet) Worker(raw net.Conn, c *wire.Conn, hello *wire.Hello) {
 	// deadline here — checkLiveness closes the connection of a silent worker,
 	// which unblocks this loop's Recv.
 	c.SetTimeouts(0, f.lv.WriteTimeout)
+	c.SetObserver(f.obs.Observer())
 	w := &workerConn{
 		c:         c,
 		raw:       raw,

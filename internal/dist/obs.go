@@ -1,0 +1,191 @@
+// Fleet observability: FleetObs bundles the distributed layer's metric
+// handles — lease lifecycle counters, worker liveness counters, per-kind
+// wire traffic, and gauges mirroring the fleet's stats snapshot. Like the
+// search core's SearchObs it is a pure side channel: nothing here feeds
+// back into scheduling, so an instrumented fleet merges byte-identical
+// reports. A nil *FleetObs disables everything.
+package dist
+
+import (
+	"sync/atomic"
+
+	"revisionist/internal/dist/wire"
+	"revisionist/internal/obs"
+)
+
+// wireKinds is every message kind the transport speaks, for pre-creating
+// the per-kind traffic series (an unknown kind falls back to "other").
+var wireKinds = []string{
+	wire.KindHello, wire.KindJob, wire.KindLease, wire.KindResult,
+	wire.KindFail, wire.KindShutdown, wire.KindReject, wire.KindRetire,
+	wire.KindPing, wire.KindPong,
+	wire.KindSubmit, wire.KindAck, wire.KindStatus, wire.KindCancel,
+	wire.KindFetch, wire.KindList, wire.KindInfo, wire.KindJobs,
+	wire.KindReport, wire.KindTrace, wire.KindEvents,
+	"other",
+}
+
+// FleetObs is the distributed layer's metric bundle.
+type FleetObs struct {
+	joins     *obs.Counter
+	deaths    *obs.Counter
+	misses    *obs.Counter
+	leases    *obs.Counter
+	requeues  *obs.Counter
+	completed *obs.Counter
+	waves     *obs.Counter
+
+	workers  *obs.Gauge
+	slots    *obs.Gauge
+	inflight *obs.Gauge
+	active   *obs.Gauge
+	pending  *obs.Gauge
+
+	// frames and bytes are keyed "dir|kind"; built once at construction and
+	// read-only afterwards, so the wire observer needs no lock.
+	frames map[string]*obs.Counter
+	bytes  map[string]*obs.Counter
+}
+
+// NewFleetObs registers the distributed layer's series on r and returns
+// the bundle (nil registry → nil bundle). It also installs the registry's
+// backoff-retry counter as the process-wide retry tap — Retry is a free
+// function shared by every dialer in the stack, so its counter is global.
+func NewFleetObs(r *obs.Registry) *FleetObs {
+	if r == nil {
+		return nil
+	}
+	m := &FleetObs{
+		joins:     r.Counter("dist_worker_joins_total", "workers that completed the hello handshake"),
+		deaths:    r.Counter("dist_worker_deaths_total", "workers dropped: closed connection, expired lease, or missed heartbeats"),
+		misses:    r.Counter("dist_heartbeat_misses_total", "liveness pings sent to silent workers"),
+		leases:    r.Counter("dist_leases_issued_total", "subtree leases sent to workers, re-leases included"),
+		requeues:  r.Counter("dist_leases_requeued_total", "leases reclaimed for re-lease after a worker died, failed, or abandoned them"),
+		completed: r.Counter("dist_leases_completed_total", "complete subtree outcomes merged"),
+		waves:     r.Counter("dist_wave_barriers_total", "session wave barriers crossed"),
+		workers:   r.Gauge("dist_workers", "connected workers"),
+		slots:     r.Gauge("dist_worker_slots", "summed lease capacity of connected workers"),
+		inflight:  r.Gauge("dist_leases_inflight", "outstanding leases"),
+		active:    r.Gauge("dist_jobs_active", "sessions in flight"),
+		pending:   r.Gauge("dist_leases_pending", "planned subtrees waiting for a free slot"),
+		frames:    make(map[string]*obs.Counter, 2*len(wireKinds)),
+		bytes:     make(map[string]*obs.Counter, 2*len(wireKinds)),
+	}
+	for _, dir := range []string{"in", "out"} {
+		for _, kind := range wireKinds {
+			key := dir + "|" + kind
+			m.frames[key] = r.Counter("dist_wire_frames_total", "wire frames by kind and direction", "kind", kind, "dir", dir)
+			m.bytes[key] = r.Counter("dist_wire_bytes_total", "wire bytes by kind and direction, framing header included", "kind", kind, "dir", dir)
+		}
+	}
+	SetRetryCounter(r.Counter("dist_backoff_retries_total", "backoff waits taken by Retry/DialRetry across the process"))
+	return m
+}
+
+// The count methods below are nil-receiver no-ops so the fleet loop calls
+// them unconditionally, mirroring the search core's SearchObs.
+
+// Join accounts one completed worker handshake.
+func (m *FleetObs) Join() {
+	if m != nil {
+		m.joins.Inc()
+	}
+}
+
+// Death accounts one dropped worker.
+func (m *FleetObs) Death() {
+	if m != nil {
+		m.deaths.Inc()
+	}
+}
+
+// Miss accounts one liveness ping to a silent worker.
+func (m *FleetObs) Miss() {
+	if m != nil {
+		m.misses.Inc()
+	}
+}
+
+// Lease accounts one lease sent to a worker.
+func (m *FleetObs) Lease() {
+	if m != nil {
+		m.leases.Inc()
+	}
+}
+
+// Requeue accounts one lease reclaimed for re-lease.
+func (m *FleetObs) Requeue() {
+	if m != nil {
+		m.requeues.Inc()
+	}
+}
+
+// Completed accounts one merged subtree outcome.
+func (m *FleetObs) Completed() {
+	if m != nil {
+		m.completed.Inc()
+	}
+}
+
+// Wave accounts one crossed session wave barrier.
+func (m *FleetObs) Wave() {
+	if m != nil {
+		m.waves.Inc()
+	}
+}
+
+// Observer returns the wire traffic tap for one connection (nil when
+// disabled, which wire.Conn treats as no tap).
+func (m *FleetObs) Observer() wire.Observer {
+	if m == nil {
+		return nil
+	}
+	return func(dir, kind string, n int) {
+		key := dir + "|" + kind
+		if m.frames[key] == nil {
+			key = dir + "|other"
+		}
+		m.frames[key].Inc()
+		m.bytes[key].Add(int64(n))
+	}
+}
+
+// mirrorStats publishes the fleet loop's stats snapshot into the gauges.
+func (m *FleetObs) mirrorStats(workers, slots, inflight, active, pending int64) {
+	if m == nil {
+		return
+	}
+	m.workers.Set(workers)
+	m.slots.Set(slots)
+	m.inflight.Set(inflight)
+	m.active.Set(active)
+	m.pending.Set(pending)
+}
+
+// WithObs points the fleet at a metric bundle (nil leaves it off).
+func WithObs(m *FleetObs) FleetOption {
+	return func(f *Fleet) { f.obs = m }
+}
+
+// WithEventLog registers a per-job event callback — the flight recorder's
+// feed: wave barriers, leases, re-leases, worker deaths, resumes. Invoked
+// from the fleet loop; like WithProgress callbacks it must not call back
+// into the fleet synchronously.
+func WithEventLog(fn func(job, kind, detail string)) FleetOption {
+	return func(f *Fleet) { f.onEvent = fn }
+}
+
+// retryCounter is the process-wide backoff tap (see NewFleetObs). Atomic:
+// Retry runs on arbitrary goroutines.
+var retryCounter atomic.Pointer[obs.Counter]
+
+// SetRetryCounter installs the counter Retry increments once per backoff
+// wait (nil uninstalls).
+func SetRetryCounter(c *obs.Counter) {
+	retryCounter.Store(c)
+}
+
+// countRetry records one backoff wait.
+func countRetry() {
+	retryCounter.Load().Inc() // Inc is a nil-receiver no-op
+}

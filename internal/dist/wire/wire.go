@@ -65,8 +65,13 @@ import (
 // weight) and the Ack.Retryable admission-control classification: a
 // version-4 peer would silently drop the priority — dispatching at the wrong
 // share — and treat a retryable queue-full rejection as terminal, so v4
-// peers get the explicit reject too.
-const Version = 5
+// peers get the explicit reject too. Version 6 adds the observability
+// surface: the trace/events client kinds (per-job flight-recorder dumps),
+// the queue-headroom attachment on jobs listings, and the JobInfo wave/
+// frontier progress fields — a version-5 peer would treat a trace request
+// as a protocol error and silently drop the new fields, so v5 peers get
+// the explicit reject.
+const Version = 6
 
 // MaxFrame caps one frame's length (64 MiB): a corrupt or hostile length
 // prefix must not allocate unboundedly.
@@ -108,6 +113,8 @@ const (
 	KindInfo   = "info"   // daemon -> client: one job's state    (body Info)
 	KindJobs   = "jobs"   // daemon -> client: all jobs           (body Jobs)
 	KindReport = "report" // daemon -> client: result + witness   (body Report)
+	KindTrace  = "trace"  // client -> daemon: flight recording   (body Ref)
+	KindEvents = "events" // daemon -> client: flight recording   (body Events)
 )
 
 // Hello is the worker's opening message: protocol version and how many
@@ -227,6 +234,35 @@ type JobInfo struct {
 	// Resumable marks an interrupted job the daemon will re-queue on
 	// restart.
 	Resumable bool `json:",omitempty"`
+	// Wave and Frontier summarize a running or resumable job's latest
+	// mid-subtree progress snapshot: completed wave barriers and the total
+	// frontier size the exploration is working through. Zero until the
+	// first barrier.
+	Wave     int `json:",omitempty"`
+	Frontier int `json:",omitempty"`
+}
+
+// TraceEvent is one flight-recorder event in wire form: what happened to a
+// job (wave barrier, lease, re-lease, worker death, resume) and when.
+type TraceEvent struct {
+	At     time.Time
+	Kind   string
+	Detail string `json:",omitempty"`
+}
+
+// Events is a job's flight recording: its ring-buffered events oldest
+// first, plus how many older events the bounded ring has dropped.
+type Events struct {
+	Job     string
+	Dropped int          `json:",omitempty"`
+	Events  []TraceEvent `json:",omitempty"`
+}
+
+// QueueInfo is the daemon's admission headroom, attached to jobs listings
+// so overload rejections are diagnosable from the client side.
+type QueueInfo struct {
+	Queued    int
+	MaxQueued int
 }
 
 // Report is a trace.ExploreReport in wire form: violations flattened to
@@ -297,7 +333,18 @@ type Msg struct {
 	Info   *JobInfo   `json:",omitempty"`
 	Jobs   []JobInfo  `json:",omitempty"`
 	Report *JobReport `json:",omitempty"`
+	Events *Events    `json:",omitempty"`
+	// Queue rides along on a jobs listing: the daemon's current queued
+	// depth against its admission bound.
+	Queue *QueueInfo `json:",omitempty"`
 }
+
+// Observer receives one call per successfully framed message: the
+// direction ("in" for Recv, "out" for Send), the message kind, and the
+// frame's length on the wire (header plus body). Observers are a pure
+// measurement tap — they cannot alter or suppress traffic — and must be
+// safe for concurrent calls (sends and receives overlap).
+type Observer func(dir, kind string, bytes int)
 
 // Conn frames messages over one stream. Sends are serialized by an internal
 // mutex (a worker's pool goroutines send results concurrently); Recv must be
@@ -311,6 +358,9 @@ type Conn struct {
 	// send mutex (the conversation is full-duplex).
 	rtimeout atomic.Int64
 	wtimeout atomic.Int64
+
+	// obs taps per-kind frame and byte counts; atomic for the same reason.
+	obs atomic.Pointer[Observer]
 }
 
 // NewConn wraps a stream.
@@ -333,6 +383,23 @@ func (c *Conn) SetTimeouts(read, write time.Duration) {
 	c.wtimeout.Store(int64(write))
 }
 
+// SetObserver installs fn as the connection's traffic tap (nil removes it).
+// Send and Recv report each successfully framed message to it.
+func (c *Conn) SetObserver(fn Observer) {
+	if fn == nil {
+		c.obs.Store(nil)
+		return
+	}
+	c.obs.Store(&fn)
+}
+
+// observe reports one framed message to the installed observer, if any.
+func (c *Conn) observe(dir, kind string, bytes int) {
+	if o := c.obs.Load(); o != nil {
+		(*o)(dir, kind, bytes)
+	}
+}
+
 // Send writes one frame.
 func (c *Conn) Send(m *Msg) error {
 	body, err := json.Marshal(m)
@@ -352,8 +419,11 @@ func (c *Conn) Send(m *Msg) error {
 	if _, err := c.rw.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = c.rw.Write(body)
-	return err
+	if _, err = c.rw.Write(body); err != nil {
+		return err
+	}
+	c.observe("out", m.Kind, len(hdr)+len(body))
+	return nil
 }
 
 // Recv reads one frame. Truncation — a peer that died or was cut off
@@ -382,6 +452,7 @@ func (c *Conn) Recv() (*Msg, error) {
 	if err := json.Unmarshal(body, m); err != nil {
 		return nil, fmt.Errorf("wire: decode frame: %w", err)
 	}
+	c.observe("in", m.Kind, len(hdr)+len(body))
 	return m, nil
 }
 

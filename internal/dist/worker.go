@@ -145,6 +145,12 @@ type WorkConfig struct {
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each frame send (default 30s).
 	WriteTimeout time.Duration
+	// Obs, when non-nil, receives the search core's live counters for every
+	// subtree this worker runs, across all multiplexed jobs. The field never
+	// crosses the wire (lease options arrive with it nil); it is this
+	// worker's local instrumentation seam, feeding `distcheck -connect
+	// -progress` and checkd's spawned-worker metrics.
+	Obs *trace.SearchObs
 }
 
 func (cfg WorkConfig) withDefaults() WorkConfig {
@@ -265,6 +271,7 @@ func WorkCfg(ctx context.Context, conn net.Conn, cfg WorkConfig, resolve Resolve
 			js.factory = factory
 			js.opts = job.Opts
 			js.opts.Interrupted = func() bool { return stopping.Load() || js.stopped.Load() }
+			js.opts.Obs = cfg.Obs
 			js.mirror = map[uint64]int{}
 			jobs[job.ID] = js
 		case wire.KindLease:

@@ -84,7 +84,7 @@ func ConnectCheck(ctx context.Context, opts Options, conn net.Conn) error {
 			return &UsageError{Err: fmt.Errorf("harness: ConnectCheck needs a connection or Options.Connect address")}
 		}
 		dial := func() (net.Conn, error) { return net.Dial("tcp", opts.Connect) }
-		return dist.WorkerLoop(ctx, dial, dist.WorkConfig{Slots: opts.Workers}, Resolve, dist.Backoff{})
+		return dist.WorkerLoop(ctx, dial, dist.WorkConfig{Slots: opts.Workers, Obs: opts.Obs}, Resolve, dist.Backoff{})
 	}
-	return dist.Work(ctx, conn, opts.Workers, Resolve)
+	return dist.WorkCfg(ctx, conn, dist.WorkConfig{Slots: opts.Workers, Obs: opts.Obs}, Resolve)
 }

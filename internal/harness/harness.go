@@ -92,6 +92,12 @@ type Options struct {
 	// SIGINT to this).
 	Interrupted func() bool
 
+	// Obs, when non-nil, receives the search core's live counters (runs,
+	// pruning, waves) during Check-style verbs — the -progress ticker reads
+	// it. A pure side channel: reports are byte-identical with or without
+	// it, and like Interrupted it stays local (never crosses the wire).
+	Obs *trace.SearchObs
+
 	// Run: F simulators (default 3), D of them direct, and whether to
 	// reconstruct and replay the simulated execution (Lemmas 26-27).
 	F        int
@@ -347,6 +353,7 @@ func exploreOpts(opts Options) trace.ExploreOpts {
 		// sequential engine can resume; the goroutine engine still prunes.
 		Checkpoint:  prune && engine == sched.EngineSeq,
 		Interrupted: opts.Interrupted,
+		Obs:         opts.Obs,
 	}
 }
 

@@ -1,0 +1,64 @@
+// Live search progress: a ticker over the search core's observability
+// counters (trace.SearchObs), printing periodic one-liners so a long
+// exploration is watchable without changing a byte of its report. The cmds
+// bind it to stderr behind -progress.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"revisionist/internal/trace"
+)
+
+// StartProgress starts a goroutine printing m's counters to w every period:
+// cumulative runs and the rate since the last line, the pruned ratio, the
+// distinct-state count, and — for stateful exploration — the wave index and
+// remaining frontier. The returned stop function ends the ticker and waits
+// for the goroutine (call it before comparing or closing w); it is
+// idempotent, so deferring it alongside an explicit early call is safe. A
+// nil m or non-positive period yields a no-op stop.
+func StartProgress(w io.Writer, m *trace.SearchObs, every time.Duration) (stop func()) {
+	if m == nil || every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		var lastRuns int64
+		last := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				runs := m.Runs()
+				rate := float64(runs-lastRuns) / now.Sub(last).Seconds()
+				line := fmt.Sprintf("progress: %d runs (%.0f/s)", runs, rate)
+				if d := m.Distinct(); d > 0 || m.Pruned() > 0 {
+					ratio := 0.0
+					if runs > 0 {
+						ratio = float64(m.Pruned()) / float64(runs)
+					}
+					line += fmt.Sprintf(", %d subtrees pruned (%.2f/run), %d distinct states", m.Pruned(), ratio, d)
+				}
+				if f := m.Frontier(); f > 0 {
+					line += fmt.Sprintf(", wave %d, %d frontier remaining", m.Wave(), f)
+				}
+				fmt.Fprintln(w, line)
+				lastRuns, last = runs, now
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}

@@ -1,0 +1,90 @@
+// The admin surface: a plain HTTP handler exposing the daemon's
+// observability — Prometheus-text metrics, liveness and readiness probes,
+// a JSON job listing with admission headroom and live progress, per-job
+// flight-recorder dumps, and the standard pprof profiles. It is read-only
+// by construction (no mutation reaches the daemon loop through it) and
+// meant for a loopback or otherwise trusted listener; checkd binds it only
+// when -admin is given.
+package jobd
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+
+	"revisionist/internal/dist/wire"
+)
+
+// AdminHandler builds the daemon's admin mux. ready, when non-nil, gates
+// /readyz alongside the daemon's own readiness (loop running, not
+// draining, journal appendable) — checkd passes a check that the fleet
+// listener is up. The handler serves:
+//
+//	/metrics            Prometheus text exposition of the config registry
+//	/healthz            liveness: 200 as long as the process serves HTTP
+//	/readyz             readiness: 200 only when the daemon can take work
+//	/jobs               JSON listing: admission headroom + every job
+//	/jobs/<id>/trace    JSON flight recording of one job
+//	/debug/pprof/...    the standard runtime profiles
+func (d *Daemon) AdminHandler(ready func() bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if d.cfg.Registry != nil {
+			d.cfg.Registry.Write(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !d.Ready() || (ready != nil && !ready()) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("not ready\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs, q, err := d.ListQueue()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, struct {
+			Queue wire.QueueInfo
+			Jobs  []wire.JobInfo
+		}{q, jobs})
+	})
+	mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+		id, okPath := strings.CutSuffix(strings.TrimPrefix(r.URL.Path, "/jobs/"), "/trace")
+		if !okPath || id == "" || strings.Contains(id, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		ev, err := d.Trace(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, ev)
+	})
+	// pprof registers on http.DefaultServeMux via init; the admin mux is
+	// private, so the handlers are mounted explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -140,9 +140,32 @@ func (cl *Client) Fetch(id string) (*wire.JobReport, error) {
 
 // List fetches every job in admission order.
 func (cl *Client) List() ([]wire.JobInfo, error) {
+	jobs, _, err := cl.ListQueue()
+	return jobs, err
+}
+
+// ListQueue fetches every job in admission order plus the daemon's
+// admission headroom (current queued depth against its bound). A pre-v6
+// daemon answers without the headroom attachment; the nil QueueInfo is the
+// caller's signal that it is unknown, not zero.
+func (cl *Client) ListQueue() ([]wire.JobInfo, *wire.QueueInfo, error) {
 	resp, err := cl.roundTrip(&wire.Msg{Kind: wire.KindList}, wire.KindJobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Jobs, resp.Queue, nil
+}
+
+// Trace fetches one job's flight recording: its ring-buffered lifecycle
+// events (queued, leases, wave barriers, re-leases, terminal state) oldest
+// first.
+func (cl *Client) Trace(id string) (*wire.Events, error) {
+	resp, err := cl.roundTrip(&wire.Msg{Kind: wire.KindTrace, Ref: &wire.Ref{ID: id}}, wire.KindEvents)
 	if err != nil {
 		return nil, err
 	}
-	return resp.Jobs, nil
+	if resp.Events == nil {
+		return nil, fmt.Errorf("jobd: empty trace reply")
+	}
+	return resp.Events, nil
 }

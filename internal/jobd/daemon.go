@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"revisionist/internal/dist"
 	"revisionist/internal/dist/wire"
 	"revisionist/internal/jobd/crashfs"
+	"revisionist/internal/obs"
 	"revisionist/internal/protocol"
 	"revisionist/internal/trace"
 )
@@ -81,8 +83,22 @@ type Config struct {
 	// CompactAt overrides the journal's online-compaction threshold in
 	// bytes (0 keeps the queue default of 1 MiB).
 	CompactAt int64
-	// Logf receives operational one-liners (nil = silent).
+	// Logf receives operational one-liners (nil = silent). The older of the
+	// two logging seams; when nil and Logger is set, a component-tagged
+	// adapter over Logger takes its place.
 	Logf func(format string, args ...any)
+	// Logger is the structured logging seam: operational one-liners go out
+	// at info level with component=jobd. Logf, when set, takes precedence
+	// (tests pin its exact lines).
+	Logger *slog.Logger
+	// Registry receives the daemon's metric series — queue depth, journal
+	// and group-commit shape, admission rejections, plus the shared fleet's
+	// dist_* series (nil = no metrics). The registry is a pure side channel:
+	// reports are byte-identical with or without it.
+	Registry *obs.Registry
+	// Flight overrides the per-job flight recorder (nil = a default-bounded
+	// one). Tests inject a deterministic clock here.
+	Flight *obs.Flight
 }
 
 // defaultMaxQueued bounds the backlog when Config.MaxQueued is zero.
@@ -97,6 +113,8 @@ type Daemon struct {
 	fleet    *dist.Fleet
 	queue    *Queue
 	scale    *ScalePolicy
+	obs      *QueueObs
+	flight   *obs.Flight
 	actions  chan func()
 	done     chan struct{}
 	nextSess atomic.Int64
@@ -126,7 +144,11 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Resolve == nil {
 		return nil, errors.New("jobd: Config.Resolve is required")
 	}
-	qopts := []QueueOption{WithSyncPolicy(cfg.Sync), WithQueueLog(cfg.Logf)}
+	if cfg.Logf == nil && cfg.Logger != nil {
+		cfg.Logf = obs.Logf(cfg.Logger, "jobd", slog.LevelInfo)
+	}
+	qobs := NewQueueObs(cfg.Registry)
+	qopts := []QueueOption{WithSyncPolicy(cfg.Sync), WithQueueLog(cfg.Logf), WithQueueObs(qobs)}
 	if cfg.FS != nil {
 		qopts = append(qopts, WithFS(cfg.FS))
 	}
@@ -137,16 +159,24 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.CompactAt > 0 {
 		q.CompactAt = cfg.CompactAt
 	}
+	flight := cfg.Flight
+	if flight == nil {
+		flight = obs.NewFlight(0, 0, nil)
+	}
 	d := &Daemon{
 		cfg:     cfg,
 		queue:   q,
+		obs:     qobs,
+		flight:  flight,
 		actions: make(chan func()),
 		done:    make(chan struct{}),
 		active:  map[string]bool{},
 	}
 	d.fleet = dist.NewFleet(cfg.Resolve,
 		dist.WithLiveness(cfg.Liveness),
-		dist.WithProgress(d.onProgress))
+		dist.WithProgress(d.onProgress),
+		dist.WithObs(dist.NewFleetObs(cfg.Registry)),
+		dist.WithEventLog(d.flight.Log))
 	if cfg.Scale != nil {
 		pol := cfg.Scale.withDefaults()
 		d.scale = &pol
@@ -363,8 +393,10 @@ func (d *Daemon) complete(id string, r dist.SessionResult) {
 	}
 	d.queue.Put(rec)
 	if r.Resumed > 0 {
+		d.flight.Log(id, string(rec.State), fmt.Sprintf("%d subtrees resumed, not re-run", r.Resumed))
 		d.logf("job %s: %s (%d subtrees resumed, not re-run)", id, rec.State, r.Resumed)
 	} else {
+		d.flight.Log(id, string(rec.State), rec.Err)
 		d.logf("job %s: %s", id, rec.State)
 	}
 }
@@ -462,6 +494,7 @@ func (d *Daemon) SubmitFrom(sess string, job wire.Job) *wire.Ack {
 		job = norm
 	}
 	job.Opts.Interrupted = nil // local closures never cross into sessions
+	job.Opts.Obs = nil         // instrumentation stays caller-side too
 	ack := &wire.Ack{}
 	committed := make(chan struct{})
 	if !d.act(func() { d.admit(sess, job, ack, committed) }) {
@@ -479,12 +512,14 @@ func (d *Daemon) SubmitFrom(sess string, job wire.Job) *wire.Ack {
 // SyncBatch — deferral of the ack to the group commit.
 func (d *Daemon) admit(sess string, job wire.Job, ack *wire.Ack, committed chan struct{}) {
 	if d.draining {
+		d.obs.Rejected()
 		ack.Err = "daemon is shutting down"
 		ack.Retryable = true
 		close(committed)
 		return
 	}
 	if maxQ := d.maxQueued(); maxQ > 0 && d.queue.QueuedDepth() >= maxQ {
+		d.obs.Rejected()
 		ack.Err = fmt.Sprintf("queue full: %d jobs queued (bound %d); retry later",
 			d.queue.QueuedDepth(), maxQ)
 		ack.Retryable = true
@@ -499,6 +534,7 @@ func (d *Daemon) admit(sess string, job wire.Job, ack *wire.Ack, committed chan 
 		return
 	}
 	ack.ID = id
+	d.flight.Log(id, "queued", fmt.Sprintf("%s %+v", job.Protocol, job.Params))
 	d.logf("job %s: queued (%s %+v)", id, job.Protocol, job.Params)
 	if d.queue.Policy().Mode == SyncBatch && d.queue.Dirty() > 0 {
 		// Durable only at the batch commit: hold the ack until then.
@@ -539,6 +575,7 @@ func (d *Daemon) Cancel(id string) error {
 		case StateQueued:
 			rec.State = StateCanceled
 			d.queue.Put(rec)
+			d.flight.Log(id, "canceled", "was queued")
 			d.logf("job %s: canceled (was queued)", id)
 		case StateRunning:
 			// The session's watcher records the canceled state when the
@@ -575,11 +612,52 @@ func (d *Daemon) Fetch(id string) (*wire.JobReport, error) {
 
 // List returns every job in admission order.
 func (d *Daemon) List() ([]wire.JobInfo, error) {
+	jobs, _, err := d.ListQueue()
+	return jobs, err
+}
+
+// ListQueue returns every job in admission order plus the admission
+// headroom snapshot: current queued depth against the MaxQueued bound
+// (0 = unbounded).
+func (d *Daemon) ListQueue() ([]wire.JobInfo, wire.QueueInfo, error) {
 	var out []wire.JobInfo
-	if !d.call(func() { out = d.queue.List() }) {
-		return nil, errors.New("daemon stopped")
+	var q wire.QueueInfo
+	ok := d.call(func() {
+		out = d.queue.List()
+		q = wire.QueueInfo{Queued: d.queue.QueuedDepth(), MaxQueued: d.maxQueued()}
+	})
+	if !ok {
+		return nil, q, errors.New("daemon stopped")
+	}
+	return out, q, nil
+}
+
+// Trace returns one job's flight recording: its ring-buffered lifecycle
+// events oldest first. A known job with no recorded events (submitted to an
+// earlier incarnation — rings are memory-only) gets an empty recording; an
+// unknown job is an error.
+func (d *Daemon) Trace(id string) (*wire.Events, error) {
+	events, dropped, ok := d.flight.Dump(id)
+	if !ok {
+		if _, err := d.Status(id); err != nil {
+			return nil, err
+		}
+		return &wire.Events{Job: id}, nil
+	}
+	out := &wire.Events{Job: id, Dropped: dropped, Events: make([]wire.TraceEvent, len(events))}
+	for i, e := range events {
+		out.Events[i] = wire.TraceEvent{At: e.At, Kind: e.Kind, Detail: e.Detail}
 	}
 	return out, nil
+}
+
+// Ready reports whether the daemon is able to do useful work: its loop is
+// running, it is not draining, and the journal is still appendable. The
+// admin listener's /readyz answers from it.
+func (d *Daemon) Ready() bool {
+	ready := false
+	ok := d.call(func() { ready = !d.draining && d.queue.Healthy() })
+	return ok && ready
 }
 
 // Serve accepts connections on ln until it closes. The first frame routes
@@ -671,11 +749,20 @@ func (d *Daemon) serveClient(sess string, c *wire.Conn, msg *wire.Msg) error {
 		}
 		return c.Send(&wire.Msg{Kind: wire.KindReport, Report: rep})
 	case wire.KindList:
-		jobs, err := d.List()
+		jobs, q, err := d.ListQueue()
 		if err != nil {
 			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: err.Error()}})
 		}
-		return c.Send(&wire.Msg{Kind: wire.KindJobs, Jobs: jobs})
+		return c.Send(&wire.Msg{Kind: wire.KindJobs, Jobs: jobs, Queue: &q})
+	case wire.KindTrace:
+		if msg.Ref == nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: "trace needs a job id"}})
+		}
+		ev, err := d.Trace(msg.Ref.ID)
+		if err != nil {
+			return c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: err.Error()}})
+		}
+		return c.Send(&wire.Msg{Kind: wire.KindEvents, Events: ev})
 	default:
 		c.Send(&wire.Msg{Kind: wire.KindAck, Ack: &wire.Ack{Err: fmt.Sprintf("unknown request %q", msg.Kind)}})
 		return fmt.Errorf("jobd: unknown request %q", msg.Kind)

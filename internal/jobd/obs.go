@@ -1,0 +1,134 @@
+// Daemon observability: QueueObs bundles the job-queue layer's metric
+// handles — queue depth, per-state job counts, journal growth and
+// compaction, group-commit batch shape and fsync latency, and admission
+// rejections. Like the search core's SearchObs and the fleet's FleetObs it
+// is a pure side channel: nothing here feeds back into admission or
+// dispatch, so an instrumented daemon produces byte-identical reports. A
+// nil *QueueObs disables everything.
+package jobd
+
+import (
+	"time"
+
+	"revisionist/internal/obs"
+)
+
+// jobStates is every lifecycle state, for pre-creating the per-state job
+// count gauges.
+var jobStates = []JobState{
+	StateQueued, StateRunning, StateDone,
+	StateFailed, StateCanceled, StateInterrupted,
+}
+
+// QueueObs is the daemon layer's metric bundle.
+type QueueObs struct {
+	depth    *obs.Gauge
+	states   map[JobState]*obs.Gauge
+	bytes    *obs.Counter
+	compacts *obs.Counter
+	skipped  *obs.Counter
+	rejects  *obs.Counter
+	batch    *obs.Histogram
+	fsync    *obs.Histogram
+
+	// last is each job's last accounted state, so a state change can move
+	// one count between gauges without rescanning the queue. Guarded by the
+	// queue's single-owner discipline (the daemon loop), not a lock.
+	last map[string]JobState
+
+	clock obs.Clock
+}
+
+// NewQueueObs registers the daemon layer's series on r and returns the
+// bundle (nil registry → nil bundle).
+func NewQueueObs(r *obs.Registry) *QueueObs {
+	if r == nil {
+		return nil
+	}
+	m := &QueueObs{
+		depth:    r.Gauge("jobd_queue_depth", "jobs waiting for a running slot"),
+		states:   make(map[JobState]*obs.Gauge, len(jobStates)),
+		bytes:    r.Counter("jobd_journal_bytes_total", "bytes appended to the queue journal, compaction rewrites excluded"),
+		compacts: r.Counter("jobd_journal_compactions_total", "journal compaction rewrites completed"),
+		skipped:  r.Counter("jobd_journal_load_skipped_total", "journal lines discarded during load: torn tails, garbage, oversized"),
+		rejects:  r.Counter("jobd_admission_rejections_total", "submissions rejected at the door: queue full or daemon draining"),
+		batch:    r.Histogram("jobd_sync_batch_puts", "journal appends covered by one fsync", obs.SizeBuckets),
+		fsync:    r.Histogram("jobd_fsync_seconds", "journal fsync latency", obs.LatencyBuckets),
+		last:     make(map[string]JobState),
+	}
+	for _, st := range jobStates {
+		m.states[st] = r.Gauge("jobd_jobs", "jobs by lifecycle state", "state", string(st))
+	}
+	return m
+}
+
+// The methods below are nil-receiver no-ops so queue and daemon call sites
+// stay unconditional one-liners.
+
+// Depth publishes the current queued depth.
+func (m *QueueObs) Depth(n int) {
+	if m != nil {
+		m.depth.Set(int64(n))
+	}
+}
+
+// Track reconciles the per-state gauges with one record's new state.
+func (m *QueueObs) Track(id string, st JobState) {
+	if m == nil {
+		return
+	}
+	if prev, ok := m.last[id]; ok {
+		if prev == st {
+			return
+		}
+		m.states[prev].Add(-1)
+	}
+	m.last[id] = st
+	m.states[st].Add(1)
+}
+
+// Appended accounts n journal bytes written by one Put.
+func (m *QueueObs) Appended(n int) {
+	if m != nil {
+		m.bytes.Add(int64(n))
+	}
+}
+
+// Compacted accounts one completed journal rewrite.
+func (m *QueueObs) Compacted() {
+	if m != nil {
+		m.compacts.Inc()
+	}
+}
+
+// Skipped accounts journal lines discarded by a load.
+func (m *QueueObs) Skipped(n int) {
+	if m != nil && n > 0 {
+		m.skipped.Add(int64(n))
+	}
+}
+
+// Rejected accounts one admission rejection.
+func (m *QueueObs) Rejected() {
+	if m != nil {
+		m.rejects.Inc()
+	}
+}
+
+// SyncStart stamps the beginning of a journal fsync.
+func (m *QueueObs) SyncStart() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return m.clock.Now()
+}
+
+// Synced accounts one completed fsync: the appends it covered and how long
+// it took.
+func (m *QueueObs) Synced(puts int, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.batch.Observe(float64(puts))
+	m.fsync.ObserveSince(start, m.clock)
+}

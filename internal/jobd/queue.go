@@ -78,6 +78,10 @@ func (r *Record) Info() wire.JobInfo {
 		info.Runs = r.Report.Runs
 		info.Violations = len(r.Report.Violations)
 	}
+	if r.Progress != nil {
+		info.Wave = r.Progress.Wave
+		info.Frontier = r.Progress.Frontier
+	}
 	return info
 }
 
@@ -162,6 +166,7 @@ type Queue struct {
 	f      crashfs.File
 	logf   func(format string, args ...any)
 	policy SyncPolicy
+	obs    *QueueObs
 	// ioerr latches a lost journal (the reopen after a compaction rename
 	// failed): every later Put fails loudly instead of silently degrading
 	// the queue to memory-only.
@@ -263,6 +268,9 @@ func WithSyncPolicy(p SyncPolicy) QueueOption {
 	return func(q *Queue) { q.policy = p.withDefaults() }
 }
 
+// WithQueueObs points the queue at a metric bundle (nil leaves it off).
+func WithQueueObs(m *QueueObs) QueueOption { return func(q *Queue) { q.obs = m } }
+
 // WithMaxLine overrides the load-time line cap (default wire.MaxFrame);
 // tests shrink it to exercise oversized-line skipping without 64 MiB files.
 func WithMaxLine(n int) QueueOption {
@@ -299,6 +307,7 @@ func OpenQueue(dir string, opts ...QueueOption) (*Queue, error) {
 	if err := q.load(); err != nil {
 		return nil, err
 	}
+	q.obs.Skipped(q.LoadSkipped)
 	q.recover()
 	if err := q.compact(); err != nil {
 		return nil, err
@@ -467,6 +476,7 @@ func (q *Queue) compact() error {
 	q.base = size
 	q.appended = 0
 	q.dirty = 0 // the compacted snapshot was synced: nothing is pending
+	q.obs.Compacted()
 	return nil
 }
 
@@ -513,6 +523,7 @@ func (q *Queue) Put(rec *Record) error {
 	}
 	q.appended += int64(n)
 	q.dirty++
+	q.obs.Appended(n)
 	if q.policy.Mode == SyncEachPut {
 		if err := q.Flush(); err != nil {
 			return err
@@ -541,9 +552,11 @@ func (q *Queue) Flush() error {
 	if q.f == nil || q.dirty == 0 {
 		return nil
 	}
+	puts, start := q.dirty, q.obs.SyncStart()
 	if err := q.f.Sync(); err != nil {
 		return fmt.Errorf("jobd: journal sync: %w", err)
 	}
+	q.obs.Synced(puts, start)
 	q.dirty = 0
 	return nil
 }
@@ -551,11 +564,18 @@ func (q *Queue) Flush() error {
 // Dirty counts journal appends not yet fsynced.
 func (q *Queue) Dirty() int { return q.dirty }
 
+// Healthy reports whether the journal is still appendable — false after a
+// lost journal (a failed reopen following a compaction rename), the state
+// in which every Put fails. Readiness probes surface it.
+func (q *Queue) Healthy() bool { return q.ioerr == nil }
+
 // Policy returns the journal's sync policy.
 func (q *Queue) Policy() SyncPolicy { return q.policy }
 
-// track reconciles the dispatch index with rec's current state.
+// track reconciles the dispatch index (and the observability gauges) with
+// rec's current state.
 func (q *Queue) track(rec *Record) {
+	q.obs.Track(rec.ID, rec.State)
 	queued := rec.State == StateQueued
 	switch {
 	case queued && !q.inQ[rec.ID]:
@@ -568,6 +588,7 @@ func (q *Queue) track(rec *Record) {
 			sq.n--
 		}
 	}
+	q.obs.Depth(q.queuedN)
 }
 
 // enqueue indexes one newly queued record for dispatch.
@@ -659,6 +680,7 @@ func (q *Queue) NextDispatch() *Record {
 	best.pass += strideOne / uint64(p)
 	delete(q.inQ, id)
 	q.queuedN--
+	q.obs.Depth(q.queuedN)
 	return q.recs[id]
 }
 

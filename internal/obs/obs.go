@@ -1,0 +1,358 @@
+// Package obs is the stdlib-only observability layer for the checking
+// service: atomic counters, gauges, and fixed-bucket histograms in a named
+// process-wide registry with deterministic snapshot iteration, a Prometheus
+// text-exposition writer, an injectable clock seam, a per-job flight
+// recorder, and a log/slog bridge for the pre-existing Logf seams.
+//
+// Two contracts shape the design:
+//
+//   - Instrumentation must be a pure side channel. Nothing in this package
+//     feeds back into search, scheduling, or wire decisions, so a report
+//     produced with observability on is byte-identical to one produced with
+//     it off (pinned by harness.TestCheckObsInvariant).
+//   - Disabled must cost ~nothing. A nil *Registry hands out nil metric
+//     handles, and every handle method is a nil-receiver no-op, so
+//     instrumented code calls handles unconditionally — no branches, no
+//     interface boxing, no registry plumbing at call sites.
+//
+// Time enters only through the Clock seam, so instrumented components stay
+// deterministic under test: inject a fake clock and latency histograms and
+// flight-recorder timestamps become scripted values.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is the injectable time source. The zero value (nil) reads the wall
+// clock; tests inject a scripted function.
+type Clock func() time.Time
+
+// Now reads the clock, defaulting to time.Now so the zero value is usable.
+func (c Clock) Now() time.Time {
+	if c == nil {
+		return time.Now()
+	}
+	return c()
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// nil-receiver no-ops, so a handle from a nil Registry disables the call
+// site without a branch in caller code.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (no-op on a nil receiver).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v (no-op on a nil receiver).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reads the gauge (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram: upper bounds are set at
+// registration and never change, so observation is a binary search plus two
+// atomic adds. The sum is kept as float64 bits under CAS.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one sample (no-op on a nil receiver).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds from start on clock c.
+func (h *Histogram) ObserveSince(start time.Time, c Clock) {
+	if h == nil {
+		return
+	}
+	h.Observe(c.Now().Sub(start).Seconds())
+}
+
+// Count reads the number of samples (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reads the sample sum (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// LatencyBuckets are the default upper bounds (seconds) for latency
+// histograms: 100µs to 10s, roughly logarithmic.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are the default upper bounds for small-count histograms
+// (batch sizes, queue runs): powers of two up to 256.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// metric is one registered series: a family member identified by its
+// rendered label string.
+type metric struct {
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	bounds []float64
+	series map[string]*metric
+}
+
+// Registry is a named metric registry. The zero value of *Registry (nil) is
+// the no-op registry: it hands out nil handles whose methods do nothing —
+// this is how observability is compiled out of a run. Registration is
+// idempotent: the same name + labels returns the same handle, so callers
+// need not cache handles for correctness (they should for speed).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-wide registry binaries share. Libraries never
+// reach for it implicitly — every constructor takes a *Registry — but
+// cmd wiring that has no reason to isolate uses this one.
+var Default = NewRegistry()
+
+// renderLabels turns k,v pairs into the canonical {k="v",...} form used
+// both as the series key and in the exposition output. Pairs are kept in
+// caller order — callers pass stable literal orders.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register finds or creates the series for name+labels, checking the family
+// type. Type mismatches are programmer errors and panic.
+func (r *Registry) register(name, help, typ string, bounds []float64, labels []string) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds,
+			series: make(map[string]*metric)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := renderLabels(labels)
+	m := f.series[key]
+	if m == nil {
+		m = &metric{labels: key}
+		switch typ {
+		case "counter":
+			m.c = new(Counter)
+		case "gauge":
+			m.g = new(Gauge)
+		case "histogram":
+			m.h = &Histogram{bounds: f.bounds,
+				counts: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.series[key] = m
+	}
+	return m
+}
+
+// Counter registers (or finds) a counter series. labels are k,v pairs.
+// A nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, "counter", nil, labels).c
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, "gauge", nil, labels).g
+}
+
+// Histogram registers (or finds) a histogram series with the given upper
+// bounds (ascending; the +Inf bucket is implicit). The first registration
+// of a name fixes its buckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	return r.register(name, help, "histogram", bounds, labels).h
+}
+
+// Write emits the registry in the Prometheus text exposition format:
+// families sorted by name, series within a family sorted by label string,
+// so two snapshots of the same state render identically. Writing never
+// blocks metric updates for long — only registration contends.
+func (r *Registry) Write(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			m := f.series[k]
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.c.Value())
+			case "gauge":
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, m.labels, m.g.Value())
+			case "histogram":
+				writeHistogram(&b, f, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// through +Inf, then _sum and _count.
+func writeHistogram(b *strings.Builder, f *family, m *metric) {
+	cum := int64(0)
+	for i, bound := range m.h.bounds {
+		cum += m.h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+			withLE(m.labels, strconv.FormatFloat(bound, 'g', -1, 64)), cum)
+	}
+	cum += m.h.counts[len(m.h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, withLE(m.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", f.name, m.labels, m.h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, m.labels, m.h.Count())
+}
+
+// withLE splices the le label into a rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsNoOp pins the disabled shape: a nil registry hands out
+// nil handles whose every method is safe and inert. Instrumented code calls
+// these unconditionally, so this is the contract everything rides on.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("x", "x")
+	h := r.Histogram("x_seconds", "x", nil)
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(0.5)
+	h.ObserveSince(time.Now(), nil)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry Write: %v, %q", err, buf.String())
+	}
+	var f *Flight
+	f.Log("j1", "wave", "")
+	if _, _, ok := f.Dump("j1"); ok {
+		t.Fatal("nil flight must have no rings")
+	}
+}
+
+// TestRegistryIdempotentHandles: same name+labels → same series.
+func TestRegistryIdempotentHandles(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("frames_total", "frames", "kind", "lease", "dir", "out")
+	b := r.Counter("frames_total", "frames", "kind", "lease", "dir", "out")
+	if a != b {
+		t.Fatal("re-registration must return the same handle")
+	}
+	other := r.Counter("frames_total", "frames", "kind", "result", "dir", "out")
+	if other == a {
+		t.Fatal("distinct labels must be distinct series")
+	}
+	a.Add(2)
+	if b.Value() != 2 || other.Value() != 0 {
+		t.Fatalf("values: %d %d", b.Value(), other.Value())
+	}
+}
+
+// TestExposition pins the Prometheus text format: sorted families, sorted
+// series, # HELP/# TYPE headers, cumulative histogram buckets.
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "last family").Add(5)
+	r.Gauge("aa_depth", "a gauge", "state", "queued").Set(3)
+	r.Gauge("aa_depth", "a gauge", "state", "running").Set(1)
+	h := r.Histogram("mm_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_depth a gauge
+# TYPE aa_depth gauge
+aa_depth{state="queued"} 3
+aa_depth{state="running"} 1
+# HELP mm_seconds latency
+# TYPE mm_seconds histogram
+mm_seconds_bucket{le="0.1"} 1
+mm_seconds_bucket{le="1"} 2
+mm_seconds_bucket{le="+Inf"} 3
+mm_seconds_sum 5.55
+mm_seconds_count 3
+# HELP zz_total last family
+# TYPE zz_total counter
+zz_total 5
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBuckets: boundary values land in the bucket whose upper
+// bound they equal (le is inclusive).
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "b", []float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("bucket le=1: %d", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Fatalf("bucket le=2: %d", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Fatalf("bucket +Inf: %d", got)
+	}
+}
+
+// TestConcurrentUpdates hammers one counter/gauge/histogram from many
+// goroutines; run under -race this is the data-race gate for the handles.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", []float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: %d %d %d", c.Value(), g.Value(), h.Count())
+	}
+	if h.Sum() != 2000 {
+		t.Fatalf("histogram sum: %g", h.Sum())
+	}
+}
+
+// TestClockSeam: injected clocks drive timestamps and latency samples.
+func TestClockSeam(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	now := base
+	clock := Clock(func() time.Time { return now })
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "t", []float64{1, 10})
+	start := clock.Now()
+	now = now.Add(3 * time.Second)
+	h.ObserveSince(start, clock)
+	if h.Sum() != 3 {
+		t.Fatalf("scripted latency: %g", h.Sum())
+	}
+
+	f := NewFlight(4, 4, clock)
+	f.Log("j1", "wave", "w0")
+	evs, dropped, ok := f.Dump("j1")
+	if !ok || dropped != 0 || len(evs) != 1 || !evs[0].At.Equal(base.Add(3*time.Second)) {
+		t.Fatalf("flight timestamp: %+v %d %v", evs, dropped, ok)
+	}
+}
+
+// TestFlightRing: per-job rings overwrite oldest-first and report drops;
+// the job bound evicts whole rings oldest-created-first.
+func TestFlightRing(t *testing.T) {
+	f := NewFlight(3, 2, func() time.Time { return time.Unix(0, 0) })
+	for i := 0; i < 5; i++ {
+		f.Log("j1", "wave", fmt.Sprintf("w%d", i))
+	}
+	evs, dropped, ok := f.Dump("j1")
+	if !ok || dropped != 2 || len(evs) != 3 {
+		t.Fatalf("ring state: %d events, %d dropped, ok=%v", len(evs), dropped, ok)
+	}
+	for i, want := range []string{"w2", "w3", "w4"} {
+		if evs[i].Detail != want {
+			t.Fatalf("event %d: %q, want %q", i, evs[i].Detail, want)
+		}
+	}
+
+	f.Log("j2", "lease", "")
+	f.Log("j3", "lease", "") // evicts j1 (oldest ring)
+	if _, _, ok := f.Dump("j1"); ok {
+		t.Fatal("j1 should have been evicted")
+	}
+	if got := f.Jobs(); len(got) != 2 || got[0] != "j2" || got[1] != "j3" {
+		t.Fatalf("jobs: %v", got)
+	}
+}
+
+// TestLogfAdapter: the slog bridge formats printf-style, tags the
+// component, and respects the handler level; nil logger → nil seam.
+func TestLogfAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, slog.LevelInfo)
+	logf := Logf(l, "jobd", slog.LevelInfo)
+	logf("job %s: %d subtrees", "j0001", 7)
+	out := buf.String()
+	for _, needle := range []string{"component=jobd", `msg="job j0001: 7 subtrees"`, "level=INFO"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("missing %q in %q", needle, out)
+		}
+	}
+
+	buf.Reset()
+	debugf := Logf(l, "dist", slog.LevelDebug)
+	debugf("suppressed")
+	if buf.Len() != 0 {
+		t.Fatalf("debug line leaked through info handler: %q", buf.String())
+	}
+
+	if Logf(nil, "x", slog.LevelInfo) != nil {
+		t.Fatal("nil logger must yield nil seam")
+	}
+}
+
+// TestParseLevel pins the -log-level surface.
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+		"ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level must error")
+	}
+}

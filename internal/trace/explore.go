@@ -70,6 +70,11 @@ type ExploreOpts struct {
 	// worker scheduling. Excluded from the wire encoding of the distributed
 	// search (a remote worker cannot poll a local closure).
 	Interrupted func() bool `json:"-"`
+	// Obs, when non-nil, receives search metrics (runs, cuts, closures, wave
+	// barriers) as the exploration proceeds. A pure side channel: the report
+	// is byte-identical with Obs set or nil. Like Interrupted it is local
+	// state and never crosses the wire.
+	Obs *SearchObs `json:"-"`
 }
 
 // Violation is one failing schedule.
@@ -275,6 +280,7 @@ func exploreSequential(nprocs int, factory Factory, opts ExploreOpts) (*ExploreR
 		if strat.trunc {
 			report.Truncated++
 		}
+		opts.Obs.RunDone(strat.trunc, false, false)
 		if err != nil {
 			return report, fmt.Errorf("trace: run failed on schedule %v: %w", strat.picks, err)
 		}

@@ -317,6 +317,7 @@ func (sh *exploreShared) exploreSubtree(i, nprocs int, factory Factory, opts Exp
 			sr.truncated++
 			sr.setTruncBit(ord)
 		}
+		opts.Obs.RunDone(strat.trunc, false, false)
 		if err != nil {
 			sr.runErr = fmt.Errorf("trace: run failed on schedule %v: %w", strat.picks, err)
 			sr.errOrd, sr.errTruncCum = ord, sr.truncated

@@ -334,6 +334,7 @@ func (ex *stExplorer) closeStates(next []int) {
 	for d := max(dd+1, ex.floor); d < len(ex.picks); d++ {
 		if ex.cache.close(ex.fps[d], ex.opts.MaxDepth-d) {
 			ex.sr.distinct++
+			ex.opts.Obs.StateClosed()
 		}
 	}
 }
@@ -386,6 +387,7 @@ func (ex *stExplorer) explore() *subtreeResult {
 			sr.pruned++
 			sr.setPruneBit(ord)
 		}
+		ex.opts.Obs.RunDone(strat.trunc, strat.cut, ex.opts.Symmetry)
 		if err == nil {
 			err = strat.diverged
 		}
@@ -524,12 +526,14 @@ func exploreStateful(nprocs int, factory Factory, opts ExploreOpts, workers int)
 		width = pruneWaveWidth
 	}
 
+	opts.Obs.SetFrontier(len(frontier))
 	done := 0 // runs in completed waves: the exact budget base of the next wave
 	for lo := 0; lo < len(frontier); lo += width {
 		hi := min(lo+width, len(frontier))
 		if int64(lo) > sh.stopAfter.Load() {
 			break
 		}
+		waveStart := opts.Obs.WaveStart()
 		caches := make([]*stateCache, hi-lo)
 		base := done
 		RunOnPool(min(workers, hi-lo), hi-lo, func(j int) {
@@ -575,6 +579,7 @@ func exploreStateful(nprocs int, factory Factory, opts ExploreOpts, workers int)
 				}
 			})
 		}
+		opts.Obs.WaveDone(lo/width, waveStart, len(frontier)-hi)
 	}
 	rep, err := mergeSubtrees(frontier, results, opts.MaxRuns, maxViol, false)
 	if err == nil && table != nil && rep.Exhausted {
